@@ -1,0 +1,128 @@
+#include "bench_common.h"
+
+#include <functional>
+
+#include "baselines/cluster_hkpr.h"
+#include "baselines/crd.h"
+#include "baselines/hk_relax.h"
+#include "baselines/simple_local.h"
+#include "hkpr/monte_carlo.h"
+#include "hkpr/tea.h"
+#include "hkpr/tea_plus.h"
+
+namespace hkpr::bench {
+
+namespace {
+
+Aggregate RunFlowAlgorithm(const Graph& graph,
+                           const std::vector<NodeId>& seeds,
+                           const std::function<FlowClusterResult(NodeId)>& run) {
+  Aggregate agg;
+  const double graph_mb =
+      static_cast<double>(graph.MemoryBytes()) / (1024.0 * 1024.0);
+  for (NodeId seed : seeds) {
+    WallTimer timer;
+    FlowClusterResult result = run(seed);
+    agg.avg_ms += timer.ElapsedMillis();
+    agg.avg_conductance += result.conductance;
+    agg.avg_mem_mb += graph_mb;
+    agg.avg_support += static_cast<double>(result.cluster.size());
+    ++agg.queries;
+  }
+  if (agg.queries > 0) {
+    const double q = agg.queries;
+    agg.avg_ms /= q;
+    agg.avg_conductance /= q;
+    agg.avg_mem_mb /= q;
+    agg.avg_support /= q;
+  }
+  return agg;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> RunAlgorithmSweep(const Graph& graph,
+                                          const std::vector<NodeId>& seeds,
+                                          const SweepSpec& spec,
+                                          uint64_t rng_seed) {
+  std::vector<SweepPoint> points;
+  const double inv_n = 1.0 / static_cast<double>(graph.NumNodes());
+
+  const auto approx_params = [&](double delta_mult) {
+    ApproxParams params;
+    params.t = spec.t;
+    params.eps_r = spec.eps_r;
+    params.delta = delta_mult * inv_n;
+    params.p_f = spec.p_f;
+    return params;
+  };
+
+  if (spec.include_monte_carlo) {
+    for (double mult : spec.delta_over_n) {
+      MonteCarloEstimator est(graph, approx_params(mult), rng_seed + 11);
+      points.push_back({"Monte-Carlo", "delta=" + FmtSci(mult * inv_n),
+                        RunLocalClustering(graph, est, seeds)});
+    }
+  }
+  if (spec.include_cluster_hkpr) {
+    for (double eps : spec.cluster_hkpr_eps) {
+      ClusterHkprOptions options;
+      options.t = spec.t;
+      options.eps = eps;
+      options.max_walks = spec.cluster_hkpr_max_walks;
+      ClusterHkprEstimator est(graph, options, rng_seed + 12);
+      points.push_back({"ClusterHKPR", "eps=" + FmtF(eps, 3),
+                        RunLocalClustering(graph, est, seeds)});
+    }
+  }
+  if (spec.include_hk_relax) {
+    for (double eps_a : spec.hk_relax_eps) {
+      HkRelaxOptions options;
+      options.t = spec.t;
+      options.eps_a = eps_a;
+      HkRelaxEstimator est(graph, options);
+      points.push_back({"HK-Relax", "eps_a=" + FmtSci(eps_a),
+                        RunLocalClustering(graph, est, seeds)});
+    }
+  }
+  if (spec.include_tea) {
+    for (double mult : spec.delta_over_n) {
+      TeaEstimator est(graph, approx_params(mult), rng_seed + 13);
+      points.push_back({"TEA", "delta=" + FmtSci(mult * inv_n),
+                        RunLocalClustering(graph, est, seeds)});
+    }
+  }
+  if (spec.include_tea_plus) {
+    for (double mult : spec.delta_over_n) {
+      TeaPlusEstimator est(graph, approx_params(mult), rng_seed + 14);
+      points.push_back({"TEA+", "delta=" + FmtSci(mult * inv_n),
+                        RunLocalClustering(graph, est, seeds)});
+    }
+  }
+  if (spec.include_simple_local) {
+    for (double locality : spec.simple_local_locality) {
+      Rng rng(rng_seed + 15);
+      SimpleLocalOptions options;
+      options.locality = locality;
+      points.push_back(
+          {"SimpleLocal", "delta=" + FmtF(locality, 3),
+           RunFlowAlgorithm(graph, seeds, [&](NodeId seed) {
+             return SimpleLocal(graph, seed, options, rng);
+           })});
+    }
+  }
+  if (spec.include_crd) {
+    for (uint32_t iterations : spec.crd_iterations) {
+      CrdOptions options;
+      options.iterations = iterations;
+      points.push_back(
+          {"CRD", "iters=" + std::to_string(iterations),
+           RunFlowAlgorithm(graph, seeds, [&](NodeId seed) {
+             return Crd(graph, seed, options);
+           })});
+    }
+  }
+  return points;
+}
+
+}  // namespace hkpr::bench

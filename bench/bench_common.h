@@ -1,0 +1,150 @@
+// Shared infrastructure for the figure/table reproduction binaries.
+//
+// Every binary accepts:
+//   --full        paper-scale datasets and sweeps (default: quick mode that
+//                 still prints every row/series, at reduced sizes)
+//   --seeds=N     queries per dataset (default 3 quick / 20 full)
+//   --rng=S       master RNG seed (default 42)
+
+#ifndef HKPR_BENCH_BENCH_COMMON_H_
+#define HKPR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util/datasets.h"
+#include "bench_util/table.h"
+#include "bench_util/workload.h"
+#include "clustering/local_cluster.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "hkpr/estimator.h"
+
+namespace hkpr::bench {
+
+struct BenchConfig {
+  DatasetScale scale = DatasetScale::kQuick;
+  uint32_t num_seeds = 3;
+  uint64_t rng_seed = 42;
+  bool full = false;
+
+  static BenchConfig FromArgs(int argc, char** argv) {
+    BenchConfig config;
+    bool seeds_overridden = false;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--full") == 0) {
+        config.full = true;
+        config.scale = DatasetScale::kFull;
+      } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
+        config.num_seeds = static_cast<uint32_t>(std::atoi(arg + 8));
+        seeds_overridden = true;
+      } else if (std::strncmp(arg, "--rng=", 6) == 0) {
+        config.rng_seed = static_cast<uint64_t>(std::atoll(arg + 6));
+      } else if (std::strcmp(arg, "--help") == 0) {
+        std::printf("usage: %s [--full] [--seeds=N] [--rng=S]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    if (config.full && !seeds_overridden) config.num_seeds = 20;
+    return config;
+  }
+};
+
+/// Averaged outcome of running one estimator configuration over a query set.
+struct Aggregate {
+  double avg_ms = 0.0;
+  double avg_conductance = 0.0;
+  double avg_mem_mb = 0.0;  ///< algorithm state + input graph
+  double avg_walks = 0.0;
+  double avg_pushes = 0.0;
+  double avg_support = 0.0;
+  uint32_t queries = 0;
+};
+
+/// Runs full local-clustering queries (estimate + sweep) over `seeds`.
+inline Aggregate RunLocalClustering(const Graph& graph,
+                                    HkprEstimator& estimator,
+                                    const std::vector<NodeId>& seeds) {
+  Aggregate agg;
+  const double graph_mb =
+      static_cast<double>(graph.MemoryBytes()) / (1024.0 * 1024.0);
+  for (NodeId seed : seeds) {
+    LocalClusterResult result = LocalCluster(graph, estimator, seed);
+    agg.avg_ms += result.total_ms;
+    agg.avg_conductance += result.conductance;
+    agg.avg_mem_mb +=
+        graph_mb + static_cast<double>(result.stats.peak_bytes) / (1024.0 * 1024.0);
+    agg.avg_walks += static_cast<double>(result.stats.num_walks);
+    agg.avg_pushes += static_cast<double>(result.stats.push_operations);
+    agg.avg_support += static_cast<double>(result.support_size);
+    ++agg.queries;
+  }
+  if (agg.queries > 0) {
+    const double q = agg.queries;
+    agg.avg_ms /= q;
+    agg.avg_conductance /= q;
+    agg.avg_mem_mb /= q;
+    agg.avg_walks /= q;
+    agg.avg_pushes /= q;
+    agg.avg_support /= q;
+  }
+  return agg;
+}
+
+/// Prints the standard dataset banner.
+inline void PrintDatasetBanner(const Dataset& dataset) {
+  std::printf("\n### %s (stand-in for %s): n=%s m=%s avg-deg=%.2f\n",
+              dataset.name.c_str(), dataset.paper_name.c_str(),
+              FmtCount(dataset.graph.NumNodes()).c_str(),
+              FmtCount(dataset.graph.NumEdges()).c_str(),
+              dataset.graph.AverageDegree());
+}
+
+/// One point of an algorithm/parameter sweep (a marker in Figures 4/5/7/8).
+struct SweepPoint {
+  std::string algorithm;
+  std::string param;  // human-readable parameter setting
+  Aggregate agg;
+};
+
+/// Which algorithms and parameter grids a sweep covers. The defaults mirror
+/// Section 7.4; quick mode trims the most expensive grid points.
+struct SweepSpec {
+  double t = 5.0;
+  double p_f = 1e-6;
+  double eps_r = 0.5;
+  /// delta values for Monte-Carlo / TEA / TEA+, as multiples of 1/n.
+  std::vector<double> delta_over_n = {20.0, 2.0, 0.2};
+  /// eps_a values for HK-Relax.
+  std::vector<double> hk_relax_eps = {1e-3, 1e-4, 1e-5};
+  /// eps values for ClusterHKPR.
+  std::vector<double> cluster_hkpr_eps = {0.2, 0.1, 0.05};
+  /// Iteration counts for CRD.
+  std::vector<uint32_t> crd_iterations = {7, 10, 15};
+  /// Locality values for SimpleLocal.
+  std::vector<double> simple_local_locality = {0.01, 0.02, 0.05};
+  /// Cap on ClusterHKPR walks (the paper omits the hour-long points).
+  uint64_t cluster_hkpr_max_walks = 30'000'000;
+  bool include_monte_carlo = true;
+  bool include_cluster_hkpr = true;
+  bool include_hk_relax = true;
+  bool include_tea = true;
+  bool include_tea_plus = true;
+  bool include_simple_local = false;  // paper: DBLP/Youtube only (too slow)
+  bool include_crd = false;           // paper: small graphs only
+};
+
+/// Runs the Section 7.4 style sweep on one graph. Implemented in the
+/// binaries' shared header so that Figures 4, 5, 7 and 8/9 print identical
+/// semantics.
+std::vector<SweepPoint> RunAlgorithmSweep(const Graph& graph,
+                                          const std::vector<NodeId>& seeds,
+                                          const SweepSpec& spec,
+                                          uint64_t rng_seed);
+
+}  // namespace hkpr::bench
+
+#endif  // HKPR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,55 @@
+// Figure 2: TEA+ running time as a function of the hop-cap constant c.
+//
+// Paper protocol: eps_r = 0.5, delta = 1/n, c in {0.5, 1, ..., 5} on all
+// eight datasets; the expected shape is a U-curve whose minimum sits around
+// c ~= 2 for low-degree graphs and c ~= 2.5 for high-degree graphs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "hkpr/tea_plus.h"
+
+using namespace hkpr;
+using namespace hkpr::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Figure 2: TEA+ running time vs c ==\n");
+  std::printf("eps_r=0.5, delta=1/n, t=5, p_f=1e-6, %u seeds/dataset\n",
+              config.num_seeds);
+
+  const std::vector<double> c_values = {0.5, 1.0, 1.5, 2.0,
+                                        2.5, 3.0, 4.0, 5.0};
+
+  for (const std::string& name : DatasetNames()) {
+    Dataset dataset = MakeDataset(name, config.scale, config.rng_seed);
+    PrintDatasetBanner(dataset);
+    Rng rng(config.rng_seed);
+    const std::vector<NodeId> seeds =
+        UniformSeeds(dataset.graph, config.num_seeds, rng);
+
+    ApproxParams params;
+    params.t = 5.0;
+    params.eps_r = 0.5;
+    params.delta = DefaultDelta(dataset.graph);
+    params.p_f = 1e-6;
+
+    TablePrinter table({"c", "K", "time", "pushes", "walks", "conductance"});
+    for (double c : c_values) {
+      TeaPlusOptions options;
+      options.c = c;
+      TeaPlusEstimator estimator(dataset.graph, params, config.rng_seed + 1,
+                                 options);
+      const Aggregate agg =
+          RunLocalClustering(dataset.graph, estimator, seeds);
+      table.AddRow({FmtF(c, 1), std::to_string(estimator.hop_cap()),
+                    FmtMs(agg.avg_ms),
+                    FmtCount(static_cast<uint64_t>(agg.avg_pushes)),
+                    FmtCount(static_cast<uint64_t>(agg.avg_walks)),
+                    FmtF(agg.avg_conductance)});
+    }
+    table.Print();
+  }
+  return 0;
+}

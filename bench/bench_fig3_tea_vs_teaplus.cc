@@ -1,0 +1,57 @@
+// Figure 3: TEA vs TEA+ running time as eps_r varies in {0.1 .. 0.9}.
+//
+// Paper protocol: delta fixed (1e-6 on million-node graphs; scaled to the
+// stand-in sizes here), identical accuracy guarantees for both algorithms,
+// r_max of TEA tuned to balance push and walk cost. Expected shape: TEA+
+// always below TEA, with the gap widening as eps_r grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "hkpr/tea.h"
+#include "hkpr/tea_plus.h"
+
+using namespace hkpr;
+using namespace hkpr::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Figure 3: TEA vs TEA+ running time vs eps_r ==\n");
+  std::printf("delta=0.2/n, t=5, p_f=1e-6, %u seeds/dataset\n",
+              config.num_seeds);
+
+  const std::vector<double> eps_values = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+  for (const std::string& name : DatasetNames()) {
+    Dataset dataset = MakeDataset(name, config.scale, config.rng_seed);
+    PrintDatasetBanner(dataset);
+    Rng rng(config.rng_seed);
+    const std::vector<NodeId> seeds =
+        UniformSeeds(dataset.graph, config.num_seeds, rng);
+
+    TablePrinter table({"eps_r", "TEA time", "TEA+ time", "speedup",
+                        "TEA walks", "TEA+ walks"});
+    for (double eps_r : eps_values) {
+      ApproxParams params;
+      params.t = 5.0;
+      params.eps_r = eps_r;
+      params.delta = 0.2 * DefaultDelta(dataset.graph);
+      params.p_f = 1e-6;
+
+      TeaEstimator tea(dataset.graph, params, config.rng_seed + 1);
+      TeaPlusEstimator tea_plus(dataset.graph, params, config.rng_seed + 2);
+      const Aggregate tea_agg =
+          RunLocalClustering(dataset.graph, tea, seeds);
+      const Aggregate plus_agg =
+          RunLocalClustering(dataset.graph, tea_plus, seeds);
+      table.AddRow({FmtF(eps_r, 1), FmtMs(tea_agg.avg_ms),
+                    FmtMs(plus_agg.avg_ms),
+                    FmtF(tea_agg.avg_ms / (plus_agg.avg_ms + 1e-9), 1) + "x",
+                    FmtCount(static_cast<uint64_t>(tea_agg.avg_walks)),
+                    FmtCount(static_cast<uint64_t>(plus_agg.avg_walks))});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 4: running time vs cluster conductance for all algorithms on all
+// eight datasets.
+//
+// Paper protocol: each algorithm sweeps its own error parameter; a point is
+// (average conductance, average query time). Expected shape: TEA+ sits on
+// the lower-left envelope everywhere, HK-Relax next, TEA close to HK-Relax
+// on low-degree graphs, Monte-Carlo/ClusterHKPR 1-3 orders of magnitude
+// slower at equal conductance, SimpleLocal slow and poor (DBLP/Youtube
+// only), CRD in between.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hkpr;
+using namespace hkpr::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Figure 4: running time vs conductance ==\n");
+  std::printf("t=5, p_f=1e-6, eps_r=0.5, %u seeds/dataset\n",
+              config.num_seeds);
+
+  for (const std::string& name : DatasetNames()) {
+    Dataset dataset = MakeDataset(name, config.scale, config.rng_seed);
+    PrintDatasetBanner(dataset);
+    Rng rng(config.rng_seed);
+    const std::vector<NodeId> seeds =
+        UniformSeeds(dataset.graph, config.num_seeds, rng);
+
+    SweepSpec spec;
+    // The paper runs the flow baselines only where they are feasible:
+    // SimpleLocal on DBLP/Youtube, CRD on the smaller graphs.
+    spec.include_simple_local = (name == "dblp" || name == "youtube");
+    spec.include_crd =
+        (name == "dblp" || name == "youtube" || name == "plc");
+    if (config.full) {
+      spec.delta_over_n = {20.0, 2.0, 0.2, 0.02};
+      spec.hk_relax_eps = {1e-3, 1e-4, 1e-5, 1e-6};
+      spec.cluster_hkpr_eps = {0.2, 0.1, 0.05, 0.02};
+      spec.crd_iterations = {7, 10, 15, 20, 30};
+    }
+
+    TablePrinter table(
+        {"algorithm", "parameter", "conductance", "time", "support"});
+    for (const SweepPoint& point :
+         RunAlgorithmSweep(dataset.graph, seeds, spec, config.rng_seed)) {
+      table.AddRow({point.algorithm, point.param,
+                    FmtF(point.agg.avg_conductance), FmtMs(point.agg.avg_ms),
+                    FmtCount(static_cast<uint64_t>(point.agg.avg_support))});
+    }
+    table.Print();
+  }
+  return 0;
+}

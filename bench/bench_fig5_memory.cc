@@ -1,0 +1,45 @@
+// Figure 5: memory overhead vs cluster conductance.
+//
+// Paper protocol: same sweeps as Figure 4; memory includes the input graph.
+// Expected shape: all algorithms comparable (graph storage dominates), with
+// mild growth as error thresholds shrink.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hkpr;
+using namespace hkpr::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Figure 5: memory vs conductance ==\n");
+  std::printf("t=5, p_f=1e-6, eps_r=0.5, %u seeds/dataset "
+              "(memory = graph bytes + peak algorithm state)\n",
+              config.num_seeds);
+
+  for (const std::string& name : DatasetNames()) {
+    Dataset dataset = MakeDataset(name, config.scale, config.rng_seed);
+    PrintDatasetBanner(dataset);
+    Rng rng(config.rng_seed);
+    const std::vector<NodeId> seeds =
+        UniformSeeds(dataset.graph, config.num_seeds, rng);
+
+    SweepSpec spec;  // HKPR algorithms only, as in the paper's Figure 5
+    if (config.full) {
+      spec.delta_over_n = {20.0, 2.0, 0.2, 0.02};
+      spec.hk_relax_eps = {1e-3, 1e-4, 1e-5, 1e-6};
+    }
+
+    TablePrinter table(
+        {"algorithm", "parameter", "conductance", "memory (MB)"});
+    for (const SweepPoint& point :
+         RunAlgorithmSweep(dataset.graph, seeds, spec, config.rng_seed)) {
+      table.AddRow({point.algorithm, point.param,
+                    FmtF(point.agg.avg_conductance),
+                    FmtF(point.agg.avg_mem_mb, 2)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figures 8 and 9: effect of the heat constant t in {5, 10, 20, 40} on
+// DBLP (Figure 8) and PLC (Figure 9).
+//
+// Expected shape: every algorithm slows down as t grows (cost is linear or
+// worse in t); conductance falls with larger t; TEA+'s advantage over
+// HK-Relax widens with t (HK-Relax carries the e^t factor).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hkpr;
+using namespace hkpr::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Figures 8/9: effect of heat constant t ==\n");
+  std::printf("p_f=1e-6, eps_r=0.5, %u seeds/dataset\n", config.num_seeds);
+
+  const std::vector<std::string> datasets = {"dblp", "plc"};
+  const std::vector<double> t_values = {5.0, 10.0, 20.0, 40.0};
+
+  for (const std::string& name : datasets) {
+    Dataset dataset = MakeDataset(name, config.scale, config.rng_seed);
+    PrintDatasetBanner(dataset);
+    Rng rng(config.rng_seed);
+    const std::vector<NodeId> seeds =
+        UniformSeeds(dataset.graph, config.num_seeds, rng);
+
+    for (double t : t_values) {
+      std::printf("\n-- t = %.0f --\n", t);
+      SweepSpec spec;
+      spec.t = t;
+      spec.delta_over_n = {2.0, 0.2};
+      spec.hk_relax_eps = {1e-4, 1e-5};
+      spec.cluster_hkpr_eps = {0.1, 0.05};
+      TablePrinter table(
+          {"algorithm", "parameter", "conductance", "time"});
+      for (const SweepPoint& point :
+           RunAlgorithmSweep(dataset.graph, seeds, spec, config.rng_seed)) {
+        table.AddRow({point.algorithm, point.param,
+                      FmtF(point.agg.avg_conductance),
+                      FmtMs(point.agg.avg_ms)});
+      }
+      table.Print();
+    }
+  }
+  return 0;
+}

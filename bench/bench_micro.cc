@@ -1,0 +1,132 @@
+// Micro-benchmarks of the primitives (google-benchmark): push throughput,
+// walk throughput, alias construction/sampling, sweep, conductance, exact
+// power method.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "clustering/sweep.h"
+#include "common/alias_sampler.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "hkpr/heat_kernel.h"
+#include "hkpr/power_method.h"
+#include "hkpr/push.h"
+#include "hkpr/random_walk.h"
+
+namespace {
+
+using namespace hkpr;
+
+const Graph& BenchGraph() {
+  static const Graph graph = PowerlawCluster(20000, 5, 0.3, 42);
+  return graph;
+}
+
+void BM_HkPush(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const HeatKernel kernel(5.0);
+  const double r_max = 1.0 / static_cast<double>(state.range(0));
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    PushResult result = HkPush(graph, kernel, 7, r_max);
+    ops += result.push_operations;
+    benchmark::DoNotOptimize(result.reserve);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_HkPush)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_HkPushPlus(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const HeatKernel kernel(5.0);
+  HkPushPlusOptions options;
+  options.eps_r = 0.5;
+  options.delta = 1.0 / static_cast<double>(state.range(0));
+  options.hop_cap = 10;
+  options.push_budget = 100'000'000;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    PushResult result = HkPushPlus(graph, kernel, 7, options);
+    ops += result.push_operations;
+    benchmark::DoNotOptimize(result.reserve);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_HkPushPlus)->Arg(100000)->Arg(1000000)->Arg(10000000);
+
+void BM_KRandomWalk(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const HeatKernel kernel(static_cast<double>(state.range(0)));
+  Rng rng(1);
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KRandomWalk(graph, kernel, 7, 0, rng, &steps));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_KRandomWalk)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_AliasBuild(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> weights(state.range(0));
+  for (double& w : weights) w = rng.UniformDouble() + 1e-9;
+  for (auto _ : state) {
+    AliasSampler alias(weights);
+    benchmark::DoNotOptimize(alias);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AliasBuild)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> weights(65536);
+  for (double& w : weights) w = rng.UniformDouble() + 1e-9;
+  AliasSampler alias(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alias.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample);
+
+void BM_SweepCut(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const std::vector<double> exact = ExactHkpr(graph, 5.0, 7);
+  SparseVector estimate;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (exact[v] > 1e-8) estimate.Add(v, exact[v]);
+  }
+  for (auto _ : state) {
+    SweepResult result = SweepCut(graph, estimate);
+    benchmark::DoNotOptimize(result.conductance);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(estimate.nnz()));
+}
+BENCHMARK(BM_SweepCut);
+
+void BM_PowerMethod(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const HeatKernel kernel(5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactHkpr(graph, kernel, 7));
+  }
+}
+BENCHMARK(BM_PowerMethod);
+
+void BM_PoissonSample(benchmark::State& state) {
+  const HeatKernel kernel(5.0);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.SamplePoissonLength(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoissonSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

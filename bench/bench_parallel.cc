@@ -1,0 +1,79 @@
+// Parallel scalability of the walk phases (extension; cf. Shun et al.
+// VLDB'16 referenced in Section 6 as future work for TEA/TEA+).
+//
+// Expected shape: near-linear speedup of Monte-Carlo with thread count
+// (walks dominate); TEA+ speedup limited by its sequential push phase
+// (Amdahl), most visible in walk-heavy configurations (small c).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "hkpr/monte_carlo.h"
+#include "hkpr/tea_plus.h"
+#include "parallel/parallel_for.h"
+#include "parallel/parallel_monte_carlo.h"
+#include "parallel/parallel_tea_plus.h"
+
+using namespace hkpr;
+using namespace hkpr::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Parallel scalability (extension) ==\n");
+  std::printf("hardware threads available: %u\n", HardwareThreads());
+
+  Dataset dataset = MakeDataset("twitter", config.scale, config.rng_seed);
+  PrintDatasetBanner(dataset);
+  Rng rng(config.rng_seed);
+  const std::vector<NodeId> seeds =
+      UniformSeeds(dataset.graph, config.num_seeds, rng);
+
+  ApproxParams params;
+  params.t = 5.0;
+  params.eps_r = 0.5;
+  params.delta = 0.2 * DefaultDelta(dataset.graph);
+  params.p_f = 1e-6;
+
+  const std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+
+  std::printf("\n-- Monte-Carlo --\n");
+  {
+    MonteCarloEstimator sequential(dataset.graph, params, config.rng_seed);
+    const Aggregate base = RunLocalClustering(dataset.graph, sequential, seeds);
+    TablePrinter table({"threads", "time", "speedup", "conductance"});
+    table.AddRow({"seq", FmtMs(base.avg_ms), "1.0x",
+                  FmtF(base.avg_conductance)});
+    for (uint32_t threads : thread_counts) {
+      ParallelMonteCarloEstimator est(dataset.graph, params, config.rng_seed,
+                                      threads);
+      const Aggregate agg = RunLocalClustering(dataset.graph, est, seeds);
+      table.AddRow({std::to_string(threads), FmtMs(agg.avg_ms),
+                    FmtF(base.avg_ms / (agg.avg_ms + 1e-9), 1) + "x",
+                    FmtF(agg.avg_conductance)});
+    }
+    table.Print();
+  }
+
+  std::printf("\n-- TEA+ (walk-heavy configuration, c=1) --\n");
+  {
+    TeaPlusOptions options;
+    options.c = 1.0;
+    TeaPlusEstimator sequential(dataset.graph, params, config.rng_seed,
+                                options);
+    const Aggregate base = RunLocalClustering(dataset.graph, sequential, seeds);
+    TablePrinter table({"threads", "time", "speedup", "conductance"});
+    table.AddRow({"seq", FmtMs(base.avg_ms), "1.0x",
+                  FmtF(base.avg_conductance)});
+    for (uint32_t threads : thread_counts) {
+      ParallelTeaPlusEstimator est(dataset.graph, params, config.rng_seed,
+                                   threads, options);
+      const Aggregate agg = RunLocalClustering(dataset.graph, est, seeds);
+      table.AddRow({std::to_string(threads), FmtMs(agg.avg_ms),
+                    FmtF(base.avg_ms / (agg.avg_ms + 1e-9), 1) + "x",
+                    FmtF(agg.avg_conductance)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Table 1 (empirical): complexity scaling checks.
+//
+// Validates the bounds of Table 1 empirically on one dataset:
+//   * TEA/TEA+ work scales linearly in 1/delta (the 1/(eps_r^2 delta) term),
+//   * TEA/TEA+ work scales linearly in t (no e^t term),
+//   * HK-Relax work blows up super-linearly in t (the e^t term).
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/hk_relax.h"
+#include "bench_common.h"
+#include "hkpr/tea.h"
+#include "hkpr/tea_plus.h"
+
+using namespace hkpr;
+using namespace hkpr::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::printf("== Table 1 (empirical): complexity scaling ==\n");
+
+  Dataset dataset = MakeDataset("plc", config.scale, config.rng_seed);
+  PrintDatasetBanner(dataset);
+  Rng rng(config.rng_seed);
+  const std::vector<NodeId> seeds =
+      UniformSeeds(dataset.graph, config.num_seeds, rng);
+  const double inv_n = 1.0 / static_cast<double>(dataset.graph.NumNodes());
+
+  std::printf("\n-- work vs 1/delta (t=5): expect ~linear growth --\n");
+  {
+    TablePrinter table({"delta", "TEA ops", "TEA+ ops", "TEA time",
+                        "TEA+ time"});
+    for (double mult : {20.0, 2.0, 0.2, 0.02}) {
+      ApproxParams params;
+      params.delta = mult * inv_n;
+      params.p_f = 1e-6;
+      TeaEstimator tea(dataset.graph, params, config.rng_seed + 1);
+      TeaPlusEstimator plus(dataset.graph, params, config.rng_seed + 2);
+      const Aggregate a = RunLocalClustering(dataset.graph, tea, seeds);
+      const Aggregate b = RunLocalClustering(dataset.graph, plus, seeds);
+      table.AddRow(
+          {FmtSci(params.delta),
+           FmtCount(static_cast<uint64_t>(a.avg_pushes + a.avg_walks)),
+           FmtCount(static_cast<uint64_t>(b.avg_pushes + b.avg_walks)),
+           FmtMs(a.avg_ms), FmtMs(b.avg_ms)});
+    }
+    table.Print();
+  }
+
+  std::printf("\n-- work vs t (delta=2/n): TEA/TEA+ ~linear, HK-Relax "
+              "super-linear --\n");
+  {
+    TablePrinter table(
+        {"t", "TEA+ ops", "TEA+ time", "HK-Relax ops", "HK-Relax time"});
+    for (double t : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+      ApproxParams params;
+      params.t = t;
+      params.delta = 2.0 * inv_n;
+      params.p_f = 1e-6;
+      TeaPlusEstimator plus(dataset.graph, params, config.rng_seed + 3);
+      HkRelaxOptions relax_options;
+      relax_options.t = t;
+      relax_options.eps_a = 1e-5;
+      HkRelaxEstimator relax(dataset.graph, relax_options);
+      const Aggregate a = RunLocalClustering(dataset.graph, plus, seeds);
+      const Aggregate b = RunLocalClustering(dataset.graph, relax, seeds);
+      table.AddRow(
+          {FmtF(t, 0),
+           FmtCount(static_cast<uint64_t>(a.avg_pushes + a.avg_walks)),
+           FmtMs(a.avg_ms),
+           FmtCount(static_cast<uint64_t>(b.avg_pushes)), FmtMs(b.avg_ms)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a graph, run TEA+, sweep, print the cluster.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the 60-second tour of the public API:
+//   GraphBuilder / generators  ->  Graph
+//   ApproxParams + TeaPlusEstimator  ->  approximate HKPR vector
+//   LocalCluster  ->  cluster + conductance
+
+#include <cstdio>
+
+#include "clustering/local_cluster.h"
+#include "graph/generators.h"
+#include "hkpr/tea_plus.h"
+
+using namespace hkpr;
+
+int main() {
+  // A graph with planted structure: 12 communities of 80 nodes.
+  CommunityGraph cg = PlantedPartition(/*num_communities=*/12,
+                                       /*community_size=*/80,
+                                       /*p_in=*/0.25, /*p_out=*/0.002,
+                                       /*seed=*/7);
+  const Graph& graph = cg.graph;
+  std::printf("graph: %u nodes, %llu edges\n", graph.NumNodes(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  // Accuracy contract: relative error eps_r on all nodes whose normalized
+  // HKPR exceeds delta, with failure probability p_f (Definition 1).
+  ApproxParams params;
+  params.t = 5.0;       // heat constant
+  params.eps_r = 0.5;   // relative error
+  params.delta = 1.0 / graph.NumNodes();
+  params.p_f = 1e-6;
+
+  TeaPlusEstimator estimator(graph, params, /*rng_seed=*/42);
+
+  // Local clustering from a seed inside community 3.
+  const NodeId seed = cg.communities.Community(3)[0];
+  LocalClusterResult result = LocalCluster(graph, estimator, seed);
+
+  std::printf("seed %u -> cluster of %zu nodes, conductance %.4f\n", seed,
+              result.cluster.size(), result.conductance);
+  std::printf("estimate: %.2f ms (%llu pushes, %llu walks), sweep: %.2f ms\n",
+              result.estimate_ms,
+              static_cast<unsigned long long>(result.stats.push_operations),
+              static_cast<unsigned long long>(result.stats.num_walks),
+              result.sweep_ms);
+
+  std::printf("first members:");
+  for (size_t i = 0; i < result.cluster.size() && i < 12; ++i) {
+    std::printf(" %u", result.cluster[i]);
+  }
+  std::printf("%s\n", result.cluster.size() > 12 ? " ..." : "");
+  return 0;
+}

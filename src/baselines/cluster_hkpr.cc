@@ -1,0 +1,54 @@
+#include "baselines/cluster_hkpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+ClusterHkprEstimator::ClusterHkprEstimator(const Graph& graph,
+                                           const ClusterHkprOptions& options,
+                                           uint64_t seed)
+    : graph_(graph), options_(options), kernel_(options.t), rng_(seed) {
+  HKPR_CHECK(options.eps > 0.0 && options.eps < 1.0);
+  HKPR_CHECK(graph.NumNodes() >= 2);
+  const double theoretical =
+      16.0 * std::log(static_cast<double>(graph.NumNodes())) /
+      (options.eps * options.eps * options.eps);
+  num_walks_ = std::min<uint64_t>(options.max_walks,
+                                  static_cast<uint64_t>(std::ceil(theoretical)));
+  HKPR_CHECK(num_walks_ > 0);
+  length_cap_ = options.length_cap == 0
+                    ? kernel_.MaxHop()
+                    : std::min(options.length_cap, kernel_.MaxHop());
+}
+
+SparseVector ClusterHkprEstimator::Estimate(NodeId seed,
+                                            EstimatorStats* stats) {
+  HKPR_CHECK(seed < graph_.NumNodes());
+  if (stats != nullptr) stats->Reset();
+  SparseVector rho;
+  const double weight = 1.0 / static_cast<double>(num_walks_);
+  uint64_t steps = 0;
+  for (uint64_t i = 0; i < num_walks_; ++i) {
+    // Draw the Poisson length first (as in the original algorithm), truncate
+    // at the cap, then walk.
+    uint32_t length = std::min(kernel_.SamplePoissonLength(rng_), length_cap_);
+    NodeId current = seed;
+    for (uint32_t step = 0; step < length; ++step) {
+      if (graph_.Degree(current) == 0) break;
+      current = graph_.RandomNeighbor(current, rng_);
+      ++steps;
+    }
+    rho.Add(current, weight);
+  }
+  if (stats != nullptr) {
+    stats->num_walks = num_walks_;
+    stats->walk_steps = steps;
+    stats->peak_bytes = rho.MemoryBytes();
+  }
+  return rho;
+}
+
+}  // namespace hkpr

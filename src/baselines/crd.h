@@ -1,0 +1,40 @@
+// CRD — Capacity Releasing Diffusion (Wang, Fountoulakis, Henzinger,
+// Mahoney & Rao, ICML 2017).
+//
+// A flow-based diffusion: mass starts at the seed, doubles every outer
+// iteration, and is routed by a push-relabel "unit flow" with per-edge
+// capacity U and height cap h. When the diffusion can no longer settle its
+// mass the saturated region is a low-conductance cluster, extracted here by
+// a sweep over settled mass / degree. Implementation notes in DESIGN.md.
+
+#ifndef HKPR_BASELINES_CRD_H_
+#define HKPR_BASELINES_CRD_H_
+
+#include <cstdint>
+
+#include "baselines/simple_local.h"  // FlowClusterResult
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Options of CRD. The paper's experiment sweeps `iterations` in {7..30}
+/// and keeps the other knobs at defaults.
+struct CrdOptions {
+  /// Outer iterations: each doubles the diffused mass.
+  uint32_t iterations = 10;
+  /// Per-edge flow capacity U per inner round.
+  double capacity = 4.0;
+  /// Height (label) cap h of the push-relabel inner loop.
+  uint32_t height_cap = 30;
+  /// Stop the outer loop once this fraction of the mass is trapped at the
+  /// height cap (the diffusion has hit a bottleneck).
+  double trapped_fraction = 0.1;
+};
+
+/// Runs CRD from `seed` and extracts the best sweep cut over settled mass.
+FlowClusterResult Crd(const Graph& graph, NodeId seed,
+                      const CrdOptions& options);
+
+}  // namespace hkpr
+
+#endif  // HKPR_BASELINES_CRD_H_

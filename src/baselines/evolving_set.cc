@@ -1,0 +1,101 @@
+#include "baselines/evolving_set.h"
+
+#include <algorithm>
+
+#include "clustering/conductance.h"
+#include "common/flat_map.h"
+#include "common/logging.h"
+
+namespace hkpr {
+
+namespace {
+
+/// One lazy evolving-set step: S' = { v : p(v -> S) >= threshold } where
+/// candidates are S and its out-neighbors. O(vol(S)).
+std::vector<NodeId> EvolveOnce(const Graph& graph,
+                               const std::vector<NodeId>& current,
+                               double threshold) {
+  FlatSet in_set(current.size());
+  for (NodeId v : current) in_set.Insert(v);
+
+  // Count, for every candidate, how many of its neighbors are inside S.
+  FlatMap<uint32_t> inside_neighbors(current.size() * 2);
+  for (NodeId v : current) {
+    for (NodeId u : graph.Neighbors(v)) {
+      inside_neighbors[u] += 1;
+    }
+  }
+
+  std::vector<NodeId> next;
+  next.reserve(current.size());
+  const auto transition = [&](NodeId v, uint32_t inside) {
+    const uint32_t d = graph.Degree(v);
+    if (d == 0) return in_set.Contains(v) ? 1.0 : 0.0;
+    const double walk = static_cast<double>(inside) / d;
+    return 0.5 * ((in_set.Contains(v) ? 1.0 : 0.0) + walk);
+  };
+  for (const auto& e : inside_neighbors.entries()) {
+    if (transition(e.key, e.value) >= threshold) next.push_back(e.key);
+  }
+  // Members of S with no inside neighbors (possible for stragglers) still
+  // have p >= 1/2 from laziness.
+  for (NodeId v : current) {
+    if (!inside_neighbors.Contains(v) && transition(v, 0) >= threshold) {
+      next.push_back(v);
+    }
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  return next;
+}
+
+}  // namespace
+
+EvolvingSetResult EvolvingSet(const Graph& graph, NodeId seed,
+                              const EvolvingSetOptions& options, Rng& rng) {
+  HKPR_CHECK(seed < graph.NumNodes());
+  EvolvingSetResult result;
+  if (graph.Degree(seed) == 0) return result;
+  const uint64_t volume_cap =
+      options.max_volume > 0 ? options.max_volume : graph.Volume() / 2;
+
+  // The answer is never worse than the seed singleton.
+  result.cluster = {seed};
+  result.conductance = Conductance(graph, result.cluster);
+
+  for (uint32_t run = 0; run < options.restarts; ++run) {
+    std::vector<NodeId> current = {seed};
+    uint64_t current_volume = graph.Degree(seed);
+    for (uint32_t step = 0; step < options.max_steps; ++step) {
+      // Volume-biased ESP via a Metropolis filter (Doob transform of the
+      // plain process): propose S' from a uniform threshold and accept with
+      // probability min(1, vol(S')/vol(S)). The empty set has volume 0 and
+      // is never accepted; growth is favored, which is what gives the
+      // process its locality/quality guarantees.
+      bool advanced = false;
+      for (uint32_t attempt = 0; attempt < 16 && !advanced; ++attempt) {
+        const double threshold = rng.UniformDouble();
+        std::vector<NodeId> next = EvolveOnce(graph, current, threshold);
+        ++result.steps;
+        if (next.empty()) continue;
+        const CutStats stats = ComputeCutStats(graph, next);
+        const double accept =
+            static_cast<double>(stats.volume) /
+            static_cast<double>(current_volume);
+        if (accept < 1.0 && !rng.Bernoulli(accept)) continue;
+        current = std::move(next);
+        current_volume = stats.volume;
+        advanced = true;
+        if (stats.volume > volume_cap) break;
+        if (stats.conductance < result.conductance) {
+          result.conductance = stats.conductance;
+          result.cluster = current;
+        }
+      }
+      if (!advanced || current_volume > volume_cap) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,47 @@
+// Evolving Set Process local clustering (Andersen & Peres, STOC 2009).
+//
+// Reference [3] of the paper: the volume-biased evolving-set process that
+// improved on PR-Nibble's guarantees. One step of the (lazy) process draws
+// a uniform threshold U and replaces the current set S with
+//   S' = { v : p(v -> S) >= U },   p(v -> S) = (1{v in S} + |N(v) cap S|/d(v)) / 2,
+// i.e. the set of nodes whose lazy-walk transition probability into S
+// clears the threshold. Low-conductance sets are sticky under this update;
+// the best sweep over the trajectory is returned.
+
+#ifndef HKPR_BASELINES_EVOLVING_SET_H_
+#define HKPR_BASELINES_EVOLVING_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Options of the evolving-set process.
+struct EvolvingSetOptions {
+  /// Maximum number of evolution steps.
+  uint32_t max_steps = 50;
+  /// Abort when the set volume exceeds this bound (0 = vol(G)/2).
+  uint64_t max_volume = 0;
+  /// Number of independent restarts; the best set over all runs wins.
+  uint32_t restarts = 3;
+};
+
+/// Result of an evolving-set query.
+struct EvolvingSetResult {
+  std::vector<NodeId> cluster;
+  double conductance = 1.0;
+  /// Total evolution steps over all restarts.
+  uint32_t steps = 0;
+};
+
+/// Runs the lazy evolving-set process from `seed`; returns the
+/// lowest-conductance set encountered. Deterministic given `rng`'s state.
+EvolvingSetResult EvolvingSet(const Graph& graph, NodeId seed,
+                              const EvolvingSetOptions& options, Rng& rng);
+
+}  // namespace hkpr
+
+#endif  // HKPR_BASELINES_EVOLVING_SET_H_

@@ -1,0 +1,61 @@
+#include "baselines/nibble.h"
+
+#include <utility>
+
+#include "clustering/sweep.h"
+#include "common/flat_map.h"
+#include "common/logging.h"
+#include "common/sparse_vector.h"
+
+namespace hkpr {
+
+NibbleResult Nibble(const Graph& graph, NodeId seed,
+                    const NibbleOptions& options) {
+  HKPR_CHECK(seed < graph.NumNodes());
+  NibbleResult result;
+  if (graph.Degree(seed) == 0) return result;
+
+  SweepOptions sweep_options;
+  sweep_options.max_volume = options.max_volume;
+
+  FlatMap<double> current;
+  current[seed] = 1.0;
+  for (uint32_t step = 0; step < options.max_steps; ++step) {
+    // One lazy-walk step: next = (current + P^T current) / 2, computed over
+    // the sparse support only.
+    FlatMap<double> next;
+    for (const auto& e : current.entries()) {
+      if (e.value <= 0.0) continue;
+      next[e.key] += 0.5 * e.value;
+      const uint32_t d = graph.Degree(e.key);
+      if (d == 0) continue;
+      const double share = 0.5 * e.value / d;
+      for (NodeId u : graph.Neighbors(e.key)) next[u] += share;
+    }
+    // Truncate: zero entries below eps * d(v).
+    for (auto& e : next.mutable_entries()) {
+      if (e.value < options.eps * graph.Degree(e.key)) e.value = 0.0;
+    }
+    current = std::move(next);
+    ++result.steps;
+
+    // Sweep the current vector; keep the best cut over all steps.
+    SparseVector estimate;
+    bool any = false;
+    for (const auto& e : current.entries()) {
+      if (e.value > 0.0) {
+        estimate.Add(e.key, e.value);
+        any = true;
+      }
+    }
+    if (!any) break;  // truncation removed everything
+    SweepResult sweep = SweepCut(graph, estimate, sweep_options);
+    if (sweep.conductance < result.conductance) {
+      result.conductance = sweep.conductance;
+      result.cluster = std::move(sweep.cluster);
+    }
+  }
+  return result;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,45 @@
+// Nibble (Spielman & Teng, STOC 2004) — the original local clustering
+// algorithm, via truncated lazy-random-walk power iteration.
+//
+// Included as the historical reference point of the paper's related work
+// (Section 6): every later method (PR-Nibble, HKPR-based, flow-based)
+// improves on its conductance/time trade-off.
+
+#ifndef HKPR_BASELINES_NIBBLE_H_
+#define HKPR_BASELINES_NIBBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Options of Nibble.
+struct NibbleOptions {
+  /// Truncation threshold: after each step, entries below eps * d(v) are
+  /// zeroed, keeping the iteration local.
+  double eps = 1e-5;
+  /// Number of lazy-walk steps (the paper-era T parameter).
+  uint32_t max_steps = 40;
+  /// Optional volume cap for the sweep (0 = none).
+  uint64_t max_volume = 0;
+};
+
+/// Result of a Nibble query.
+struct NibbleResult {
+  std::vector<NodeId> cluster;
+  double conductance = 1.0;
+  /// Steps actually performed (the iteration stops early if truncation
+  /// empties the vector).
+  uint32_t steps = 0;
+};
+
+/// Runs Nibble from `seed`: iterate q <- W q with W = (I + D^-1 A)/2,
+/// truncate small entries, sweep after every step, return the best cut seen.
+NibbleResult Nibble(const Graph& graph, NodeId seed,
+                    const NibbleOptions& options);
+
+}  // namespace hkpr
+
+#endif  // HKPR_BASELINES_NIBBLE_H_

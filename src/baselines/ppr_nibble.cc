@@ -1,0 +1,77 @@
+#include "baselines/ppr_nibble.h"
+
+#include <deque>
+
+#include "common/flat_map.h"
+#include "common/logging.h"
+
+namespace hkpr {
+
+PprNibbleEstimator::PprNibbleEstimator(const Graph& graph,
+                                       const PprNibbleOptions& options)
+    : graph_(graph), options_(options) {
+  HKPR_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+  HKPR_CHECK(options.eps > 0.0);
+}
+
+SparseVector PprNibbleEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
+  HKPR_CHECK(seed < graph_.NumNodes());
+  if (stats != nullptr) stats->Reset();
+  const double alpha = options_.alpha;
+  const double eps = options_.eps;
+
+  SparseVector p;
+  FlatMap<double> residual;
+  FlatMap<bool> in_queue;
+  std::deque<NodeId> queue;
+
+  const auto maybe_enqueue = [&](NodeId v) {
+    const uint32_t d = graph_.Degree(v);
+    if (d == 0) return;
+    if (residual.GetOr(v, 0.0) >= eps * d) {
+      bool& flag = in_queue[v];
+      if (!flag) {
+        flag = true;
+        queue.push_back(v);
+      }
+    }
+  };
+
+  residual[seed] = 1.0;
+  maybe_enqueue(seed);
+
+  uint64_t push_ops = 0;
+  uint64_t entries = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    in_queue[v] = false;
+    const uint32_t d = graph_.Degree(v);
+    double& rv = residual[v];
+    if (d == 0 || rv < eps * d) continue;  // consumed since enqueue
+
+    // Lazy-walk ACL push: alpha of the residual is retired into p, half of
+    // the remainder stays at v, the other half spreads to the neighbors.
+    const double mass = rv;
+    p.Add(v, alpha * mass);
+    rv = (1.0 - alpha) * mass / 2.0;
+    const double share = (1.0 - alpha) * mass / (2.0 * d);
+    for (NodeId u : graph_.Neighbors(v)) {
+      residual[u] += share;
+      maybe_enqueue(u);
+    }
+    maybe_enqueue(v);
+    push_ops += d;
+    ++entries;
+  }
+
+  if (stats != nullptr) {
+    stats->push_operations = push_ops;
+    stats->entries_processed = entries;
+    stats->peak_bytes =
+        residual.MemoryBytes() + in_queue.MemoryBytes() + p.MemoryBytes();
+  }
+  return p;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,42 @@
+// PR-Nibble (Andersen, Chung & Lang, FOCS 2006): personalized-PageRank push.
+//
+// Not part of the paper's headline comparison (it predates the HKPR-based
+// methods) but implemented as the classical local-clustering reference and
+// as the Markovian contrast to heat-kernel push discussed in Section 6.
+
+#ifndef HKPR_BASELINES_PPR_NIBBLE_H_
+#define HKPR_BASELINES_PPR_NIBBLE_H_
+
+#include <string_view>
+
+#include "hkpr/estimator.h"
+
+namespace hkpr {
+
+/// Options of the ACL push.
+struct PprNibbleOptions {
+  /// Teleport probability alpha of the lazy PPR walk.
+  double alpha = 0.15;
+  /// Push threshold eps: residuals are pushed while r[v] >= eps * d(v).
+  double eps = 1e-6;
+};
+
+/// Approximate personalized PageRank via the ACL push procedure; the result
+/// vector plays the same role in a sweep as an HKPR estimate.
+class PprNibbleEstimator : public HkprEstimator {
+ public:
+  PprNibbleEstimator(const Graph& graph, const PprNibbleOptions& options);
+
+  SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
+  using HkprEstimator::Estimate;
+
+  std::string_view name() const override { return "PR-Nibble"; }
+
+ private:
+  const Graph& graph_;
+  PprNibbleOptions options_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_BASELINES_PPR_NIBBLE_H_

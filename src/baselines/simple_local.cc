@@ -1,0 +1,100 @@
+#include "baselines/simple_local.h"
+
+#include <algorithm>
+
+#include "clustering/conductance.h"
+#include "common/flat_map.h"
+#include "common/logging.h"
+#include "flow/maxflow.h"
+#include "graph/subgraph.h"
+
+namespace hkpr {
+
+std::vector<NodeId> MqiImprove(const Graph& graph,
+                               std::vector<NodeId> candidate,
+                               uint32_t max_rounds, uint32_t* rounds_used,
+                               uint64_t* total_arcs) {
+  uint32_t rounds = 0;
+  uint64_t arcs = 0;
+  while (rounds < max_rounds && candidate.size() >= 2) {
+    const CutStats stats = ComputeCutStats(graph, candidate);
+    if (stats.cut == 0 || stats.volume == 0) break;  // already perfect
+    const int64_t vol = static_cast<int64_t>(stats.volume);
+    const int64_t cut = static_cast<int64_t>(stats.cut);
+
+    // Lang-Rao network: source -> v with capacity vol(A) per boundary edge
+    // of v; internal edges with capacity vol(A); v -> sink with capacity
+    // cut(A) * d(v). A strictly better quotient subset exists iff
+    // maxflow < cut(A) * vol(A); it is the sink side of the min cut.
+    FlatMap<uint32_t> local_id(candidate.size());
+    for (uint32_t i = 0; i < candidate.size(); ++i) {
+      local_id[candidate[i]] = i;
+    }
+    const uint32_t num_local = static_cast<uint32_t>(candidate.size());
+    const uint32_t source = num_local;
+    const uint32_t sink = num_local + 1;
+    FlowNetwork network(num_local + 2);
+    for (uint32_t i = 0; i < num_local; ++i) {
+      const NodeId v = candidate[i];
+      uint32_t boundary = 0;
+      for (NodeId u : graph.Neighbors(v)) {
+        const uint32_t* j = local_id.Find(u);
+        if (j == nullptr) {
+          ++boundary;
+        } else if (*j > i) {
+          network.AddUndirectedEdge(i, *j, vol);
+        }
+      }
+      if (boundary > 0) {
+        network.AddArc(source, i, vol * static_cast<int64_t>(boundary));
+      }
+      network.AddArc(i, sink, cut * static_cast<int64_t>(graph.Degree(v)));
+    }
+    arcs += network.num_arcs();
+
+    const int64_t flow = network.MaxFlow(source, sink);
+    ++rounds;
+    if (flow >= cut * vol) break;  // no strictly better subset
+
+    const std::vector<bool> source_side = network.MinCutSourceSide(source);
+    std::vector<NodeId> improved;
+    improved.reserve(candidate.size());
+    for (uint32_t i = 0; i < num_local; ++i) {
+      if (!source_side[i]) improved.push_back(candidate[i]);
+    }
+    if (improved.empty() || improved.size() == candidate.size()) break;
+    candidate = std::move(improved);
+  }
+  if (rounds_used != nullptr) *rounds_used += rounds;
+  if (total_arcs != nullptr) *total_arcs += arcs;
+  return candidate;
+}
+
+FlowClusterResult SimpleLocal(const Graph& graph, NodeId seed,
+                              const SimpleLocalOptions& options, Rng& rng) {
+  HKPR_CHECK(seed < graph.NumNodes());
+  FlowClusterResult out;
+  const uint32_t target = std::clamp<uint32_t>(
+      static_cast<uint32_t>(options.locality *
+                            static_cast<double>(graph.NumNodes())),
+      options.min_ball_nodes, options.max_ball_nodes);
+  std::vector<NodeId> ball = RandomBfsBall(graph, seed, target, rng);
+  if (ball.empty()) return out;
+
+  std::vector<NodeId> improved =
+      MqiImprove(graph, std::move(ball), options.max_rounds, &out.flow_rounds,
+                 &out.total_arcs);
+  // MQI can cut the seed out of its own cluster; the convention of local
+  // clustering is that the answer contains the seed, so fall back to the
+  // ball when that happens.
+  const bool has_seed =
+      std::find(improved.begin(), improved.end(), seed) != improved.end();
+  if (!has_seed) {
+    improved = RandomBfsBall(graph, seed, target, rng);
+  }
+  out.conductance = Conductance(graph, improved);
+  out.cluster = std::move(improved);
+  return out;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,123 @@
+#include "bench_util/datasets.h"
+
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace hkpr {
+
+const std::vector<std::string>& DatasetNames() {
+  static const std::vector<std::string> kNames = {
+      "dblp",  "youtube", "plc",     "orkut",
+      "livejournal", "grid3d",  "twitter", "friendster"};
+  return kNames;
+}
+
+const std::vector<std::string>& CommunityDatasetNames() {
+  static const std::vector<std::string> kNames = {"dblp", "youtube",
+                                                  "livejournal", "orkut"};
+  return kNames;
+}
+
+Dataset MakeDataset(const std::string& name, DatasetScale scale,
+                    uint64_t seed) {
+  const bool full = scale == DatasetScale::kFull;
+  Dataset out;
+  out.name = name;
+
+  if (name == "dblp") {
+    // High clustering coefficient, low average degree, strong communities.
+    out.paper_name = "DBLP";
+    LfrOptions options;
+    options.n = full ? 30000 : 8000;
+    options.degree_exponent = 2.6;
+    options.min_degree = 3;
+    options.max_degree = 60;
+    options.mu = 0.15;
+    options.min_community = 20;
+    options.max_community = 400;
+    CommunityGraph cg = LfrLike(options, seed);
+    out.graph = std::move(cg.graph);
+    out.communities = std::move(cg.communities);
+  } else if (name == "youtube") {
+    // Power-law, low average degree, weak communities.
+    out.paper_name = "Youtube";
+    LfrOptions options;
+    options.n = full ? 40000 : 10000;
+    options.degree_exponent = 2.2;
+    options.min_degree = 2;
+    options.max_degree = 200;
+    options.mu = 0.45;
+    options.min_community = 30;
+    options.max_community = 800;
+    CommunityGraph cg = LfrLike(options, seed + 1);
+    out.graph = std::move(cg.graph);
+    out.communities = std::move(cg.communities);
+  } else if (name == "plc") {
+    // The paper's own synthetic: Holme-Kim powerlaw-cluster, avg degree ~10.
+    out.paper_name = "PLC";
+    out.graph = PowerlawCluster(full ? 50000 : 12000, 5, 0.3, seed + 2);
+  } else if (name == "orkut") {
+    // Very high average degree.
+    out.paper_name = "Orkut";
+    LfrOptions options;
+    options.n = full ? 16000 : 5000;
+    options.degree_exponent = 2.3;
+    options.min_degree = 24;
+    options.max_degree = 400;
+    options.mu = 0.35;
+    options.min_community = 50;
+    options.max_community = 1200;
+    CommunityGraph cg = LfrLike(options, seed + 3);
+    out.graph = std::move(cg.graph);
+    out.communities = std::move(cg.communities);
+  } else if (name == "livejournal") {
+    // Medium degree, strong communities.
+    out.paper_name = "LiveJournal";
+    LfrOptions options;
+    options.n = full ? 30000 : 9000;
+    options.degree_exponent = 2.4;
+    options.min_degree = 8;
+    options.max_degree = 200;
+    options.mu = 0.2;
+    options.min_community = 30;
+    options.max_community = 600;
+    CommunityGraph cg = LfrLike(options, seed + 4);
+    out.graph = std::move(cg.graph);
+    out.communities = std::move(cg.communities);
+  } else if (name == "grid3d") {
+    // The paper's own synthetic: 3D torus, every node has degree 6.
+    out.paper_name = "3D-grid";
+    const uint32_t side = full ? 32 : 20;
+    out.graph = Grid3D(side, side, side, /*torus=*/true);
+  } else if (name == "twitter") {
+    // Heavy-tailed, dense. R-MAT leaves isolated ids behind; restrict to
+    // the giant component as SNAP preprocessing does.
+    out.paper_name = "Twitter";
+    out.graph = RestrictToLargestComponent(
+        Rmat(full ? 16 : 14, full ? 48.0 : 32.0, seed + 5));
+  } else if (name == "friendster") {
+    // Largest stand-in.
+    out.paper_name = "Friendster";
+    out.graph = RestrictToLargestComponent(
+        Rmat(full ? 17 : 15, full ? 40.0 : 24.0, seed + 6));
+  } else {
+    HKPR_CHECK(false) << "unknown dataset name: " << name;
+  }
+  return out;
+}
+
+std::vector<Dataset> MakeAllDatasets(DatasetScale scale, uint64_t seed) {
+  std::vector<Dataset> out;
+  out.reserve(DatasetNames().size());
+  for (const std::string& name : DatasetNames()) {
+    out.push_back(MakeDataset(name, scale, seed));
+  }
+  return out;
+}
+
+double DefaultDelta(const Graph& graph) {
+  return 1.0 / static_cast<double>(graph.NumNodes());
+}
+
+}  // namespace hkpr

@@ -1,0 +1,50 @@
+// Dataset registry: synthetic stand-ins for the paper's 8 benchmark graphs.
+//
+// See DESIGN.md Section 4 for the substitution rationale. Every dataset is a
+// deterministic function of (name, scale, seed); PLC and 3D-grid use the
+// same generators as the paper itself.
+
+#ifndef HKPR_BENCH_UTIL_DATASETS_H_
+#define HKPR_BENCH_UTIL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/community.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Benchmark sizes: kQuick keeps the full sweep suite to minutes; kFull
+/// matches DESIGN.md's ~30x-scaled-down targets.
+enum class DatasetScale { kQuick, kFull };
+
+/// A generated benchmark graph plus metadata.
+struct Dataset {
+  std::string name;        ///< registry key, e.g. "dblp"
+  std::string paper_name;  ///< dataset it stands in for, e.g. "DBLP"
+  Graph graph;
+  CommunitySet communities;  ///< planted ground truth; empty if none
+};
+
+/// Names of all eight datasets, in the paper's Table 7 order:
+/// dblp, youtube, plc, orkut, livejournal, grid3d, twitter, friendster.
+const std::vector<std::string>& DatasetNames();
+
+/// Datasets with planted ground-truth communities (Table 8's four).
+const std::vector<std::string>& CommunityDatasetNames();
+
+/// Builds one dataset by name. Aborts on unknown names (registry is fixed).
+Dataset MakeDataset(const std::string& name, DatasetScale scale,
+                    uint64_t seed = 42);
+
+/// Builds every dataset in registry order.
+std::vector<Dataset> MakeAllDatasets(DatasetScale scale, uint64_t seed = 42);
+
+/// The delta an experiment should use for a graph of this size when the
+/// paper used delta ~= 1/n on its (much larger) graphs.
+double DefaultDelta(const Graph& graph);
+
+}  // namespace hkpr
+
+#endif  // HKPR_BENCH_UTIL_DATASETS_H_

@@ -1,0 +1,75 @@
+#include "bench_util/table.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hkpr {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FmtF(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FmtSci(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1e", value);
+  return buf;
+}
+
+std::string FmtMs(double ms) {
+  char buf[64];
+  if (ms < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ms);
+  } else if (ms < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ms / 1000.0);
+  }
+  return buf;
+}
+
+std::string FmtCount(uint64_t value) {
+  char raw[32];
+  std::snprintf(raw, sizeof(raw), "%" PRIu64, value);
+  std::string digits(raw);
+  std::string out;
+  const size_t len = digits.size();
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(digits[i]);
+    const size_t remaining = len - i - 1;
+    if (remaining > 0 && remaining % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,41 @@
+// Aligned plain-text table output for benchmark reports.
+
+#ifndef HKPR_BENCH_UTIL_TABLE_H_
+#define HKPR_BENCH_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hkpr {
+
+/// Collects rows of string cells and prints them with aligned columns, in
+/// the style of the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders to stdout with a separator under the header.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("0.1234").
+std::string FmtF(double value, int precision = 4);
+
+/// Scientific notation ("1.0e-06").
+std::string FmtSci(double value);
+
+/// Milliseconds with adaptive precision ("12.3 ms", "1234 ms").
+std::string FmtMs(double ms);
+
+/// Thousands-grouped integer ("1,234,567").
+std::string FmtCount(uint64_t value);
+
+}  // namespace hkpr
+
+#endif  // HKPR_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,104 @@
+#include "bench_util/workload.h"
+
+#include <algorithm>
+
+#include "common/flat_map.h"
+#include "common/logging.h"
+#include "graph/subgraph.h"
+
+namespace hkpr {
+
+std::vector<NodeId> UniformSeeds(const Graph& graph, uint32_t count,
+                                 Rng& rng) {
+  std::vector<NodeId> seeds;
+  FlatSet chosen(count);
+  uint32_t attempts = 0;
+  const uint32_t n = graph.NumNodes();
+  HKPR_CHECK(n > 0);
+  while (seeds.size() < count && attempts < 100u * count + 1000u) {
+    ++attempts;
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (graph.Degree(v) == 0) continue;
+    if (chosen.Insert(v)) seeds.push_back(v);
+  }
+  return seeds;
+}
+
+std::vector<CommunitySeed> CommunitySeeds(const Graph& graph,
+                                          const CommunitySet& communities,
+                                          uint32_t count, size_t min_size,
+                                          Rng& rng) {
+  std::vector<CommunitySeed> out;
+  std::vector<size_t> eligible = communities.CommunitiesOfSizeAtLeast(min_size);
+  if (eligible.empty()) return out;
+  // Shuffle the eligible communities and take one seed from each, cycling if
+  // there are fewer communities than requested seeds.
+  for (size_t i = eligible.size(); i > 1; --i) {
+    std::swap(eligible[i - 1], eligible[rng.UniformInt(i)]);
+  }
+  size_t idx = 0;
+  uint32_t attempts = 0;
+  while (out.size() < count && attempts < 100u * count + 1000u) {
+    ++attempts;
+    const size_t c = eligible[idx % eligible.size()];
+    ++idx;
+    const auto& members = communities.Community(c);
+    const NodeId seed = members[rng.UniformInt(members.size())];
+    if (graph.Degree(seed) == 0) continue;
+    out.push_back({seed, c});
+  }
+  return out;
+}
+
+DensityStratifiedSeeds MakeDensityStratifiedSeeds(const Graph& graph,
+                                                  uint32_t num_subgraphs,
+                                                  uint32_t ball_size,
+                                                  uint32_t seeds_per_stratum,
+                                                  Rng& rng) {
+  struct ScoredBall {
+    double density;
+    std::vector<NodeId> nodes;
+  };
+  std::vector<ScoredBall> balls;
+  balls.reserve(num_subgraphs);
+  const uint32_t n = graph.NumNodes();
+  uint32_t attempts = 0;
+  while (balls.size() < num_subgraphs && attempts < 20u * num_subgraphs) {
+    ++attempts;
+    const NodeId start = static_cast<NodeId>(rng.UniformInt(n));
+    if (graph.Degree(start) == 0) continue;
+    std::vector<NodeId> ball = RandomBfsBall(graph, start, ball_size, rng);
+    if (ball.size() < 4) continue;
+    const double density = EdgeDensity(graph, ball);
+    balls.push_back({density, std::move(ball)});
+  }
+  std::sort(balls.begin(), balls.end(),
+            [](const ScoredBall& a, const ScoredBall& b) {
+              return a.density > b.density;
+            });
+
+  DensityStratifiedSeeds out;
+  const auto pick_from = [&](size_t begin, size_t end,
+                             std::vector<NodeId>& dst) {
+    if (begin >= balls.size()) return;
+    end = std::min(end, balls.size());
+    FlatSet chosen(seeds_per_stratum);
+    uint32_t tries = 0;
+    while (dst.size() < seeds_per_stratum &&
+           tries < 100u * seeds_per_stratum) {
+      ++tries;
+      const size_t b = begin + rng.UniformInt(end - begin);
+      const auto& nodes = balls[b].nodes;
+      const NodeId v = nodes[rng.UniformInt(nodes.size())];
+      if (graph.Degree(v) > 0 && chosen.Insert(v)) dst.push_back(v);
+    }
+  };
+  const size_t stratum = std::max<size_t>(1, balls.size() / 5);
+  pick_from(0, stratum, out.high);
+  pick_from(balls.size() / 2 - stratum / 2,
+            balls.size() / 2 - stratum / 2 + stratum, out.medium);
+  pick_from(balls.size() - stratum, balls.size(), out.low);
+  return out;
+}
+
+}  // namespace hkpr

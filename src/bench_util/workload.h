@@ -1,0 +1,48 @@
+// Query-set construction for the benchmark harness.
+
+#ifndef HKPR_BENCH_UTIL_WORKLOAD_H_
+#define HKPR_BENCH_UTIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/community.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// `count` distinct seed nodes drawn uniformly at random among nodes with
+/// positive degree (the paper's "50 seed nodes uniformly at random").
+std::vector<NodeId> UniformSeeds(const Graph& graph, uint32_t count, Rng& rng);
+
+/// A seed together with its ground-truth community (Table 8 protocol).
+struct CommunitySeed {
+  NodeId seed;
+  size_t community;
+};
+
+/// `count` seeds drawn from distinct communities of size >= `min_size`.
+std::vector<CommunitySeed> CommunitySeeds(const Graph& graph,
+                                          const CommunitySet& communities,
+                                          uint32_t count, size_t min_size,
+                                          Rng& rng);
+
+/// Density-stratified seeds (Figure 7 protocol): sample `num_subgraphs`
+/// random BFS balls, sort by edge density, and draw seeds from the top,
+/// middle and bottom `stratum_width` subgraphs.
+struct DensityStratifiedSeeds {
+  std::vector<NodeId> high;
+  std::vector<NodeId> medium;
+  std::vector<NodeId> low;
+};
+
+DensityStratifiedSeeds MakeDensityStratifiedSeeds(const Graph& graph,
+                                                  uint32_t num_subgraphs,
+                                                  uint32_t ball_size,
+                                                  uint32_t seeds_per_stratum,
+                                                  Rng& rng);
+
+}  // namespace hkpr
+
+#endif  // HKPR_BENCH_UTIL_WORKLOAD_H_

@@ -1,0 +1,33 @@
+#include "clustering/conductance.h"
+
+#include <algorithm>
+
+#include "common/flat_map.h"
+
+namespace hkpr {
+
+CutStats ComputeCutStats(const Graph& graph, std::span<const NodeId> nodes) {
+  CutStats out;
+  FlatSet in_set(nodes.size());
+  for (NodeId v : nodes) in_set.Insert(v);
+  uint64_t internal_arcs = 0;
+  in_set.ForEach([&](NodeId u) {
+    out.volume += graph.Degree(u);
+    for (NodeId v : graph.Neighbors(u)) {
+      if (in_set.Contains(v)) ++internal_arcs;
+    }
+  });
+  out.cut = out.volume - internal_arcs;  // internal arcs counted twice
+  const uint64_t total = graph.Volume();
+  const uint64_t denom = std::min(out.volume, total - out.volume);
+  out.conductance =
+      denom == 0 ? 1.0
+                 : static_cast<double>(out.cut) / static_cast<double>(denom);
+  return out;
+}
+
+double Conductance(const Graph& graph, std::span<const NodeId> nodes) {
+  return ComputeCutStats(graph, nodes).conductance;
+}
+
+}  // namespace hkpr

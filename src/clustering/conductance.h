@@ -1,0 +1,31 @@
+// Cut, volume and conductance of node sets.
+
+#ifndef HKPR_CLUSTERING_CONDUCTANCE_H_
+#define HKPR_CLUSTERING_CONDUCTANCE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Cut/volume/conductance of one node set.
+struct CutStats {
+  uint64_t cut = 0;         ///< edges with exactly one endpoint in the set
+  uint64_t volume = 0;      ///< sum of degrees inside the set
+  double conductance = 1.0; ///< cut / min(vol, 2m - vol); 1.0 if undefined
+};
+
+/// Computes cut, volume and conductance of `nodes` in O(vol(nodes)).
+/// Duplicate ids in `nodes` are ignored. The conductance of the empty set
+/// and of the full vertex set is defined as 1.0 (worst), matching the
+/// sweep's conventions.
+CutStats ComputeCutStats(const Graph& graph, std::span<const NodeId> nodes);
+
+/// Convenience: conductance only.
+double Conductance(const Graph& graph, std::span<const NodeId> nodes);
+
+}  // namespace hkpr
+
+#endif  // HKPR_CLUSTERING_CONDUCTANCE_H_

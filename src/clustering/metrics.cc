@@ -1,0 +1,102 @@
+#include "clustering/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/flat_map.h"
+#include "common/logging.h"
+
+namespace hkpr {
+
+F1Stats ComputeF1(std::span<const NodeId> predicted,
+                  std::span<const NodeId> ground_truth) {
+  F1Stats out;
+  FlatSet pred;
+  for (NodeId v : predicted) pred.Insert(v);
+  FlatSet truth;
+  for (NodeId v : ground_truth) truth.Insert(v);
+  if (pred.empty() || truth.empty()) return out;
+  size_t hits = 0;
+  pred.ForEach([&](NodeId v) {
+    if (truth.Contains(v)) ++hits;
+  });
+  out.precision = static_cast<double>(hits) / static_cast<double>(pred.size());
+  out.recall = static_cast<double>(hits) / static_cast<double>(truth.size());
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+double NdcgAtK(const Graph& graph, const SparseVector& estimate,
+               const std::vector<double>& exact_normalized, size_t depth) {
+  HKPR_CHECK(exact_normalized.size() == graph.NumNodes());
+  if (depth == 0) return 1.0;
+
+  // Predicted ranking: support sorted by normalized estimate.
+  struct Scored {
+    NodeId node;
+    double score;
+  };
+  std::vector<Scored> predicted;
+  predicted.reserve(estimate.nnz());
+  for (const auto& e : estimate.entries()) {
+    const uint32_t d = graph.Degree(e.key);
+    if (d == 0 || e.value <= 0.0) continue;
+    predicted.push_back({e.key, estimate.ValueWithOffset(e.key, d) / d});
+  }
+  auto by_score = [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  };
+  std::sort(predicted.begin(), predicted.end(), by_score);
+
+  // Ideal ranking over all nodes by exact normalized value.
+  std::vector<double> ideal(exact_normalized);
+  std::sort(ideal.begin(), ideal.end(), std::greater<double>());
+
+  const size_t k = std::min(depth, ideal.size());
+  double dcg = 0.0;
+  double idcg = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double discount = 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    if (i < predicted.size()) {
+      dcg += exact_normalized[predicted[i].node] * discount;
+    }
+    idcg += ideal[i] * discount;
+  }
+  return idcg > 0.0 ? dcg / idcg : 1.0;
+}
+
+double MaxNormalizedError(const Graph& graph, const SparseVector& estimate,
+                          const std::vector<double>& exact) {
+  HKPR_CHECK(exact.size() == graph.NumNodes());
+  double worst = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const uint32_t d = graph.Degree(v);
+    if (d == 0) continue;
+    const double err =
+        std::abs(estimate.ValueWithOffset(v, d) - exact[v]) / d;
+    if (err > worst) worst = err;
+  }
+  return worst;
+}
+
+size_t CountApproxViolations(const Graph& graph, const SparseVector& estimate,
+                             const std::vector<double>& exact, double eps_r,
+                             double delta, double slack) {
+  HKPR_CHECK(exact.size() == graph.NumNodes());
+  size_t violations = 0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const uint32_t d = graph.Degree(v);
+    if (d == 0) continue;
+    const double exact_norm = exact[v] / d;
+    const double est_norm = estimate.ValueWithOffset(v, d) / d;
+    const double err = std::abs(est_norm - exact_norm);
+    const double budget = exact_norm > delta ? eps_r * exact_norm : eps_r * delta;
+    if (err > budget * slack) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,52 @@
+// Clustering- and ranking-quality metrics (Sections 7.5, 7.6).
+
+#ifndef HKPR_CLUSTERING_METRICS_H_
+#define HKPR_CLUSTERING_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Precision / recall / F1 of a predicted node set against a ground truth
+/// set (used by the Table 8 experiment).
+struct F1Stats {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes set-overlap precision/recall/F1. Duplicates are ignored.
+F1Stats ComputeF1(std::span<const NodeId> predicted,
+                  std::span<const NodeId> ground_truth);
+
+/// Normalized Discounted Cumulative Gain of the normalized-HKPR ranking
+/// induced by `estimate` against the exact dense normalized values
+/// (Section 7.5). The predicted ranking orders the estimate's support by
+/// rho_hat[v]/d(v) descending (including any degree offset, which is
+/// rank-invariant); relevance of a node is its exact normalized HKPR. The
+/// ideal ranking orders all nodes by exact value. Gains are accumulated over
+/// the top `depth` positions.
+double NdcgAtK(const Graph& graph, const SparseVector& estimate,
+               const std::vector<double>& exact_normalized, size_t depth);
+
+/// Maximum degree-normalized absolute error of an estimate against the
+/// exact dense HKPR vector: max_v |rho_hat[v] - rho[v]| / d(v). Used by
+/// tests to validate HK-Relax's guarantee and Theorem 2.
+double MaxNormalizedError(const Graph& graph, const SparseVector& estimate,
+                          const std::vector<double>& exact);
+
+/// Checks Definition 1 against an exact vector: returns the number of nodes
+/// violating the (d, eps_r, delta)-approximation conditions (with a
+/// multiplicative slack factor for floating-point robustness in tests).
+size_t CountApproxViolations(const Graph& graph, const SparseVector& estimate,
+                             const std::vector<double>& exact, double eps_r,
+                             double delta, double slack = 1.0);
+
+}  // namespace hkpr
+
+#endif  // HKPR_CLUSTERING_METRICS_H_

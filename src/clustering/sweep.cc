@@ -1,0 +1,80 @@
+#include "clustering/sweep.h"
+
+#include <algorithm>
+
+#include "common/flat_map.h"
+
+namespace hkpr {
+
+SweepResult SweepCut(const Graph& graph, const SparseVector& estimate,
+                     const SweepOptions& options) {
+  SweepResult out;
+
+  // Candidates: support of the estimate, excluding zero/negative entries and
+  // isolated nodes (whose normalized score is undefined).
+  struct Scored {
+    NodeId node;
+    double score;
+  };
+  std::vector<Scored> order;
+  order.reserve(estimate.nnz());
+  for (const auto& e : estimate.entries()) {
+    if (e.value <= 0.0) continue;
+    const uint32_t d = graph.Degree(e.key);
+    if (d == 0) continue;
+    order.push_back({e.key, e.value / d});
+  }
+  out.support_size = order.size();
+  if (order.empty()) return out;
+
+  std::sort(order.begin(), order.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;  // deterministic tie-break
+  });
+
+  const uint64_t total_volume = graph.Volume();
+  const size_t limit = options.max_prefix == 0
+                           ? order.size()
+                           : std::min(options.max_prefix, order.size());
+
+  FlatSet in_set(order.size());
+  uint64_t volume = 0;
+  uint64_t cut = 0;
+  double best = 2.0;  // above any real conductance
+  size_t best_prefix = 0;
+  if (options.keep_profile) out.profile.reserve(limit);
+
+  for (size_t i = 0; i < limit; ++i) {
+    const NodeId v = order[i].node;
+    const uint32_t d = graph.Degree(v);
+    if (options.max_volume > 0 && volume + d > options.max_volume && i > 0) {
+      break;  // volume cap reached; keep the best prefix found so far
+    }
+    uint64_t internal = 0;
+    for (NodeId u : graph.Neighbors(v)) {
+      if (in_set.Contains(u)) ++internal;
+    }
+    in_set.Insert(v);
+    volume += d;
+    // v contributes d new boundary arcs, minus 2 per edge into the set
+    // (that edge stops being boundary and does not become one).
+    cut += d - 2 * internal;
+
+    const uint64_t denom = std::min(volume, total_volume - volume);
+    const double phi =
+        denom == 0 ? 1.0 : static_cast<double>(cut) / static_cast<double>(denom);
+    if (options.keep_profile) out.profile.push_back(phi);
+    if (denom > 0 && phi < best) {
+      best = phi;
+      best_prefix = i + 1;
+    }
+  }
+
+  if (best_prefix == 0) return out;
+  out.cluster.reserve(best_prefix);
+  for (size_t i = 0; i < best_prefix; ++i) out.cluster.push_back(order[i].node);
+  out.conductance = best;
+  return out;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,53 @@
+#include "common/alias_sampler.h"
+
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+void AliasSampler::Build(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  HKPR_CHECK(n > 0) << "alias table needs at least one weight";
+
+  total_weight_ = 0.0;
+  for (double w : weights) {
+    HKPR_DCHECK(w >= 0.0);
+    total_weight_ += w;
+  }
+  HKPR_CHECK(total_weight_ > 0.0) << "alias table needs positive total weight";
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled weights; an entry is "small" if below 1 (its column can be topped
+  // up by a single alias) and "large" otherwise.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total_weight_;
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining columns are exactly 1 up to floating-point error.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+}  // namespace hkpr

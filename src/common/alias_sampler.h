@@ -1,0 +1,57 @@
+// Walker's alias method for O(1) sampling from a discrete distribution.
+//
+// TEA and TEA+ sample random-walk start entries (u, k) proportionally to the
+// residue r_k[u] (Algorithm 3, Line 10). The alias structure is built once in
+// O(n) over the non-zero residues and then answers each sample in O(1), as in
+// the paper's reference [40] (Walker, 1974).
+
+#ifndef HKPR_COMMON_ALIAS_SAMPLER_H_
+#define HKPR_COMMON_ALIAS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hkpr {
+
+/// O(1) sampler over indices {0, ..., n-1} with probabilities proportional to
+/// a non-negative weight vector.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the alias table from `weights`. Weights must be non-negative and
+  /// have a positive sum. O(n) time and space.
+  explicit AliasSampler(const std::vector<double>& weights) { Build(weights); }
+
+  /// (Re)builds the table; see constructor.
+  void Build(const std::vector<double>& weights);
+
+  /// Draws an index with probability weights[i] / sum(weights).
+  uint32_t Sample(Rng& rng) const {
+    const uint32_t column = static_cast<uint32_t>(rng.UniformInt(prob_.size()));
+    return rng.UniformDouble() < prob_[column] ? column : alias_[column];
+  }
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Total weight the table was built from.
+  double total_weight() const { return total_weight_; }
+
+  /// Approximate heap bytes held (for memory accounting).
+  size_t MemoryBytes() const {
+    return prob_.capacity() * sizeof(double) +
+           alias_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_COMMON_ALIAS_SAMPLER_H_

@@ -1,0 +1,59 @@
+// Minimal logging and assertion macros.
+//
+// HKPR_CHECK aborts on violated invariants in all build types; HKPR_DCHECK
+// only in debug builds. Both print the failing condition and location.
+
+#ifndef HKPR_COMMON_LOGGING_H_
+#define HKPR_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hkpr {
+namespace internal {
+
+/// Collects a streamed message and aborts the process on destruction.
+/// Used by the CHECK macros; not part of the public API.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hkpr
+
+#define HKPR_CHECK(cond)                                         \
+  if (cond) {                                                     \
+  } else /* NOLINT */                                             \
+    ::hkpr::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define HKPR_CHECK_OK(expr)                                       \
+  do {                                                            \
+    ::hkpr::Status _st = (expr);                                  \
+    HKPR_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define HKPR_DCHECK(cond) HKPR_CHECK(cond)
+#else
+#define HKPR_DCHECK(cond) \
+  if (true) {             \
+  } else /* NOLINT */     \
+    ::hkpr::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+#endif
+
+#endif  // HKPR_COMMON_LOGGING_H_

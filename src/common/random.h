@@ -1,0 +1,86 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomized algorithms in this library draw from `Rng`, a xoshiro256**
+// generator seeded through SplitMix64. A 64-bit seed fully determines every
+// random decision, which makes tests and benchmarks reproducible.
+
+#ifndef HKPR_COMMON_RANDOM_H_
+#define HKPR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, 2^256-1 period.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(uint64_t seed = 0x1234567890ABCDEFULL) { Reseed(seed); }
+
+  /// Re-initializes the state from `seed`.
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// multiply-shift method; the tiny bias (< 2^-64 * bound) is irrelevant
+  /// for the bounds used in this library.
+  uint64_t UniformInt(uint64_t bound) {
+    HKPR_DCHECK(bound > 0);
+    __extension__ using Uint128 = unsigned __int128;
+    const Uint128 product = static_cast<Uint128>(Next()) * bound;
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_COMMON_RANDOM_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing utilities used by benchmarks and work-counter reporting.
+
+#ifndef HKPR_COMMON_TIMER_H_
+#define HKPR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace hkpr {
+
+/// A simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_COMMON_TIMER_H_

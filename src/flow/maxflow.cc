@@ -1,0 +1,96 @@
+#include "flow/maxflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+FlowNetwork::FlowNetwork(uint32_t num_nodes)
+    : head_(num_nodes, -1), level_(num_nodes, -1), iter_(num_nodes, -1) {}
+
+void FlowNetwork::AddArc(uint32_t from, uint32_t to, int64_t capacity) {
+  HKPR_DCHECK(from < head_.size() && to < head_.size());
+  HKPR_DCHECK(capacity >= 0);
+  arcs_.push_back({to, head_[from], capacity});
+  head_[from] = static_cast<int32_t>(arcs_.size() - 1);
+  arcs_.push_back({from, head_[to], 0});
+  head_[to] = static_cast<int32_t>(arcs_.size() - 1);
+}
+
+void FlowNetwork::AddUndirectedEdge(uint32_t a, uint32_t b, int64_t capacity) {
+  HKPR_DCHECK(a < head_.size() && b < head_.size());
+  HKPR_DCHECK(capacity >= 0);
+  arcs_.push_back({b, head_[a], capacity});
+  head_[a] = static_cast<int32_t>(arcs_.size() - 1);
+  arcs_.push_back({a, head_[b], capacity});
+  head_[b] = static_cast<int32_t>(arcs_.size() - 1);
+}
+
+bool FlowNetwork::Bfs(uint32_t source, uint32_t sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::deque<uint32_t> queue;
+  level_[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const uint32_t v = queue.front();
+    queue.pop_front();
+    for (int32_t a = head_[v]; a != -1; a = arcs_[a].next) {
+      if (arcs_[a].capacity > 0 && level_[arcs_[a].to] < 0) {
+        level_[arcs_[a].to] = level_[v] + 1;
+        queue.push_back(arcs_[a].to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+int64_t FlowNetwork::Dfs(uint32_t v, uint32_t sink, int64_t limit) {
+  if (v == sink) return limit;
+  int64_t total = 0;
+  for (int32_t& a = iter_[v]; a != -1; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.capacity <= 0 || level_[arc.to] != level_[v] + 1) continue;
+    const int64_t pushed =
+        Dfs(arc.to, sink, std::min(limit - total, arc.capacity));
+    if (pushed <= 0) continue;
+    arc.capacity -= pushed;
+    arcs_[a ^ 1].capacity += pushed;
+    total += pushed;
+    if (total == limit) break;
+  }
+  if (total == 0) level_[v] = -1;  // dead end; prune
+  return total;
+}
+
+int64_t FlowNetwork::MaxFlow(uint32_t source, uint32_t sink) {
+  HKPR_CHECK(source != sink);
+  int64_t flow = 0;
+  while (Bfs(source, sink)) {
+    std::copy(head_.begin(), head_.end(), iter_.begin());
+    flow += Dfs(source, sink, std::numeric_limits<int64_t>::max());
+  }
+  return flow;
+}
+
+std::vector<bool> FlowNetwork::MinCutSourceSide(uint32_t source) const {
+  std::vector<bool> reachable(head_.size(), false);
+  std::deque<uint32_t> queue;
+  reachable[source] = true;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const uint32_t v = queue.front();
+    queue.pop_front();
+    for (int32_t a = head_[v]; a != -1; a = arcs_[a].next) {
+      if (arcs_[a].capacity > 0 && !reachable[arcs_[a].to]) {
+        reachable[arcs_[a].to] = true;
+        queue.push_back(arcs_[a].to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace hkpr

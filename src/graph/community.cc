@@ -1,0 +1,84 @@
+#include "graph/community.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace hkpr {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+std::vector<size_t> CommunitySet::CommunitiesOfSizeAtLeast(
+    size_t min_size) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < communities_.size(); ++i) {
+    if (communities_[i].size() >= min_size) out.push_back(i);
+  }
+  return out;
+}
+
+int64_t CommunitySet::CommunityOf(NodeId v, uint32_t num_nodes) const {
+  if (membership_.size() != num_nodes) {
+    membership_.assign(num_nodes, -1);
+    for (size_t c = 0; c < communities_.size(); ++c) {
+      for (NodeId u : communities_[c]) {
+        if (u < num_nodes && membership_[u] < 0) {
+          membership_[u] = static_cast<int64_t>(c);
+        }
+      }
+    }
+  }
+  return v < membership_.size() ? membership_[v] : -1;
+}
+
+Result<CommunitySet> CommunitySet::Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  CommunitySet out;
+  std::string line;
+  int ch;
+  std::vector<NodeId> current;
+  std::string token;
+  auto flush_token = [&]() {
+    if (!token.empty()) {
+      current.push_back(static_cast<NodeId>(std::strtoull(token.c_str(),
+                                                          nullptr, 10)));
+      token.clear();
+    }
+  };
+  while ((ch = std::fgetc(f.get())) != EOF) {
+    if (ch == '\n') {
+      flush_token();
+      if (!current.empty()) out.Add(std::move(current));
+      current = {};
+    } else if (ch == ' ' || ch == '\t' || ch == '\r') {
+      flush_token();
+    } else {
+      token.push_back(static_cast<char>(ch));
+    }
+  }
+  flush_token();
+  if (!current.empty()) out.Add(std::move(current));
+  return out;
+}
+
+Status CommunitySet::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& community : communities_) {
+    for (size_t i = 0; i < community.size(); ++i) {
+      std::fprintf(f.get(), i == 0 ? "%u" : " %u", community[i]);
+    }
+    std::fputc('\n', f.get());
+  }
+  return Status::OK();
+}
+
+}  // namespace hkpr

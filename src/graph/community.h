@@ -1,0 +1,65 @@
+// Ground-truth community sets for clustering-quality experiments (Table 8).
+
+#ifndef HKPR_GRAPH_COMMUNITY_H_
+#define HKPR_GRAPH_COMMUNITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// A collection of (possibly overlapping) node communities, matching the
+/// role of SNAP's top-5000 ground-truth community files in the paper's
+/// "Clusters Produced vs. Ground-truth" experiment.
+class CommunitySet {
+ public:
+  CommunitySet() = default;
+
+  /// Takes ownership of explicit community node lists.
+  explicit CommunitySet(std::vector<std::vector<NodeId>> communities)
+      : communities_(std::move(communities)) {}
+
+  /// Appends a community; returns its index.
+  size_t Add(std::vector<NodeId> members) {
+    communities_.push_back(std::move(members));
+    return communities_.size() - 1;
+  }
+
+  size_t NumCommunities() const { return communities_.size(); }
+  bool empty() const { return communities_.empty(); }
+
+  const std::vector<NodeId>& Community(size_t i) const {
+    return communities_[i];
+  }
+  const std::vector<std::vector<NodeId>>& communities() const {
+    return communities_;
+  }
+
+  /// Indices of communities with at least `min_size` members (the paper
+  /// selects seeds from communities of size >= 100).
+  std::vector<size_t> CommunitiesOfSizeAtLeast(size_t min_size) const;
+
+  /// Index of the first community containing `v`, or -1 if none.
+  /// O(total membership) on first call; cached afterwards (single-membership
+  /// lookup table).
+  int64_t CommunityOf(NodeId v, uint32_t num_nodes) const;
+
+  /// Loads "one community per line, whitespace-separated node ids" text
+  /// (SNAP's cmty format).
+  static Result<CommunitySet> Load(const std::string& path);
+
+  /// Writes the SNAP cmty text format.
+  Status Save(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<NodeId>> communities_;
+  mutable std::vector<int64_t> membership_;  // lazily built lookup
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_GRAPH_COMMUNITY_H_

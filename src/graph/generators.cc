@@ -1,0 +1,489 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace hkpr {
+
+namespace {
+
+/// Samples a discrete bounded power law: P(x) ~ x^(-exponent) on
+/// [min_value, max_value], via inverse transform of the continuous law.
+uint32_t SampleBoundedPowerLaw(double exponent, uint32_t min_value,
+                               uint32_t max_value, Rng& rng) {
+  HKPR_DCHECK(min_value >= 1 && min_value <= max_value);
+  if (min_value == max_value) return min_value;
+  const double u = rng.UniformDouble();
+  const double lo = static_cast<double>(min_value);
+  const double hi = static_cast<double>(max_value) + 1.0;
+  double x;
+  if (std::abs(exponent - 1.0) < 1e-12) {
+    x = lo * std::pow(hi / lo, u);
+  } else {
+    const double e = 1.0 - exponent;
+    x = std::pow(std::pow(lo, e) + u * (std::pow(hi, e) - std::pow(lo, e)),
+                 1.0 / e);
+  }
+  const uint32_t v = static_cast<uint32_t>(x);
+  return std::min(std::max(v, min_value), max_value);
+}
+
+/// Pairs up stubs (node ids, one entry per half-edge) uniformly at random and
+/// adds the resulting edges; self-pairs are dropped, duplicates removed later
+/// by GraphBuilder.
+void ConfigurationModelWire(std::vector<NodeId>& stubs, GraphBuilder& builder,
+                            Rng& rng) {
+  // Fisher-Yates shuffle, then pair consecutive entries.
+  for (size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.UniformInt(i)]);
+  }
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) builder.AddEdge(stubs[i], stubs[i + 1]);
+  }
+}
+
+}  // namespace
+
+Graph ErdosRenyiGnm(uint32_t n, uint64_t m, uint64_t seed) {
+  HKPR_CHECK(n >= 2);
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  HKPR_CHECK(m <= max_edges) << "requested more edges than pairs";
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.ReserveEdges(m);
+  // Rejection sampling over a 64-bit pair-key set; efficient for the sparse
+  // regime (m << n^2) this library uses.
+  std::vector<uint64_t> seen_keys;
+  seen_keys.reserve(m);
+  FlatMap<uint32_t> bucket_counts;  // coarse filter: 32-bit folded keys
+  uint64_t added = 0;
+  while (added < m) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    const uint32_t lo = std::min(u, v);
+    const uint32_t hi = std::max(u, v);
+    const uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+    const uint32_t folded = static_cast<uint32_t>(key ^ (key >> 32));
+    if (bucket_counts.GetOr(folded, 0) > 0) {
+      // Possible duplicate (or fold collision): confirm with an exact scan of
+      // the rare colliding bucket.
+      bool duplicate = false;
+      for (uint64_t k : seen_keys) {
+        if (k == key) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+    }
+    bucket_counts[folded] += 1;
+    seen_keys.push_back(key);
+    builder.AddEdge(u, v);
+    ++added;
+  }
+  return builder.Build();
+}
+
+Graph ErdosRenyiGnp(uint32_t n, double p, uint64_t seed) {
+  HKPR_CHECK(n >= 1);
+  HKPR_CHECK(p >= 0.0 && p < 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  if (p > 0.0) {
+    const double log1mp = std::log1p(-p);
+    // Iterate over the upper triangle with geometric jumps (Batagelj-Brandes).
+    uint64_t v = 1;
+    int64_t w = -1;
+    const uint64_t nn = n;
+    while (v < nn) {
+      const double r = 1.0 - rng.UniformDouble();  // (0, 1]
+      w += 1 + static_cast<int64_t>(std::floor(std::log(r) / log1mp));
+      while (w >= static_cast<int64_t>(v) && v < nn) {
+        w -= static_cast<int64_t>(v);
+        ++v;
+      }
+      if (v < nn) {
+        builder.AddEdge(static_cast<NodeId>(w), static_cast<NodeId>(v));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(uint32_t n, uint32_t edges_per_node, uint64_t seed) {
+  return PowerlawCluster(n, edges_per_node, /*triangle_prob=*/0.0, seed);
+}
+
+Graph PowerlawCluster(uint32_t n, uint32_t edges_per_node, double triangle_prob,
+                      uint64_t seed) {
+  HKPR_CHECK(edges_per_node >= 1);
+  HKPR_CHECK(n > edges_per_node);
+  HKPR_CHECK(triangle_prob >= 0.0 && triangle_prob <= 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.ReserveEdges(static_cast<size_t>(n) * edges_per_node);
+
+  // `repeated` holds one entry per edge endpoint: sampling uniformly from it
+  // is sampling proportionally to degree (preferential attachment). `adj`
+  // mirrors the growing graph so triad formation can pick real neighbors.
+  std::vector<NodeId> repeated;
+  repeated.reserve(2ull * n * edges_per_node);
+  std::vector<std::vector<NodeId>> adj(n);
+
+  const auto add_edge = [&](NodeId a, NodeId b) {
+    builder.AddEdge(a, b);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    repeated.push_back(a);
+    repeated.push_back(b);
+  };
+
+  // Seed core: a star over the first edges_per_node+1 nodes (keeps every
+  // seed node reachable, as in the reference Holme-Kim implementation).
+  const uint32_t core = edges_per_node + 1;
+  for (uint32_t v = 1; v < core; ++v) add_edge(0, v);
+
+  for (uint32_t v = core; v < n; ++v) {
+    NodeId last_target = 0;
+    for (uint32_t j = 0; j < edges_per_node; ++j) {
+      NodeId u;
+      if (j > 0 && rng.Bernoulli(triangle_prob) && !adj[last_target].empty()) {
+        // Triad formation: link to a random neighbor of the previous target,
+        // closing a triangle (this is what raises the clustering
+        // coefficient relative to plain Barabasi-Albert).
+        u = adj[last_target][rng.UniformInt(adj[last_target].size())];
+      } else {
+        // Preferential attachment.
+        u = repeated[rng.UniformInt(repeated.size())];
+      }
+      if (u == v) {
+        u = repeated[rng.UniformInt(repeated.size())];
+        if (u == v) continue;  // rare double collision: skip this link
+      }
+      add_edge(v, u);
+      last_target = u;
+    }
+  }
+  return builder.Build();
+}
+
+Graph Grid3D(uint32_t nx, uint32_t ny, uint32_t nz, bool torus) {
+  HKPR_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  if (torus) {
+    HKPR_CHECK(nx >= 3 && ny >= 3 && nz >= 3)
+        << "torus dimensions below 3 collapse +1/-1 neighbors";
+  }
+  const uint64_t n64 = static_cast<uint64_t>(nx) * ny * nz;
+  HKPR_CHECK(n64 <= 0xFFFFFFFFull);
+  const auto id = [&](uint32_t x, uint32_t y, uint32_t z) -> NodeId {
+    return static_cast<NodeId>((static_cast<uint64_t>(x) * ny + y) * nz + z);
+  };
+  GraphBuilder builder(static_cast<uint32_t>(n64));
+  builder.ReserveEdges(3 * n64);
+  for (uint32_t x = 0; x < nx; ++x) {
+    for (uint32_t y = 0; y < ny; ++y) {
+      for (uint32_t z = 0; z < nz; ++z) {
+        const NodeId v = id(x, y, z);
+        if (x + 1 < nx) {
+          builder.AddEdge(v, id(x + 1, y, z));
+        } else if (torus) {
+          builder.AddEdge(v, id(0, y, z));
+        }
+        if (y + 1 < ny) {
+          builder.AddEdge(v, id(x, y + 1, z));
+        } else if (torus) {
+          builder.AddEdge(v, id(x, 0, z));
+        }
+        if (z + 1 < nz) {
+          builder.AddEdge(v, id(x, y, z + 1));
+        } else if (torus) {
+          builder.AddEdge(v, id(x, y, 0));
+        }
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph Rmat(uint32_t scale, double avg_degree, uint64_t seed,
+           const RmatOptions& options) {
+  HKPR_CHECK(scale >= 1 && scale <= 31);
+  HKPR_CHECK(avg_degree > 0);
+  const double d = 1.0 - options.a - options.b - options.c;
+  HKPR_CHECK(d >= 0.0) << "RMAT quadrant probabilities exceed 1";
+  const uint32_t n = 1u << scale;
+  const uint64_t num_edges =
+      static_cast<uint64_t>(avg_degree * static_cast<double>(n) / 2.0);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.ReserveEdges(num_edges);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.UniformDouble();
+      // Quadrant choice; noise on the probabilities (±10%) avoids the
+      // characteristic RMAT staircase artifacts.
+      const double jitter = 0.9 + 0.2 * rng.UniformDouble();
+      const double pa = options.a * jitter;
+      const double pb = options.b * jitter;
+      const double pc = options.c * jitter;
+      const double total = pa + pb + pc + (1.0 - options.a - options.b -
+                                           options.c) * jitter;
+      const double x = r * total;
+      u <<= 1;
+      v <<= 1;
+      if (x < pa) {
+        // top-left
+      } else if (x < pa + pb) {
+        v |= 1;
+      } else if (x < pa + pb + pc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.AddEdge(u, v);
+  }
+  if (options.scramble_ids) {
+    // Permute ids so low ids are not systematically high degree.
+    std::vector<NodeId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.UniformInt(i)]);
+    }
+    Graph raw = builder.Build();
+    GraphBuilder scrambled(n);
+    scrambled.ReserveEdges(raw.NumEdges());
+    for (NodeId u = 0; u < raw.NumNodes(); ++u) {
+      for (NodeId v : raw.Neighbors(u)) {
+        if (u < v) scrambled.AddEdge(perm[u], perm[v]);
+      }
+    }
+    return scrambled.Build();
+  }
+  return builder.Build();
+}
+
+CommunityGraph PlantedPartition(uint32_t num_communities,
+                                uint32_t community_size, double p_in,
+                                double p_out, uint64_t seed) {
+  HKPR_CHECK(num_communities >= 1 && community_size >= 2);
+  HKPR_CHECK(p_in > p_out) << "planted partition needs assortative blocks";
+  const uint64_t n64 =
+      static_cast<uint64_t>(num_communities) * community_size;
+  HKPR_CHECK(n64 <= 0xFFFFFFFFull);
+  const uint32_t n = static_cast<uint32_t>(n64);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+
+  // Intra-community edges: dense G(size, p_in) per block via geometric skips.
+  auto sample_pairs = [&](double p, uint64_t num_pairs, auto&& emit) {
+    if (p <= 0.0 || num_pairs == 0) return;
+    const double log1mp = std::log1p(-p);
+    uint64_t idx = 0;
+    while (true) {
+      const double r = 1.0 - rng.UniformDouble();
+      idx += 1 + static_cast<uint64_t>(std::floor(std::log(r) / log1mp));
+      if (idx > num_pairs) break;
+      emit(idx - 1);
+    }
+  };
+
+  CommunitySet communities;
+  for (uint32_t c = 0; c < num_communities; ++c) {
+    const NodeId base = c * community_size;
+    std::vector<NodeId> members(community_size);
+    std::iota(members.begin(), members.end(), base);
+    communities.Add(std::move(members));
+    const uint64_t pairs =
+        static_cast<uint64_t>(community_size) * (community_size - 1) / 2;
+    sample_pairs(p_in, pairs, [&](uint64_t k) {
+      // Unrank pair index k within the block's upper triangle.
+      const uint64_t i =
+          static_cast<uint64_t>((1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(k))) / 2.0);
+      uint64_t row = i;
+      while (row * (row - 1) / 2 > k) --row;
+      while ((row + 1) * row / 2 <= k) ++row;
+      const uint64_t col = k - row * (row - 1) / 2;
+      builder.AddEdge(base + static_cast<NodeId>(row),
+                      base + static_cast<NodeId>(col));
+    });
+  }
+
+  // Inter-community edges: sample from all cross pairs via expected count.
+  if (p_out > 0.0 && num_communities > 1) {
+    const uint64_t cross_pairs =
+        (n64 * (n64 - 1) / 2) -
+        static_cast<uint64_t>(num_communities) * community_size *
+            (community_size - 1) / 2;
+    const uint64_t target =
+        static_cast<uint64_t>(p_out * static_cast<double>(cross_pairs));
+    uint64_t added = 0;
+    while (added < target) {
+      const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+      const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+      if (u == v || u / community_size == v / community_size) continue;
+      builder.AddEdge(u, v);
+      ++added;
+    }
+  }
+  return CommunityGraph{builder.Build(), std::move(communities)};
+}
+
+Graph WattsStrogatz(uint32_t n, uint32_t neighbors_per_side,
+                    double rewire_prob, uint64_t seed) {
+  HKPR_CHECK(n >= 4);
+  HKPR_CHECK(neighbors_per_side >= 1 && 2 * neighbors_per_side < n);
+  HKPR_CHECK(rewire_prob >= 0.0 && rewire_prob <= 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.ReserveEdges(static_cast<size_t>(n) * neighbors_per_side);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t j = 1; j <= neighbors_per_side; ++j) {
+      NodeId target = static_cast<NodeId>((v + j) % n);
+      if (rng.Bernoulli(rewire_prob)) {
+        // Rewire to a uniform non-self endpoint; duplicates are removed by
+        // the builder (slightly lowering degree, as in the standard model).
+        NodeId random_target = static_cast<NodeId>(rng.UniformInt(n));
+        if (random_target != v) target = random_target;
+      }
+      builder.AddEdge(v, target);
+    }
+  }
+  return builder.Build();
+}
+
+CommunityGraph LfrLike(const LfrOptions& options, uint64_t seed) {
+  HKPR_CHECK(options.n >= 10);
+  HKPR_CHECK(options.min_degree >= 1 &&
+             options.min_degree <= options.max_degree);
+  HKPR_CHECK(options.min_community >= 2 &&
+             options.min_community <= options.max_community);
+  HKPR_CHECK(options.mu >= 0.0 && options.mu <= 1.0);
+  Rng rng(seed);
+  const uint32_t n = options.n;
+
+  // 1. Power-law degree sequence.
+  std::vector<uint32_t> degree(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    degree[v] = SampleBoundedPowerLaw(options.degree_exponent,
+                                      options.min_degree, options.max_degree,
+                                      rng);
+  }
+
+  // 2. Power-law community sizes covering all nodes.
+  std::vector<uint32_t> community_size;
+  uint64_t covered = 0;
+  while (covered < n) {
+    uint32_t s = SampleBoundedPowerLaw(options.community_exponent,
+                                       options.min_community,
+                                       options.max_community, rng);
+    if (covered + s > n) s = static_cast<uint32_t>(n - covered);
+    if (s >= 2) {
+      community_size.push_back(s);
+      covered += s;
+    } else {
+      // A trailing sliver of one node: merge it into the last community.
+      community_size.back() += static_cast<uint32_t>(n - covered);
+      covered = n;
+    }
+  }
+  const size_t num_communities = community_size.size();
+
+  // 3. Assign nodes to communities. A node with intra-degree k needs a
+  // community with at least k+1 members; scan from a random start for one
+  // with remaining capacity that is large enough.
+  std::vector<uint32_t> intra_degree(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    intra_degree[v] = static_cast<uint32_t>(
+        std::lround((1.0 - options.mu) * degree[v]));
+    intra_degree[v] = std::min(intra_degree[v], degree[v]);
+  }
+  std::vector<uint32_t> remaining = community_size;
+  std::vector<uint32_t> assignment(n, 0);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  // Assign high-degree nodes first so the big communities absorb them.
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return degree[a] > degree[b];
+  });
+  for (NodeId v : order) {
+    const size_t start = rng.UniformInt(num_communities);
+    bool placed = false;
+    for (size_t probe = 0; probe < num_communities; ++probe) {
+      const size_t c = (start + probe) % num_communities;
+      if (remaining[c] > 0 && community_size[c] > intra_degree[v]) {
+        assignment[v] = static_cast<uint32_t>(c);
+        --remaining[c];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // No community big enough: cap the intra-degree and take any slot.
+      for (size_t c = 0; c < num_communities; ++c) {
+        if (remaining[c] > 0) {
+          assignment[v] = static_cast<uint32_t>(c);
+          intra_degree[v] = std::min(intra_degree[v], community_size[c] - 1);
+          --remaining[c];
+          placed = true;
+          break;
+        }
+      }
+      HKPR_CHECK(placed) << "community capacity accounting is broken";
+    }
+  }
+
+  // 4. Wire intra-community edges with a per-community configuration model.
+  GraphBuilder builder(n);
+  std::vector<std::vector<NodeId>> members(num_communities);
+  for (uint32_t v = 0; v < n; ++v) members[assignment[v]].push_back(v);
+  std::vector<NodeId> stubs;
+  for (size_t c = 0; c < num_communities; ++c) {
+    stubs.clear();
+    for (NodeId v : members[c]) {
+      for (uint32_t i = 0; i < intra_degree[v]; ++i) stubs.push_back(v);
+    }
+    ConfigurationModelWire(stubs, builder, rng);
+  }
+
+  // 5. Wire inter-community stubs with a global configuration model,
+  // re-rolling same-community pairs a few times to keep mu honest.
+  stubs.clear();
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t i = intra_degree[v]; i < degree[v]; ++i) stubs.push_back(v);
+  }
+  for (size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.UniformInt(i)]);
+  }
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    NodeId a = stubs[i];
+    NodeId b = stubs[i + 1];
+    for (int retry = 0;
+         retry < 4 && (a == b || assignment[a] == assignment[b]); ++retry) {
+      const size_t j = rng.UniformInt(stubs.size());
+      std::swap(stubs[i + 1], stubs[j]);
+      b = stubs[i + 1];
+    }
+    if (a != b) builder.AddEdge(a, b);
+  }
+
+  CommunitySet communities;
+  for (auto& m : members) {
+    std::sort(m.begin(), m.end());
+    communities.Add(std::move(m));
+  }
+  return CommunityGraph{builder.Build(), std::move(communities)};
+}
+
+}  // namespace hkpr

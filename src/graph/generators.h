@@ -1,0 +1,101 @@
+// Synthetic graph generators.
+//
+// Two of these reproduce the paper's own synthetic datasets exactly
+// (PowerlawCluster == "PLC" via the Holme-Kim algorithm, Grid3D == "3D-grid");
+// the rest provide structurally-matched stand-ins for the SNAP datasets that
+// are not redistributable here (see DESIGN.md Section 4), plus planted
+// ground-truth communities for the Table 8 experiment.
+//
+// All generators are deterministic functions of their seed.
+
+#ifndef HKPR_GRAPH_GENERATORS_H_
+#define HKPR_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/community.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// G(n, m): n nodes, m uniformly random distinct undirected edges.
+Graph ErdosRenyiGnm(uint32_t n, uint64_t m, uint64_t seed);
+
+/// G(n, p) via geometric edge skipping; O(n + m) expected time.
+Graph ErdosRenyiGnp(uint32_t n, double p, uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new node attaches
+/// `edges_per_node` edges to existing nodes chosen proportionally to degree.
+Graph BarabasiAlbert(uint32_t n, uint32_t edges_per_node, uint64_t seed);
+
+/// Holme-Kim powerlaw-cluster model: preferential attachment where each
+/// subsequent link of a new node performs triad formation (connects to a
+/// random neighbor of the previously chosen target) with probability
+/// `triangle_prob`. This is the generator behind the paper's PLC dataset
+/// ("powerlaw degree distribution and approximate average clustering").
+Graph PowerlawCluster(uint32_t n, uint32_t edges_per_node, double triangle_prob,
+                      uint64_t seed);
+
+/// 3D grid where every node has six neighbors (two per dimension). With
+/// `torus` the grid wraps around (all degrees exactly 6, matching the paper's
+/// 3D-grid dataset); otherwise boundary nodes have fewer neighbors.
+/// Dimensions must be >= 3 when `torus` is set (otherwise +1/-1 collide).
+Graph Grid3D(uint32_t nx, uint32_t ny, uint32_t nz, bool torus);
+
+/// Parameters of the R-MAT recursive-matrix generator (Graph500 defaults).
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  /// Randomly permute node ids so degree is not correlated with id.
+  bool scramble_ids = true;
+};
+
+/// R-MAT graph with 2^scale nodes and ~`avg_degree * 2^scale / 2` undirected
+/// edges (before dedup). Produces the heavy-tailed degree distribution that
+/// stands in for Twitter/Friendster/Orkut-class social networks.
+Graph Rmat(uint32_t scale, double avg_degree, uint64_t seed,
+           const RmatOptions& options = RmatOptions());
+
+/// A graph plus its planted ground-truth communities.
+struct CommunityGraph {
+  Graph graph;
+  CommunitySet communities;
+};
+
+/// Planted-partition stochastic block model: `num_communities` blocks of
+/// `community_size` nodes; intra-block edge probability `p_in`, inter-block
+/// probability `p_out`. O(n + m) expected time via geometric skipping.
+CommunityGraph PlantedPartition(uint32_t num_communities,
+                                uint32_t community_size, double p_in,
+                                double p_out, uint64_t seed);
+
+/// Parameters of the LFR-style community benchmark generator.
+struct LfrOptions {
+  uint32_t n = 10000;          ///< number of nodes
+  double degree_exponent = 2.5;  ///< power-law exponent of the degree sequence
+  uint32_t min_degree = 3;
+  uint32_t max_degree = 50;
+  double community_exponent = 1.5;  ///< power-law exponent of community sizes
+  uint32_t min_community = 20;
+  uint32_t max_community = 500;
+  /// Mixing parameter: expected fraction of each node's edges that leave its
+  /// community. Small mu => strong communities.
+  double mu = 0.2;
+};
+
+/// LFR-style benchmark: power-law degrees, power-law community sizes, mixing
+/// parameter mu, wired with per-community and global configuration models.
+/// The planted communities serve as ground truth for F1 experiments.
+CommunityGraph LfrLike(const LfrOptions& options, uint64_t seed);
+
+/// Watts-Strogatz small world: a ring lattice where each node connects to
+/// `neighbors_per_side` nodes on each side, with every edge rewired to a
+/// random endpoint with probability `rewire_prob`. High clustering with
+/// short paths — a useful contrast workload for diffusion locality.
+Graph WattsStrogatz(uint32_t n, uint32_t neighbors_per_side,
+                    double rewire_prob, uint64_t seed);
+
+}  // namespace hkpr
+
+#endif  // HKPR_GRAPH_GENERATORS_H_

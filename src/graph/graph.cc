@@ -1,0 +1,43 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace hkpr {
+
+Graph Graph::FromCsr(std::vector<uint64_t> offsets,
+                     std::vector<NodeId> adjacency) {
+  HKPR_CHECK(!offsets.empty()) << "offsets must have at least one entry";
+  HKPR_CHECK(offsets.front() == 0);
+  HKPR_CHECK(offsets.back() == adjacency.size());
+#ifndef NDEBUG
+  const uint32_t n = static_cast<uint32_t>(offsets.size() - 1);
+  for (uint32_t v = 0; v < n; ++v) {
+    HKPR_DCHECK(offsets[v] <= offsets[v + 1]);
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      HKPR_DCHECK(adjacency[i] < n) << "neighbor id out of range";
+      HKPR_DCHECK(adjacency[i] != v) << "self-loop in CSR";
+      if (i > offsets[v]) {
+        HKPR_DCHECK(adjacency[i - 1] < adjacency[i])
+            << "adjacency row not strictly sorted";
+      }
+    }
+  }
+#endif
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t best = 0;
+  for (uint32_t v = 0; v < NumNodes(); ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace hkpr

@@ -1,0 +1,109 @@
+// Immutable undirected graph in compressed sparse row (CSR) form.
+//
+// This is the substrate every algorithm in the library runs on. Graphs are
+// simple (no self-loops, no parallel edges), unweighted and undirected; they
+// are constructed through GraphBuilder (src/graph/graph_builder.h), loaded
+// from disk (src/graph/graph_io.h) or produced by a synthetic generator
+// (src/graph/generators.h).
+
+#ifndef HKPR_GRAPH_GRAPH_H_
+#define HKPR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace hkpr {
+
+/// Node identifier. Graphs in this library are bounded by 2^32-1 nodes.
+using NodeId = uint32_t;
+
+/// An immutable simple undirected graph in CSR layout.
+///
+/// `offsets_` has NumNodes()+1 entries; the neighbors of node v occupy
+/// `adjacency_[offsets_[v] .. offsets_[v+1])`, sorted ascending. Every edge
+/// {u, v} appears twice (u in v's list and v in u's list).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Assembles a graph from raw CSR arrays. The arrays must describe a valid
+  /// symmetric simple graph: offsets non-decreasing with
+  /// `offsets.front() == 0`, `offsets.back() == adjacency.size()`, each
+  /// adjacency row sorted, free of duplicates and self-references, and every
+  /// arc paired with its reverse. Validated with CHECKs in debug builds.
+  static Graph FromCsr(std::vector<uint64_t> offsets,
+                       std::vector<NodeId> adjacency);
+
+  /// Number of nodes n (including isolated nodes).
+  uint32_t NumNodes() const {
+    return offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m.
+  uint64_t NumEdges() const { return adjacency_.size() / 2; }
+
+  /// Total volume of the graph: sum of all degrees = 2m.
+  uint64_t Volume() const { return adjacency_.size(); }
+
+  /// Average degree 2m/n (0 for the empty graph).
+  double AverageDegree() const {
+    return NumNodes() == 0
+               ? 0.0
+               : static_cast<double>(Volume()) / static_cast<double>(NumNodes());
+  }
+
+  /// Degree of node v.
+  uint32_t Degree(NodeId v) const {
+    HKPR_DCHECK(v < NumNodes());
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  uint32_t MaxDegree() const;
+
+  /// Neighbors of v, sorted ascending.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    HKPR_DCHECK(v < NumNodes());
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// True if the undirected edge {u, v} exists. O(log d(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// A uniformly random neighbor of v. v must have positive degree.
+  NodeId RandomNeighbor(NodeId v, Rng& rng) const {
+    const uint32_t d = Degree(v);
+    HKPR_DCHECK(d > 0);
+    return adjacency_[offsets_[v] + rng.UniformInt(d)];
+  }
+
+  /// Sum of degrees over a set of nodes.
+  template <typename Container>
+  uint64_t VolumeOf(const Container& nodes) const {
+    uint64_t vol = 0;
+    for (NodeId v : nodes) vol += Degree(v);
+    return vol;
+  }
+
+  /// Heap bytes held by the CSR arrays (for Figure 5 memory accounting).
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           adjacency_.capacity() * sizeof(NodeId);
+  }
+
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& adjacency() const { return adjacency_; }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_GRAPH_GRAPH_H_

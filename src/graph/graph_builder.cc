@@ -1,0 +1,52 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hkpr {
+
+Graph GraphBuilder::Build() {
+  const uint32_t n = num_nodes_;
+
+  // Count directed arc slots per node (both directions, self-loops skipped).
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (const RawEdge& e : edges_) {
+    if (e.u == e.v) continue;
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (uint32_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  // Scatter arcs.
+  std::vector<NodeId> adjacency(offsets.back());
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const RawEdge& e : edges_) {
+    if (e.u == e.v) continue;
+    adjacency[cursor[e.u]++] = e.v;
+    adjacency[cursor[e.v]++] = e.u;
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Sort each row and remove duplicate arcs, compacting in place.
+  uint64_t write = 0;
+  uint64_t row_start = 0;
+  std::vector<uint64_t> new_offsets(static_cast<size_t>(n) + 1, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint64_t row_end = offsets[v + 1];
+    std::sort(adjacency.begin() + row_start, adjacency.begin() + row_end);
+    for (uint64_t i = row_start; i < row_end; ++i) {
+      if (i > row_start && adjacency[i] == adjacency[i - 1]) continue;
+      adjacency[write++] = adjacency[i];
+    }
+    new_offsets[v + 1] = write;
+    row_start = row_end;
+  }
+  adjacency.resize(write);
+  adjacency.shrink_to_fit();
+
+  num_nodes_ = 0;
+  return Graph::FromCsr(std::move(new_offsets), std::move(adjacency));
+}
+
+}  // namespace hkpr

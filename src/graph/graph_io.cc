@@ -1,0 +1,115 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace hkpr {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'K', 'P', 'R', 'G', 'R', 'P', 'H'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+
+  GraphBuilder builder;
+  char line[256];
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(p, &end, 10);
+    if (end == p) {
+      return Status::IOError(path + ": malformed line " +
+                             std::to_string(line_no));
+    }
+    p = end;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) {
+      return Status::IOError(path + ": malformed line " +
+                             std::to_string(line_no));
+    }
+    if (u > 0xFFFFFFFFull || v > 0xFFFFFFFFull) {
+      return Status::OutOfRange(path + ": node id exceeds 32 bits at line " +
+                                std::to_string(line_no));
+    }
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  std::fprintf(f.get(), "# undirected graph: %u nodes, %llu edges\n",
+               graph.NumNodes(),
+               static_cast<unsigned long long>(graph.NumEdges()));
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (u < v) std::fprintf(f.get(), "%u %u\n", u, v);
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const uint64_t n = graph.NumNodes();
+  const uint64_t arcs = graph.adjacency().size();
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
+      std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fwrite(&arcs, sizeof(arcs), 1, f.get()) != 1 ||
+      std::fwrite(graph.offsets().data(), sizeof(uint64_t), n + 1, f.get()) !=
+          n + 1 ||
+      (arcs > 0 && std::fwrite(graph.adjacency().data(), sizeof(NodeId), arcs,
+                               f.get()) != arcs)) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  char magic[8];
+  uint64_t n = 0;
+  uint64_t arcs = 0;
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError(path + ": bad magic (not an hkpr binary graph)");
+  }
+  if (std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fread(&arcs, sizeof(arcs), 1, f.get()) != 1) {
+    return Status::IOError(path + ": truncated header");
+  }
+  std::vector<uint64_t> offsets(n + 1);
+  std::vector<NodeId> adjacency(arcs);
+  if (std::fread(offsets.data(), sizeof(uint64_t), n + 1, f.get()) != n + 1) {
+    return Status::IOError(path + ": truncated offsets");
+  }
+  if (arcs > 0 &&
+      std::fread(adjacency.data(), sizeof(NodeId), arcs, f.get()) != arcs) {
+    return Status::IOError(path + ": truncated adjacency");
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace hkpr

@@ -1,0 +1,32 @@
+// Graph serialization: SNAP-style edge-list text and a fast binary format.
+
+#ifndef HKPR_GRAPH_GRAPH_IO_H_
+#define HKPR_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Loads an undirected graph from a whitespace-separated edge-list text file
+/// (the SNAP distribution format). Lines starting with '#' or '%' are
+/// comments. Node ids must be non-negative integers; the graph is
+/// symmetrized, deduplicated and stripped of self-loops.
+Result<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes the graph as an edge-list text file with one "u v" line per
+/// undirected edge (u < v), preceded by a comment header.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Loads a graph from the binary CSR format written by SaveBinary.
+Result<Graph> LoadBinary(const std::string& path);
+
+/// Writes the CSR arrays in a little-endian binary format:
+///   magic "HKPRGRPH" | u64 n | u64 arcs | u64 offsets[n+1] | u32 adjacency[arcs]
+Status SaveBinary(const Graph& graph, const std::string& path);
+
+}  // namespace hkpr
+
+#endif  // HKPR_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,142 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const uint32_t n = graph.NumNodes();
+  if (n == 0) return stats;
+  std::vector<uint32_t> degrees(n);
+  uint64_t sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degrees[v] = graph.Degree(v);
+    sum += degrees[v];
+  }
+  std::sort(degrees.begin(), degrees.end());
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  stats.mean = static_cast<double>(sum) / n;
+  stats.median = n % 2 == 1 ? degrees[n / 2]
+                            : (degrees[n / 2 - 1] + degrees[n / 2]) / 2.0;
+  stats.p90 = degrees[std::min<size_t>(n - 1, (n * 9ull) / 10)];
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& graph) {
+  std::vector<uint64_t> histogram(graph.MaxDegree() + 1, 0);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    ++histogram[graph.Degree(v)];
+  }
+  return histogram;
+}
+
+double LocalClusteringCoefficient(const Graph& graph, NodeId v) {
+  const uint32_t d = graph.Degree(v);
+  if (d < 2) return 0.0;
+  auto nbrs = graph.Neighbors(v);
+  uint64_t closed = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
+    }
+  }
+  return 2.0 * static_cast<double>(closed) /
+         (static_cast<double>(d) * (d - 1));
+}
+
+double AverageClusteringCoefficient(const Graph& graph, uint32_t sample_size,
+                                    Rng& rng) {
+  const uint32_t n = graph.NumNodes();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  uint32_t counted = 0;
+  if (sample_size == 0 || sample_size >= n) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (graph.Degree(v) < 2) continue;
+      sum += LocalClusteringCoefficient(graph, v);
+      ++counted;
+    }
+  } else {
+    uint32_t attempts = 0;
+    while (counted < sample_size && attempts < 50u * sample_size) {
+      ++attempts;
+      const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+      if (graph.Degree(v) < 2) continue;
+      sum += LocalClusteringCoefficient(graph, v);
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+double AverageClusteringCoefficient(const Graph& graph) {
+  Rng rng(0);
+  return AverageClusteringCoefficient(graph, 0, rng);
+}
+
+uint64_t CountTriangles(const Graph& graph) {
+  // For every node, intersect pairs of higher-id neighbors; each triangle
+  // {a < b < c} is found exactly once at its smallest node.
+  uint64_t triangles = 0;
+  for (NodeId a = 0; a < graph.NumNodes(); ++a) {
+    auto nbrs = graph.Neighbors(a);
+    // Neighbors are sorted; restrict to > a.
+    const auto begin =
+        std::upper_bound(nbrs.begin(), nbrs.end(), a);
+    for (auto i = begin; i != nbrs.end(); ++i) {
+      for (auto j = i + 1; j != nbrs.end(); ++j) {
+        if (graph.HasEdge(*i, *j)) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  uint64_t wedges = 0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const uint64_t d = graph.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(graph)) /
+         static_cast<double>(wedges);
+}
+
+namespace {
+
+/// BFS returning the farthest node and its distance.
+std::pair<NodeId, uint32_t> BfsFarthest(const Graph& graph, NodeId start) {
+  std::vector<uint32_t> dist(graph.NumNodes(), 0xFFFFFFFFu);
+  std::deque<NodeId> queue;
+  dist[start] = 0;
+  queue.push_back(start);
+  NodeId farthest = start;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (dist[u] > dist[farthest]) farthest = u;
+    for (NodeId v : graph.Neighbors(u)) {
+      if (dist[v] == 0xFFFFFFFFu) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return {farthest, dist[farthest]};
+}
+
+}  // namespace
+
+uint32_t EstimateDiameter(const Graph& graph, NodeId start) {
+  HKPR_CHECK(start < graph.NumNodes());
+  const auto [far_node, _] = BfsFarthest(graph, start);
+  return BfsFarthest(graph, far_node).second;
+}
+
+}  // namespace hkpr

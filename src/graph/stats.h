@@ -1,0 +1,61 @@
+// Structural graph statistics: degree distribution, clustering
+// coefficients, triangle counts, diameter estimation.
+//
+// Used by the dataset registry to verify that the synthetic stand-ins match
+// their targets' structural signatures (DESIGN.md Section 4), by graph_tool,
+// and by tests.
+
+#ifndef HKPR_GRAPH_STATS_H_
+#define HKPR_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Summary of a graph's degree sequence.
+struct DegreeStats {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;  ///< 90th percentile
+};
+
+/// Computes degree summary statistics in O(n log n).
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+/// histogram[d] = number of nodes with degree d (size MaxDegree()+1).
+std::vector<uint64_t> DegreeHistogram(const Graph& graph);
+
+/// Local clustering coefficient of one node: closed wedges at v divided by
+/// d(v) choose 2. Zero for degree < 2. O(sum over neighbors of log d).
+double LocalClusteringCoefficient(const Graph& graph, NodeId v);
+
+/// Average local clustering coefficient over nodes of degree >= 2. With
+/// `sample_size > 0`, averages over a random node sample instead of all
+/// nodes (exact computation is O(sum d(v)^2), expensive on hub-heavy
+/// graphs).
+double AverageClusteringCoefficient(const Graph& graph, uint32_t sample_size,
+                                    Rng& rng);
+
+/// Exact variant over all nodes.
+double AverageClusteringCoefficient(const Graph& graph);
+
+/// Number of triangles in the graph (each counted once). Node-iterator
+/// algorithm over sorted adjacency lists, O(sum over edges of min-degree).
+uint64_t CountTriangles(const Graph& graph);
+
+/// Global clustering coefficient (transitivity): 3 * triangles / wedges.
+double GlobalClusteringCoefficient(const Graph& graph);
+
+/// Lower bound on the diameter of the component containing `start` via a
+/// double BFS sweep (exact on trees, a good estimate in practice).
+uint32_t EstimateDiameter(const Graph& graph, NodeId start);
+
+}  // namespace hkpr
+
+#endif  // HKPR_GRAPH_STATS_H_

@@ -1,0 +1,122 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/flat_map.h"
+#include "graph/graph_builder.h"
+
+namespace hkpr {
+
+InducedSubgraph Induce(const Graph& graph, std::span<const NodeId> nodes) {
+  InducedSubgraph out;
+  FlatMap<NodeId> to_local(nodes.size());
+  for (NodeId v : nodes) {
+    if (!to_local.Contains(v)) {
+      to_local[v] = static_cast<NodeId>(out.to_original.size());
+      out.to_original.push_back(v);
+    }
+  }
+  GraphBuilder builder(static_cast<uint32_t>(out.to_original.size()));
+  for (NodeId local_u = 0; local_u < out.to_original.size(); ++local_u) {
+    const NodeId u = out.to_original[local_u];
+    for (NodeId v : graph.Neighbors(u)) {
+      const NodeId* local_v = to_local.Find(v);
+      if (local_v != nullptr && u < v) builder.AddEdge(local_u, *local_v);
+    }
+  }
+  out.graph = builder.Build();
+  return out;
+}
+
+uint64_t InternalEdgeCount(const Graph& graph, std::span<const NodeId> nodes) {
+  FlatSet in_set(nodes.size());
+  for (NodeId v : nodes) in_set.Insert(v);
+  uint64_t internal_arcs = 0;
+  in_set.ForEach([&](NodeId u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (in_set.Contains(v)) ++internal_arcs;
+    }
+  });
+  return internal_arcs / 2;
+}
+
+double EdgeDensity(const Graph& graph, std::span<const NodeId> nodes) {
+  if (nodes.empty()) return 0.0;
+  FlatSet distinct(nodes.size());
+  for (NodeId v : nodes) distinct.Insert(v);
+  return static_cast<double>(InternalEdgeCount(graph, nodes)) /
+         static_cast<double>(distinct.size());
+}
+
+std::vector<NodeId> RandomBfsBall(const Graph& graph, NodeId start,
+                                  uint32_t target_size, Rng& rng) {
+  std::vector<NodeId> ball;
+  if (graph.NumNodes() == 0) return ball;
+  FlatSet visited(target_size * 2);
+  std::deque<NodeId> frontier;
+  frontier.push_back(start);
+  visited.Insert(start);
+  std::vector<NodeId> shuffled;
+  while (!frontier.empty() && ball.size() < target_size) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    ball.push_back(u);
+    auto nbrs = graph.Neighbors(u);
+    shuffled.assign(nbrs.begin(), nbrs.end());
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.UniformInt(i)]);
+    }
+    for (NodeId v : shuffled) {
+      if (visited.size() + frontier.size() >= 4ull * target_size) break;
+      if (visited.Insert(v)) frontier.push_back(v);
+    }
+  }
+  return ball;
+}
+
+ComponentLabels ConnectedComponents(const Graph& graph) {
+  ComponentLabels out;
+  const uint32_t n = graph.NumNodes();
+  out.label.assign(n, 0xFFFFFFFFu);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (out.label[root] != 0xFFFFFFFFu) continue;
+    const uint32_t c = out.num_components++;
+    out.label[root] = c;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : graph.Neighbors(u)) {
+        if (out.label[v] == 0xFFFFFFFFu) {
+          out.label[v] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Graph RestrictToLargestComponent(const Graph& graph) {
+  return Induce(graph, LargestComponent(graph)).graph;
+}
+
+std::vector<NodeId> LargestComponent(const Graph& graph) {
+  const ComponentLabels cc = ConnectedComponents(graph);
+  std::vector<uint64_t> size(cc.num_components, 0);
+  for (uint32_t v = 0; v < graph.NumNodes(); ++v) ++size[cc.label[v]];
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < cc.num_components; ++c) {
+    if (size[c] > size[best]) best = c;
+  }
+  std::vector<NodeId> nodes;
+  nodes.reserve(cc.num_components > 0 ? size[best] : 0);
+  for (uint32_t v = 0; v < graph.NumNodes(); ++v) {
+    if (cc.label[v] == best) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+}  // namespace hkpr

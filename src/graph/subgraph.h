@@ -1,0 +1,56 @@
+// Induced subgraphs and density utilities (Section 7.7 experiments).
+
+#ifndef HKPR_GRAPH_SUBGRAPH_H_
+#define HKPR_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// A subgraph induced by a node subset, with id mappings back to the parent.
+struct InducedSubgraph {
+  Graph graph;                       ///< re-labelled subgraph
+  std::vector<NodeId> to_original;   ///< local id -> parent id
+};
+
+/// Builds the subgraph induced by `nodes` (duplicates ignored). Local ids
+/// follow the order of first appearance in `nodes`.
+InducedSubgraph Induce(const Graph& graph, std::span<const NodeId> nodes);
+
+/// Number of edges of `graph` with both endpoints in `nodes`.
+uint64_t InternalEdgeCount(const Graph& graph, std::span<const NodeId> nodes);
+
+/// Edge density of a node set: internal edges divided by node count (the
+/// classical density of a subgraph, paper reference [33]). Higher is denser.
+double EdgeDensity(const Graph& graph, std::span<const NodeId> nodes);
+
+/// Grows a breadth-first ball from `start` until `target_size` nodes are
+/// collected (or the component is exhausted). Neighbors are visited in
+/// randomized order so repeated calls with different seeds sample different
+/// balls. Used to sample the "250 subgraphs" of the density-sensitivity
+/// experiment (Figure 7).
+std::vector<NodeId> RandomBfsBall(const Graph& graph, NodeId start,
+                                  uint32_t target_size, Rng& rng);
+
+/// Connected components; returns a label per node and the component count.
+struct ComponentLabels {
+  std::vector<uint32_t> label;
+  uint32_t num_components = 0;
+};
+ComponentLabels ConnectedComponents(const Graph& graph);
+
+/// Nodes of the largest connected component, sorted ascending.
+std::vector<NodeId> LargestComponent(const Graph& graph);
+
+/// The graph restricted (and relabelled) to its largest connected component
+/// — the standard preprocessing applied to the SNAP datasets the paper uses.
+Graph RestrictToLargestComponent(const Graph& graph);
+
+}  // namespace hkpr
+
+#endif  // HKPR_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,57 @@
+// Common interface for approximate HKPR estimators.
+
+#ifndef HKPR_HKPR_ESTIMATOR_H_
+#define HKPR_HKPR_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/sparse_vector.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Work counters reported by one Estimate() call. Benchmarks use these to
+/// reproduce the paper's cost analyses (push/walk balance, Figure 5 memory).
+struct EstimatorStats {
+  /// Push operations, counted as in the paper: one per neighbor update
+  /// (a (v,k) entry conversion costs d(v) push operations).
+  uint64_t push_operations = 0;
+  /// Number of (node, hop) residue entries converted.
+  uint64_t entries_processed = 0;
+  /// Random walks performed.
+  uint64_t num_walks = 0;
+  /// Total steps over all random walks.
+  uint64_t walk_steps = 0;
+  /// True when TEA+ returned the push result directly (Inequality 11 held).
+  bool early_exit = false;
+  /// Peak logical bytes of algorithm state (excludes the input graph).
+  size_t peak_bytes = 0;
+
+  void Reset() { *this = EstimatorStats{}; }
+};
+
+/// An algorithm that estimates the HKPR vector of a seed node.
+///
+/// Implementations are constructed with a graph reference (which must outlive
+/// the estimator) and their parameters; Estimate() may be called repeatedly
+/// with different seeds. Estimators are deterministic given their
+/// construction-time RNG seed and the sequence of calls.
+class HkprEstimator {
+ public:
+  virtual ~HkprEstimator() = default;
+
+  /// Computes an approximate HKPR vector for `seed`. When `stats` is
+  /// non-null it is reset and filled with this call's work counters.
+  virtual SparseVector Estimate(NodeId seed, EstimatorStats* stats) = 0;
+
+  /// Convenience overload without stats.
+  SparseVector Estimate(NodeId seed) { return Estimate(seed, nullptr); }
+
+  /// Short algorithm name for reports ("TEA+", "HK-Relax", ...).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_ESTIMATOR_H_

@@ -1,0 +1,49 @@
+#include "hkpr/heat_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+HeatKernel::HeatKernel(double t, double tail_tolerance) : t_(t) {
+  HKPR_CHECK(t > 0.0) << "heat constant must be positive";
+  HKPR_CHECK(tail_tolerance > 0.0 && tail_tolerance < 0.1);
+
+  // Forward recurrence eta(k) = eta(k-1) * t / k. For the t values used in
+  // practice (<= ~64) eta(0) = e^{-t} stays comfortably inside double range.
+  // Grow the table until the remaining tail mass 1 - cdf is below tolerance
+  // and we are past the Poisson mode (k > t), so the tail is decreasing.
+  double eta = std::exp(-t);
+  double cdf = eta;
+  eta_.push_back(eta);
+  cdf_.push_back(cdf);
+  uint32_t k = 0;
+  while (1.0 - cdf > tail_tolerance || static_cast<double>(k) <= t) {
+    ++k;
+    eta *= t / static_cast<double>(k);
+    cdf += eta;
+    eta_.push_back(eta);
+    cdf_.push_back(cdf);
+    HKPR_CHECK(k < 100000) << "heat kernel table failed to converge";
+  }
+
+  // Backward suffix sums for psi; the ignored analytic tail (< tolerance) is
+  // folded into the last entry so that psi(0) == 1 exactly.
+  psi_.assign(eta_.size(), 0.0);
+  double tail = std::max(0.0, 1.0 - cdf);
+  for (size_t i = eta_.size(); i-- > 0;) {
+    tail += eta_[i];
+    psi_[i] = tail;
+  }
+}
+
+uint32_t HeatKernel::SamplePoissonLength(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return MaxHop();
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace hkpr

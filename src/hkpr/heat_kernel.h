@@ -1,0 +1,67 @@
+// Numerically-stable heat-kernel (Poisson) weight tables.
+//
+// Every HKPR algorithm needs eta(k) = e^{-t} t^k / k! (Equation 1) and the
+// tail sums psi(k) = sum_{l >= k} eta(l) (Equation 3). This class
+// precomputes both up to an adaptive cutoff K_max where the Poisson tail
+// drops below a tolerance, and exposes the derived quantities used by push
+// operations (eta/psi conversion fractions) and random walks (per-step
+// termination probabilities, Poisson length sampling).
+
+#ifndef HKPR_HKPR_HEAT_KERNEL_H_
+#define HKPR_HKPR_HEAT_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hkpr {
+
+/// Precomputed eta/psi tables for a fixed heat constant t.
+class HeatKernel {
+ public:
+  /// Builds tables for heat constant `t > 0`. `tail_tolerance` bounds the
+  /// ignored Poisson tail mass: K_max is the smallest k with
+  /// psi(k+1) < tail_tolerance.
+  explicit HeatKernel(double t, double tail_tolerance = 1e-15);
+
+  double t() const { return t_; }
+
+  /// Largest hop index with non-negligible tail mass. Walks and pushes
+  /// terminate deterministically beyond this hop; the induced error is below
+  /// `tail_tolerance`, orders of magnitude under any eps_r*delta in use.
+  uint32_t MaxHop() const { return static_cast<uint32_t>(eta_.size() - 1); }
+
+  /// eta(k) = e^{-t} t^k / k!; zero beyond MaxHop().
+  double Eta(uint32_t k) const { return k < eta_.size() ? eta_[k] : 0.0; }
+
+  /// psi(k) = sum_{l >= k} eta(l); zero beyond MaxHop().
+  double Psi(uint32_t k) const { return k < psi_.size() ? psi_[k] : 0.0; }
+
+  /// Probability that a walk whose current hop index is k stops here:
+  /// eta(k)/psi(k). Returns 1 beyond MaxHop() (deterministic termination).
+  double TerminationProb(uint32_t k) const {
+    if (k >= eta_.size()) return 1.0;
+    return eta_[k] / psi_[k];
+  }
+
+  /// Fraction of a k-hop residue converted to reserve by a push operation.
+  double ReserveFraction(uint32_t k) const { return TerminationProb(k); }
+
+  /// Samples a Poisson(t)-distributed walk length via the precomputed CDF
+  /// (inverse-transform, O(log K_max)).
+  uint32_t SamplePoissonLength(Rng& rng) const;
+
+  /// Expected walk length E[k] = t (exposed for tests).
+  double ExpectedLength() const { return t_; }
+
+ private:
+  double t_;
+  std::vector<double> eta_;
+  std::vector<double> psi_;
+  std::vector<double> cdf_;  // cdf_[k] = sum_{l <= k} eta(l)
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_HEAT_KERNEL_H_

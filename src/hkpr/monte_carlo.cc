@@ -1,0 +1,37 @@
+#include "hkpr/monte_carlo.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "hkpr/random_walk.h"
+
+namespace hkpr {
+
+MonteCarloEstimator::MonteCarloEstimator(const Graph& graph,
+                                         const ApproxParams& params,
+                                         uint64_t seed)
+    : graph_(graph), params_(params), kernel_(params.t), rng_(seed) {
+  const double pf_prime = ComputePfPrime(graph, params.p_f);
+  num_walks_ = static_cast<uint64_t>(std::ceil(OmegaTea(params, pf_prime)));
+  HKPR_CHECK(num_walks_ > 0);
+}
+
+SparseVector MonteCarloEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
+  HKPR_CHECK(seed < graph_.NumNodes());
+  if (stats != nullptr) stats->Reset();
+  SparseVector rho;
+  const double weight = 1.0 / static_cast<double>(num_walks_);
+  uint64_t steps = 0;
+  for (uint64_t i = 0; i < num_walks_; ++i) {
+    const NodeId end = KRandomWalk(graph_, kernel_, seed, 0, rng_, &steps);
+    rho.Add(end, weight);
+  }
+  if (stats != nullptr) {
+    stats->num_walks = num_walks_;
+    stats->walk_steps = steps;
+    stats->peak_bytes = rho.MemoryBytes();
+  }
+  return rho;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,43 @@
+// Pure Monte-Carlo (d, eps_r, delta)-approximate HKPR (Section 3).
+
+#ifndef HKPR_HKPR_MONTE_CARLO_H_
+#define HKPR_HKPR_MONTE_CARLO_H_
+
+#include <string_view>
+
+#include "common/random.h"
+#include "hkpr/estimator.h"
+#include "hkpr/heat_kernel.h"
+#include "hkpr/params.h"
+
+namespace hkpr {
+
+/// Estimates rho_s by running omega = 2(1+eps_r/3) ln(1/p'_f) / (eps_r^2
+/// delta) heat-kernel walks from the seed and recording end-point
+/// frequencies. This is the baseline whose walk count TEA/TEA+ reduce.
+class MonteCarloEstimator : public HkprEstimator {
+ public:
+  /// `graph` must outlive the estimator. p'_f is precomputed here (the paper
+  /// notes it is computed at graph load time).
+  MonteCarloEstimator(const Graph& graph, const ApproxParams& params,
+                      uint64_t seed);
+
+  SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
+  using HkprEstimator::Estimate;
+
+  std::string_view name() const override { return "Monte-Carlo"; }
+
+  /// Number of walks one Estimate() call performs.
+  uint64_t NumWalks() const { return num_walks_; }
+
+ private:
+  const Graph& graph_;
+  ApproxParams params_;
+  HeatKernel kernel_;
+  uint64_t num_walks_;
+  Rng rng_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_MONTE_CARLO_H_

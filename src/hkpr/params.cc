@@ -1,0 +1,48 @@
+#include "hkpr/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+double ComputePfPrime(const Graph& graph, double p_f) {
+  HKPR_CHECK(p_f > 0.0 && p_f < 1.0);
+  const double log_pf = std::log(p_f);
+  long double sum = 0.0L;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const uint32_t d = graph.Degree(v);
+    if (d == 0) continue;  // isolated nodes cannot violate the guarantee
+    // p_f^(d-1); underflows to 0 for large degrees, which is exact enough.
+    sum += std::exp(static_cast<double>(d - 1) * log_pf);
+  }
+  if (sum <= 1.0L) return p_f;
+  return p_f / static_cast<double>(sum);
+}
+
+double OmegaTea(const ApproxParams& params, double pf_prime) {
+  HKPR_CHECK(params.eps_r > 0.0 && params.delta > 0.0);
+  HKPR_CHECK(pf_prime > 0.0 && pf_prime < 1.0);
+  return 2.0 * (1.0 + params.eps_r / 3.0) * std::log(1.0 / pf_prime) /
+         (params.eps_r * params.eps_r * params.delta);
+}
+
+double OmegaTeaPlus(const ApproxParams& params, double pf_prime) {
+  HKPR_CHECK(params.eps_r > 0.0 && params.delta > 0.0);
+  HKPR_CHECK(pf_prime > 0.0 && pf_prime < 1.0);
+  return 8.0 * (1.0 + params.eps_r / 6.0) * std::log(1.0 / pf_prime) /
+         (params.eps_r * params.eps_r * params.delta);
+}
+
+uint32_t ChooseHopCap(double c, const ApproxParams& params, double avg_degree,
+                      uint32_t max_hop) {
+  HKPR_CHECK(c > 0.0);
+  const double log_deg = std::log(std::max(avg_degree, std::exp(1.0)));
+  const double raw =
+      c * std::log(1.0 / (params.eps_r * params.delta)) / log_deg;
+  const uint32_t k = static_cast<uint32_t>(std::ceil(raw));
+  return std::clamp<uint32_t>(k, 1, max_hop);
+}
+
+}  // namespace hkpr

@@ -1,0 +1,49 @@
+// Parameters of (d, eps_r, delta)-approximate HKPR computation.
+
+#ifndef HKPR_HKPR_PARAMS_H_
+#define HKPR_HKPR_PARAMS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// User-facing accuracy parameters shared by Monte-Carlo, TEA and TEA+
+/// (Definition 1 and Table 1 of the paper).
+struct ApproxParams {
+  /// Heat constant t of the kernel (paper default 5).
+  double t = 5.0;
+  /// Relative error threshold eps_r (paper default 0.5).
+  double eps_r = 0.5;
+  /// Normalized-HKPR significance threshold delta; values of rho/d above
+  /// delta get the relative guarantee. Typical choice: O(1/n).
+  double delta = 1e-6;
+  /// Failure probability p_f (paper default 1e-6).
+  double p_f = 1e-6;
+};
+
+/// Computes p'_f per Equation (6):
+///   p'_f = p_f                                  if sum_v p_f^(d(v)-1) <= 1
+///   p'_f = p_f / sum_v p_f^(d(v)-1)             otherwise.
+/// The paper notes this is precomputed once when the graph is loaded.
+/// Degree-0 nodes contribute p_f^{-1}; they can never violate the guarantee
+/// (their HKPR is exactly estimated as 0), so they are excluded from the sum.
+double ComputePfPrime(const Graph& graph, double p_f);
+
+/// omega for TEA (Algorithm 3, Line 5): 2(1+eps_r/3) ln(1/p'_f) / (eps_r^2 delta).
+double OmegaTea(const ApproxParams& params, double pf_prime);
+
+/// omega for TEA+ (Algorithm 5, Line 5): 8(1+eps_r/6) ln(1/p'_f) / (eps_r^2 delta).
+double OmegaTeaPlus(const ApproxParams& params, double pf_prime);
+
+/// Hop cap for HK-Push+ (Section 5.1 / Appendix A):
+///   K = c * log(1/(eps_r*delta)) / log(avg_degree),
+/// clamped to [1, max_hop]. `avg_degree` below e is clamped to e so the
+/// logarithm stays positive and K stays finite on near-tree graphs.
+uint32_t ChooseHopCap(double c, const ApproxParams& params, double avg_degree,
+                      uint32_t max_hop);
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_PARAMS_H_

@@ -1,0 +1,50 @@
+#include "hkpr/power_method.h"
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+std::vector<double> ExactHkpr(const Graph& graph, const HeatKernel& kernel,
+                              NodeId seed) {
+  HKPR_CHECK(seed < graph.NumNodes());
+  const uint32_t n = graph.NumNodes();
+  std::vector<double> x(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> acc(n, 0.0);
+  x[seed] = 1.0;
+  acc[seed] = kernel.Eta(0);
+  for (uint32_t k = 1; k <= kernel.MaxHop(); ++k) {
+    // x <- x P (row-vector update): next[v] = sum_{u in N(v)} x[u] / d(u).
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      if (x[u] == 0.0) continue;
+      const uint32_t d = graph.Degree(u);
+      if (d == 0) {
+        // Walk mass stranded at an isolated node stays there.
+        next[u] += x[u];
+        continue;
+      }
+      const double share = x[u] / d;
+      for (NodeId v : graph.Neighbors(u)) next[v] += share;
+    }
+    x.swap(next);
+    const double eta = kernel.Eta(k);
+    for (NodeId v = 0; v < n; ++v) acc[v] += eta * x[v];
+  }
+  return acc;
+}
+
+std::vector<double> ExactHkpr(const Graph& graph, double t, NodeId seed) {
+  const HeatKernel kernel(t);
+  return ExactHkpr(graph, kernel, seed);
+}
+
+void NormalizeByDegree(const Graph& graph, std::vector<double>& rho) {
+  HKPR_CHECK(rho.size() == graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const uint32_t d = graph.Degree(v);
+    rho[v] = d > 0 ? rho[v] / d : 0.0;
+  }
+}
+
+}  // namespace hkpr

@@ -1,0 +1,34 @@
+// Exact (to machine precision) HKPR via dense power iteration.
+//
+// Used as ground truth for accuracy experiments (Figure 6) and tests, as in
+// the paper's Section 7.5 ("apply the power method with 40 iterations to
+// compute the ground-truth normalized HKPR values").
+
+#ifndef HKPR_HKPR_POWER_METHOD_H_
+#define HKPR_HKPR_POWER_METHOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hkpr/heat_kernel.h"
+
+namespace hkpr {
+
+/// Computes the dense HKPR vector rho_s = sum_k eta(k) * P^k[s, .] by
+/// iterating x <- x P and accumulating. Runs kernel.MaxHop() iterations,
+/// i.e. until the ignored Poisson tail is below the kernel's tolerance.
+/// O(MaxHop * m) time, O(n) space.
+std::vector<double> ExactHkpr(const Graph& graph, const HeatKernel& kernel,
+                              NodeId seed);
+
+/// Convenience overload constructing the kernel from `t`.
+std::vector<double> ExactHkpr(const Graph& graph, double t, NodeId seed);
+
+/// Degree-normalizes a dense HKPR vector in place: rho[v] /= d(v)
+/// (isolated nodes keep value 0).
+void NormalizeByDegree(const Graph& graph, std::vector<double>& rho);
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_POWER_METHOD_H_

@@ -1,0 +1,112 @@
+#include "hkpr/push.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+PushResult HkPush(const Graph& graph, const HeatKernel& kernel, NodeId seed,
+                  double r_max) {
+  HKPR_CHECK(seed < graph.NumNodes());
+  HKPR_CHECK(r_max > 0.0);
+  const uint32_t max_hop = kernel.MaxHop();
+  PushResult out{SparseVector(), ResidueTable(max_hop)};
+  out.residues.Add(0, seed, 1.0);
+
+  // Hop-ordered drain: residues only flow k -> k+1, so after hop k is
+  // processed nothing ever re-enters it.
+  for (uint32_t k = 0; k < max_hop; ++k) {
+    auto& hop = out.residues.MutableHop(k);
+    // Entries appended during this hop's processing belong to hop k+1, so
+    // iterating by index over the growing entry array is safe; hop k's entry
+    // array itself does not grow while we process it.
+    const auto& entries = hop.entries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const NodeId v = entries[i].key;
+      const double r = entries[i].value;
+      const uint32_t d = graph.Degree(v);
+      if (d == 0 || r <= r_max * d) continue;
+      const double reserve_frac = kernel.ReserveFraction(k);
+      out.reserve.Add(v, reserve_frac * r);
+      const double share = (1.0 - reserve_frac) * r / d;
+      for (NodeId u : graph.Neighbors(v)) {
+        out.residues.Add(k + 1, u, share);
+      }
+      out.residues.Zero(k, v);
+      out.push_operations += d;
+      ++out.entries_processed;
+    }
+  }
+  return out;
+}
+
+PushResult HkPushPlus(const Graph& graph, const HeatKernel& kernel,
+                      NodeId seed, const HkPushPlusOptions& options) {
+  HKPR_CHECK(seed < graph.NumNodes());
+  HKPR_CHECK(options.eps_r > 0.0 && options.delta > 0.0);
+  HKPR_CHECK(options.hop_cap >= 1);
+  const uint32_t cap = std::min(options.hop_cap, kernel.MaxHop());
+  PushResult out{SparseVector(), ResidueTable(cap)};
+  out.residues.Add(0, seed, 1.0);
+
+  const double eps_a = options.eps_r * options.delta;
+  const double threshold = eps_a / static_cast<double>(cap);
+
+  // Increase-only upper bounds on max_v r_k[v]/d(v) per hop. Adding residue
+  // raises the bound exactly; zeroing an entry leaves it stale but still an
+  // upper bound, and once hop k is fully drained every surviving entry is
+  // below `threshold`, so the bound is then clamped to it. The loop may
+  // terminate as soon as the bound sum certifies Inequality (11).
+  std::vector<double> norm_bound(static_cast<size_t>(cap) + 1, 0.0);
+  const uint32_t seed_degree = graph.Degree(seed);
+  norm_bound[0] = seed_degree > 0 ? 1.0 / seed_degree : 0.0;
+  double bound_total = norm_bound[0];
+
+  for (uint32_t k = 0; k < cap; ++k) {
+    auto& hop = out.residues.MutableHop(k);
+    const auto& entries = hop.entries();
+    const double reserve_frac = kernel.ReserveFraction(k);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const NodeId v = entries[i].key;
+      const double r = entries[i].value;
+      const uint32_t d = graph.Degree(v);
+      if (d == 0 || r <= threshold * d) continue;
+      if (out.push_operations >= options.push_budget) {
+        out.hit_budget = true;
+        return out;
+      }
+      out.reserve.Add(v, reserve_frac * r);
+      const double share = (1.0 - reserve_frac) * r / d;
+      for (NodeId u : graph.Neighbors(v)) {
+        const double new_r = out.residues.Add(k + 1, u, share);
+        const double norm = new_r / graph.Degree(u);
+        if (norm > norm_bound[k + 1]) {
+          bound_total += norm - norm_bound[k + 1];
+          norm_bound[k + 1] = norm;
+        }
+      }
+      out.residues.Zero(k, v);
+      out.push_operations += d;
+      ++out.entries_processed;
+
+      if (options.enable_early_exit && bound_total <= eps_a) {
+        out.hit_absolute_target = true;
+        return out;
+      }
+    }
+    // Hop k drained: all remaining residues here are below threshold*d(v).
+    if (norm_bound[k] > threshold) {
+      bound_total -= norm_bound[k] - threshold;
+      norm_bound[k] = threshold;
+    }
+    if (options.enable_early_exit && bound_total <= eps_a) {
+      out.hit_absolute_target = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,70 @@
+// Deterministic graph-traversal phase: HK-Push (Algorithm 1) and
+// HK-Push+ (Algorithm 4).
+//
+// Both algorithms start from r_0[s] = 1 and repeatedly convert a (node, hop)
+// residue entry: an eta(k)/psi(k) fraction becomes reserve at the node, the
+// remainder is split evenly over the node's neighbors at hop k+1. Residue
+// mass only moves forward in hop index, so draining hops in ascending order
+// processes each entry at most once — this is how the "while exists (v,k)
+// above threshold" loops are realized.
+
+#ifndef HKPR_HKPR_PUSH_H_
+#define HKPR_HKPR_PUSH_H_
+
+#include <cstdint>
+
+#include "common/sparse_vector.h"
+#include "graph/graph.h"
+#include "hkpr/heat_kernel.h"
+#include "hkpr/residue.h"
+
+namespace hkpr {
+
+/// Output of a push phase: the reserve vector q_s (a lower bound on rho_s,
+/// Lemma 1) plus the residue table the random-walk phase consumes.
+struct PushResult {
+  SparseVector reserve;
+  ResidueTable residues;
+  /// Push operations, one per neighbor update (paper's accounting).
+  uint64_t push_operations = 0;
+  /// (node, hop) entries converted.
+  uint64_t entries_processed = 0;
+  /// HK-Push+ only: true when the early-exit test (Inequality 11 with
+  /// eps_a = eps_r * delta) triggered inside the loop.
+  bool hit_absolute_target = false;
+  /// HK-Push+ only: true when the push budget n_p was exhausted.
+  bool hit_budget = false;
+};
+
+/// Algorithm 1: pushes every (v, k) entry whose residue exceeds
+/// r_max * d(v), for hops 0..kernel.MaxHop()-1. Residue parked at the final
+/// hop is left for the walk phase (walks there terminate immediately).
+PushResult HkPush(const Graph& graph, const HeatKernel& kernel, NodeId seed,
+                  double r_max);
+
+/// Options of HK-Push+ (Algorithm 4).
+struct HkPushPlusOptions {
+  /// Relative error threshold eps_r.
+  double eps_r = 0.5;
+  /// Significance threshold delta.
+  double delta = 1e-6;
+  /// Hop cap K; pushes occur only at hops k < K (see ChooseHopCap).
+  uint32_t hop_cap = 10;
+  /// Push-operation budget n_p; the loop stops once this many neighbor
+  /// updates have been performed.
+  uint64_t push_budget = 1'000'000;
+  /// Enables the in-loop early-exit test on the residue bound (Line 6).
+  /// Disabled only by the ablation benchmark.
+  bool enable_early_exit = true;
+};
+
+/// Algorithm 4: pushes entries with residue above (eps_r*delta/K) * d(v) at
+/// hops k < K, stopping early when the push budget is exhausted or when an
+/// increase-only upper bound on sum_k max_v r_k[v]/d(v) certifies
+/// Inequality (11) with eps_a = eps_r * delta.
+PushResult HkPushPlus(const Graph& graph, const HeatKernel& kernel,
+                      NodeId seed, const HkPushPlusOptions& options);
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_PUSH_H_

@@ -1,0 +1,73 @@
+#include "hkpr/queries.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hkpr {
+
+std::vector<ScoredNode> TopKNormalized(const Graph& graph,
+                                       const SparseVector& estimate,
+                                       size_t k) {
+  std::vector<ScoredNode> scored;
+  scored.reserve(estimate.nnz());
+  for (const auto& e : estimate.entries()) {
+    const uint32_t d = graph.Degree(e.key);
+    if (d == 0 || e.value <= 0.0) continue;
+    scored.push_back({e.key, estimate.ValueWithOffset(e.key, d) / d});
+  }
+  const auto better = [](const ScoredNode& a, const ScoredNode& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  };
+  if (scored.size() > k) {
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                      better);
+    scored.resize(k);
+  } else {
+    std::sort(scored.begin(), scored.end(), better);
+  }
+  return scored;
+}
+
+std::vector<ScoredNode> TopKQuery(const Graph& graph,
+                                  HkprEstimator& estimator, NodeId seed,
+                                  size_t k) {
+  const SparseVector estimate = estimator.Estimate(seed);
+  return TopKNormalized(graph, estimate, k);
+}
+
+SparseVector EstimateSeedSet(const Graph& graph, HkprEstimator& estimator,
+                             std::span<const NodeId> seeds,
+                             std::span<const double> weights) {
+  HKPR_CHECK(!seeds.empty());
+  HKPR_CHECK(weights.empty() || weights.size() == seeds.size())
+      << "weights must be empty or match seeds";
+  double total = 0.0;
+  if (!weights.empty()) {
+    for (double w : weights) {
+      HKPR_CHECK(w >= 0.0);
+      total += w;
+    }
+    HKPR_CHECK(total > 0.0) << "seed-set weights must have positive sum";
+  }
+
+  SparseVector combined;
+  double combined_offset = 0.0;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    HKPR_CHECK(seeds[i] < graph.NumNodes()) << "seed out of range";
+    const double w = weights.empty()
+                         ? 1.0 / static_cast<double>(seeds.size())
+                         : weights[i] / total;
+    if (w == 0.0) continue;
+    const SparseVector estimate = estimator.Estimate(seeds[i]);
+    for (const auto& e : estimate.entries()) {
+      combined.Add(e.key, w * e.value);
+    }
+    combined_offset += w * estimate.degree_offset();
+  }
+  combined.set_degree_offset(combined_offset);
+  return combined;
+}
+
+}  // namespace hkpr

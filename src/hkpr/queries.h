@@ -1,0 +1,45 @@
+// Higher-level HKPR query helpers built on the estimator interface:
+// top-k proximity queries and seed-set (multi-seed) estimation.
+
+#ifndef HKPR_HKPR_QUERIES_H_
+#define HKPR_HKPR_QUERIES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "graph/graph.h"
+#include "hkpr/estimator.h"
+
+namespace hkpr {
+
+/// A node with its normalized HKPR score.
+struct ScoredNode {
+  NodeId node;
+  double score;  ///< rho_hat[v] / d(v), including any degree offset
+};
+
+/// The k nodes with the largest normalized HKPR in `estimate`, descending
+/// (ties broken by node id). Isolated nodes are skipped. O(nnz log k).
+std::vector<ScoredNode> TopKNormalized(const Graph& graph,
+                                       const SparseVector& estimate,
+                                       size_t k);
+
+/// Convenience: run `estimator` on `seed` and return the top-k ranking.
+std::vector<ScoredNode> TopKQuery(const Graph& graph,
+                                  HkprEstimator& estimator, NodeId seed,
+                                  size_t k);
+
+/// HKPR of a *seed distribution*: rho = sum_i weights[i] * rho_{seeds[i]}.
+/// HKPR is linear in its seed vector (Equation 2), so the weighted average
+/// of per-seed estimates is an estimate for the distribution with the same
+/// per-seed guarantees. Weights must be non-negative; they are normalized
+/// to sum to 1. Empty weights mean uniform.
+SparseVector EstimateSeedSet(const Graph& graph, HkprEstimator& estimator,
+                             std::span<const NodeId> seeds,
+                             std::span<const double> weights = {});
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_QUERIES_H_

@@ -1,0 +1,22 @@
+#include "hkpr/random_walk.h"
+
+namespace hkpr {
+
+NodeId KRandomWalk(const Graph& graph, const HeatKernel& kernel, NodeId u,
+                   uint32_t k, Rng& rng, uint64_t* steps) {
+  NodeId current = u;
+  uint32_t hop = k;
+  const uint32_t max_hop = kernel.MaxHop();
+  uint64_t traversed = 0;
+  while (hop < max_hop) {
+    if (rng.UniformDouble() <= kernel.TerminationProb(hop)) break;
+    if (graph.Degree(current) == 0) break;  // stranded: stop in place
+    current = graph.RandomNeighbor(current, rng);
+    ++hop;
+    ++traversed;
+  }
+  if (steps != nullptr) *steps += traversed;
+  return current;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,25 @@
+// k-RandomWalk (Algorithm 2): the non-Markovian heat-kernel random walk.
+
+#ifndef HKPR_HKPR_RANDOM_WALK_H_
+#define HKPR_HKPR_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "graph/graph.h"
+#include "hkpr/heat_kernel.h"
+
+namespace hkpr {
+
+/// Simulates a heat-kernel walk conditioned on its hop-k position being `u`:
+/// at relative step l the walk stops with probability eta(k+l)/psi(k+l),
+/// otherwise moves to a uniform neighbor. Returns the end node, which by
+/// Lemma 2 is distributed as h_u^(k). Walks from isolated positions
+/// (degree 0) stop in place. If `steps` is non-null the number of traversed
+/// edges is added to it.
+NodeId KRandomWalk(const Graph& graph, const HeatKernel& kernel, NodeId u,
+                   uint32_t k, Rng& rng, uint64_t* steps = nullptr);
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_RANDOM_WALK_H_

@@ -1,0 +1,122 @@
+// Multi-hop residue storage for HK-Push / HK-Push+.
+//
+// Unlike personalized-PageRank push methods (FORA et al.), heat-kernel push
+// must keep residues generated at different hop counts separate, because the
+// conditional stopping distribution h_u^(k) depends on k (the
+// non-Markovianness discussed in Section 6). ResidueTable is that per-hop
+// sparse storage plus the running aggregates TEA/TEA+ need: per-hop sums
+// (for beta_k and alpha) and the total.
+
+#ifndef HKPR_HKPR_RESIDUE_H_
+#define HKPR_HKPR_RESIDUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Sparse residue vectors r_s^(0..max_hop) with maintained hop sums.
+class ResidueTable {
+ public:
+  /// Creates empty residue vectors for hops 0..max_hop inclusive.
+  explicit ResidueTable(uint32_t max_hop)
+      : hops_(static_cast<size_t>(max_hop) + 1),
+        hop_sum_(static_cast<size_t>(max_hop) + 1, 0.0) {}
+
+  uint32_t max_hop() const { return static_cast<uint32_t>(hops_.size() - 1); }
+
+  /// Current residue r_k[v] (0 if absent).
+  double Get(uint32_t k, NodeId v) const { return hops_[k].GetOr(v, 0.0); }
+
+  /// Adds `delta` to r_k[v]; returns the new value.
+  double Add(uint32_t k, NodeId v, double delta) {
+    double& slot = hops_[k][v];
+    slot += delta;
+    hop_sum_[k] += delta;
+    return slot;
+  }
+
+  /// Sets r_k[v] to zero (the entry remains allocated with value 0).
+  void Zero(uint32_t k, NodeId v) {
+    double* slot = hops_[k].Find(v);
+    if (slot != nullptr) {
+      hop_sum_[k] -= *slot;
+      *slot = 0.0;
+    }
+  }
+
+  /// Sum of residues at hop k (maintained incrementally; see RecomputeSums
+  /// for use after bulk mutation).
+  double HopSum(uint32_t k) const { return hop_sum_[k]; }
+
+  /// alpha = sum over all hops and nodes of the residues.
+  double TotalSum() const {
+    double s = 0.0;
+    for (double h : hop_sum_) s += h;
+    return s;
+  }
+
+  const FlatMap<double>& Hop(uint32_t k) const { return hops_[k]; }
+  FlatMap<double>& MutableHop(uint32_t k) { return hops_[k]; }
+
+  /// Recomputes hop sums by scanning entries; call after mutating residues
+  /// directly through MutableHop (e.g. TEA+'s residue reduction).
+  void RecomputeSums() {
+    for (size_t k = 0; k < hops_.size(); ++k) {
+      double s = 0.0;
+      for (const auto& e : hops_[k].entries()) s += e.value;
+      hop_sum_[k] = s;
+    }
+  }
+
+  /// Exact sum over hops of max_v r_k[v]/d(v) — the left side of
+  /// Inequality (11) / TEA+'s Line 7 test. O(total entries).
+  double MaxNormalizedResidueSum(const Graph& graph) const {
+    double total = 0.0;
+    for (const auto& hop : hops_) {
+      double best = 0.0;
+      for (const auto& e : hop.entries()) {
+        if (e.value <= 0.0) continue;
+        const double norm = e.value / graph.Degree(e.key);
+        if (norm > best) best = norm;
+      }
+      total += best;
+    }
+    return total;
+  }
+
+  /// Number of stored entries across hops (including zeroed slots).
+  size_t TotalEntries() const {
+    size_t n = 0;
+    for (const auto& hop : hops_) n += hop.size();
+    return n;
+  }
+
+  /// Number of entries with a strictly positive residue.
+  size_t TotalNonZeros() const {
+    size_t n = 0;
+    for (const auto& hop : hops_) {
+      for (const auto& e : hop.entries()) {
+        if (e.value > 0.0) ++n;
+      }
+    }
+    return n;
+  }
+
+  size_t MemoryBytes() const {
+    size_t b = hop_sum_.capacity() * sizeof(double);
+    for (const auto& hop : hops_) b += hop.MemoryBytes();
+    return b;
+  }
+
+ private:
+  std::vector<FlatMap<double>> hops_;
+  std::vector<double> hop_sum_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_RESIDUE_H_

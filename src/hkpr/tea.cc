@@ -1,0 +1,90 @@
+#include "hkpr/tea.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/alias_sampler.h"
+#include "common/logging.h"
+#include "hkpr/push.h"
+#include "hkpr/random_walk.h"
+
+namespace hkpr {
+
+namespace {
+
+/// Flattened positive residue entries, ready for alias sampling.
+struct WalkStarts {
+  std::vector<std::pair<NodeId, uint32_t>> entries;  // (node, hop)
+  std::vector<double> weights;
+
+  size_t MemoryBytes() const {
+    return entries.capacity() * sizeof(entries[0]) +
+           weights.capacity() * sizeof(double);
+  }
+};
+
+WalkStarts CollectWalkStarts(const ResidueTable& residues) {
+  WalkStarts out;
+  out.entries.reserve(residues.TotalNonZeros());
+  out.weights.reserve(residues.TotalNonZeros());
+  for (uint32_t k = 0; k <= residues.max_hop(); ++k) {
+    for (const auto& e : residues.Hop(k).entries()) {
+      if (e.value > 0.0) {
+        out.entries.emplace_back(e.key, k);
+        out.weights.push_back(e.value);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TeaEstimator::TeaEstimator(const Graph& graph, const ApproxParams& params,
+                           uint64_t seed, const TeaOptions& options)
+    : graph_(graph), params_(params), kernel_(params.t), rng_(seed) {
+  const double pf_prime = ComputePfPrime(graph, params.p_f);
+  omega_ = OmegaTea(params, pf_prime);
+  HKPR_CHECK(options.r_max_scale > 0.0);
+  r_max_ = options.r_max_scale / (omega_ * params.t);
+}
+
+SparseVector TeaEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
+  HKPR_CHECK(seed < graph_.NumNodes());
+  if (stats != nullptr) stats->Reset();
+
+  // Phase 1: deterministic traversal.
+  PushResult push = HkPush(graph_, kernel_, seed, r_max_);
+  SparseVector rho = std::move(push.reserve);
+
+  // Phase 2: refine with residue-guided walks.
+  const double alpha = push.residues.TotalSum();
+  const uint64_t num_walks =
+      alpha > 0.0 ? static_cast<uint64_t>(std::ceil(alpha * omega_)) : 0;
+  uint64_t steps = 0;
+  size_t alias_bytes = 0;
+  if (num_walks > 0) {
+    WalkStarts starts = CollectWalkStarts(push.residues);
+    AliasSampler alias(starts.weights);
+    alias_bytes = alias.MemoryBytes() + starts.MemoryBytes();
+    const double increment = alpha / static_cast<double>(num_walks);
+    for (uint64_t i = 0; i < num_walks; ++i) {
+      const auto [u, k] = starts.entries[alias.Sample(rng_)];
+      const NodeId end = KRandomWalk(graph_, kernel_, u, k, rng_, &steps);
+      rho.Add(end, increment);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->push_operations = push.push_operations;
+    stats->entries_processed = push.entries_processed;
+    stats->num_walks = num_walks;
+    stats->walk_steps = steps;
+    stats->peak_bytes =
+        push.residues.MemoryBytes() + rho.MemoryBytes() + alias_bytes;
+  }
+  return rho;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,56 @@
+// TEA (Algorithm 3): HK-Push followed by residue-guided random walks.
+
+#ifndef HKPR_HKPR_TEA_H_
+#define HKPR_HKPR_TEA_H_
+
+#include <string_view>
+
+#include "common/random.h"
+#include "hkpr/estimator.h"
+#include "hkpr/heat_kernel.h"
+#include "hkpr/params.h"
+
+namespace hkpr {
+
+/// Tuning options of TEA beyond the accuracy parameters.
+struct TeaOptions {
+  /// The residue threshold is r_max = r_max_scale / (omega * t); the paper
+  /// sets r_max = O(1/(omega t)) and tunes the constant per dataset to
+  /// balance push and walk cost (Section 7.3). 1.0 is a solid default.
+  double r_max_scale = 1.0;
+};
+
+/// Two-phase heat kernel approximation, first-cut version.
+///
+/// Runs HK-Push with threshold r_max to get a reserve vector q_s and residue
+/// vectors, then draws alpha*omega walks whose start entries (u, k) are
+/// sampled from the residues through an alias structure, adding alpha/n_r
+/// per walk end-point (Theorem 1 guarantees (d,eps_r,delta)-approximation
+/// with probability >= 1 - p_f).
+class TeaEstimator : public HkprEstimator {
+ public:
+  TeaEstimator(const Graph& graph, const ApproxParams& params, uint64_t seed,
+               const TeaOptions& options = TeaOptions());
+
+  SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
+  using HkprEstimator::Estimate;
+
+  std::string_view name() const override { return "TEA"; }
+
+  /// The omega (walk-count scale) this estimator computed from its params.
+  double omega() const { return omega_; }
+  /// The push threshold in use.
+  double r_max() const { return r_max_; }
+
+ private:
+  const Graph& graph_;
+  ApproxParams params_;
+  HeatKernel kernel_;
+  double omega_;
+  double r_max_;
+  Rng rng_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_TEA_H_

@@ -1,0 +1,73 @@
+// TEA+ (Algorithm 5): budgeted HK-Push+ with residue reduction.
+
+#ifndef HKPR_HKPR_TEA_PLUS_H_
+#define HKPR_HKPR_TEA_PLUS_H_
+
+#include <string_view>
+
+#include "common/random.h"
+#include "hkpr/estimator.h"
+#include "hkpr/heat_kernel.h"
+#include "hkpr/params.h"
+
+namespace hkpr {
+
+/// How TEA+ distributes the residue-reduction budget over hops.
+enum class BetaMode {
+  /// beta_k proportional to the hop's residue sum (the paper's choice,
+  /// Algorithm 5 Line 9).
+  kProportionalToHopSum,
+  /// beta_k = 1/(K+1) uniformly (ablation only; shows why the paper's
+  /// choice matters).
+  kUniform,
+};
+
+/// Tuning options of TEA+ beyond the accuracy parameters.
+struct TeaPlusOptions {
+  /// Hop-cap constant: K = c * log(1/(eps_r*delta)) / log(avg_degree).
+  /// The paper tunes this in Section 7.2 and settles on 2.5.
+  double c = 2.5;
+  /// Residue reduction before the walk phase (Lines 8-11). Disabled only by
+  /// the ablation benchmark.
+  bool enable_residue_reduction = true;
+  /// Early termination of HK-Push+ via Inequality (11). Disabled only by the
+  /// ablation benchmark.
+  bool enable_early_exit = true;
+  BetaMode beta_mode = BetaMode::kProportionalToHopSum;
+};
+
+/// The paper's flagship algorithm. Same guarantee as TEA (Theorem 3) with
+/// far less practical work: HK-Push+ runs under a push budget n_p = omega*t/2
+/// and a hop cap K; if the absolute-error test (11) passes the reserve is
+/// returned immediately, otherwise residues are reduced by
+/// beta_k * eps_r * delta * d(u) before the walk phase and the final vector
+/// gets a +eps_r*delta/2 * d(v) offset (stored as a scalar, O(1)).
+class TeaPlusEstimator : public HkprEstimator {
+ public:
+  TeaPlusEstimator(const Graph& graph, const ApproxParams& params,
+                   uint64_t seed,
+                   const TeaPlusOptions& options = TeaPlusOptions());
+
+  SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
+  using HkprEstimator::Estimate;
+
+  std::string_view name() const override { return "TEA+"; }
+
+  double omega() const { return omega_; }
+  uint32_t hop_cap() const { return hop_cap_; }
+  uint64_t push_budget() const { return push_budget_; }
+
+ private:
+  const Graph& graph_;
+  ApproxParams params_;
+  TeaPlusOptions options_;
+  HeatKernel kernel_;
+  double omega_;
+  uint32_t hop_cap_;
+  uint64_t push_budget_;
+  Rng rng_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_TEA_PLUS_H_

@@ -1,0 +1,70 @@
+#include "parallel/parallel_monte_carlo.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "hkpr/random_walk.h"
+#include "parallel/parallel_for.h"
+
+namespace hkpr {
+
+ParallelMonteCarloEstimator::ParallelMonteCarloEstimator(
+    const Graph& graph, const ApproxParams& params, uint64_t seed,
+    uint32_t num_threads)
+    : graph_(graph),
+      params_(params),
+      kernel_(params.t),
+      base_seed_(seed),
+      num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {
+  const double pf_prime = ComputePfPrime(graph, params.p_f);
+  num_walks_ = static_cast<uint64_t>(std::ceil(OmegaTea(params, pf_prime)));
+  HKPR_CHECK(num_walks_ > 0);
+}
+
+SparseVector ParallelMonteCarloEstimator::Estimate(NodeId seed,
+                                                   EstimatorStats* stats) {
+  HKPR_CHECK(seed < graph_.NumNodes());
+  if (stats != nullptr) stats->Reset();
+  const uint64_t epoch = epoch_++;
+
+  struct ThreadState {
+    SparseVector counts;
+    uint64_t steps = 0;
+  };
+  std::vector<ThreadState> locals(num_threads_);
+
+  ParallelChunks(num_walks_, num_threads_,
+                 [&](uint32_t tid, uint64_t begin, uint64_t end) {
+                   uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
+                   mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
+                   Rng rng(mix);
+                   ThreadState& state = locals[tid];
+                   for (uint64_t i = begin; i < end; ++i) {
+                     const NodeId v = KRandomWalk(graph_, kernel_, seed, 0,
+                                                  rng, &state.steps);
+                     state.counts.Add(v, 1.0);
+                   }
+                 });
+
+  SparseVector rho;
+  const double weight = 1.0 / static_cast<double>(num_walks_);
+  uint64_t steps = 0;
+  size_t peak = 0;
+  for (const ThreadState& state : locals) {
+    for (const auto& e : state.counts.entries()) {
+      rho.Add(e.key, e.value * weight);
+    }
+    steps += state.steps;
+    peak += state.counts.MemoryBytes();
+  }
+  if (stats != nullptr) {
+    stats->num_walks = num_walks_;
+    stats->walk_steps = steps;
+    stats->peak_bytes = peak + rho.MemoryBytes();
+  }
+  return rho;
+}
+
+}  // namespace hkpr

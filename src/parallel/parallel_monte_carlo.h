@@ -1,0 +1,45 @@
+// Multi-threaded Monte-Carlo HKPR estimation.
+
+#ifndef HKPR_PARALLEL_PARALLEL_MONTE_CARLO_H_
+#define HKPR_PARALLEL_PARALLEL_MONTE_CARLO_H_
+
+#include <string_view>
+
+#include "hkpr/estimator.h"
+#include "hkpr/heat_kernel.h"
+#include "hkpr/params.h"
+
+namespace hkpr {
+
+/// Monte-Carlo with the walk workload sharded over threads. Each thread
+/// owns an independent RNG stream derived from (seed, thread id) and a
+/// thread-local accumulator; results are merged once at the end, so the
+/// output is deterministic for a fixed (seed, num_threads) pair and meets
+/// the same (d, eps_r, delta) guarantee as the sequential estimator.
+class ParallelMonteCarloEstimator : public HkprEstimator {
+ public:
+  /// `num_threads == 0` uses all hardware threads.
+  ParallelMonteCarloEstimator(const Graph& graph, const ApproxParams& params,
+                              uint64_t seed, uint32_t num_threads = 0);
+
+  SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
+  using HkprEstimator::Estimate;
+
+  std::string_view name() const override { return "Monte-Carlo(par)"; }
+
+  uint64_t NumWalks() const { return num_walks_; }
+  uint32_t num_threads() const { return num_threads_; }
+
+ private:
+  const Graph& graph_;
+  ApproxParams params_;
+  HeatKernel kernel_;
+  uint64_t num_walks_;
+  uint64_t base_seed_;
+  uint32_t num_threads_;
+  uint64_t epoch_ = 0;  // advances per query so repeated calls differ
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_PARALLEL_PARALLEL_MONTE_CARLO_H_

@@ -1,0 +1,52 @@
+// TEA+ with a multi-threaded random-walk phase.
+
+#ifndef HKPR_PARALLEL_PARALLEL_TEA_PLUS_H_
+#define HKPR_PARALLEL_PARALLEL_TEA_PLUS_H_
+
+#include <string_view>
+
+#include "hkpr/estimator.h"
+#include "hkpr/heat_kernel.h"
+#include "hkpr/params.h"
+#include "hkpr/tea_plus.h"
+
+namespace hkpr {
+
+/// TEA+ whose walk phase (Lines 12-17 of Algorithm 5) is sharded over
+/// threads. HK-Push+ stays sequential — its frontier is inherently ordered
+/// and, in TEA+'s balanced configuration, accounts for about half the work;
+/// the walk phase is embarrassingly parallel (each walk is independent and
+/// the alias structure is read-only). Accuracy analysis is unchanged: the
+/// union of per-thread walks is exactly the same set of i.i.d. samples.
+class ParallelTeaPlusEstimator : public HkprEstimator {
+ public:
+  /// `num_threads == 0` uses all hardware threads.
+  ParallelTeaPlusEstimator(const Graph& graph, const ApproxParams& params,
+                           uint64_t seed, uint32_t num_threads = 0,
+                           const TeaPlusOptions& options = TeaPlusOptions());
+
+  SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
+  using HkprEstimator::Estimate;
+
+  std::string_view name() const override { return "TEA+(par)"; }
+
+  double omega() const { return omega_; }
+  uint32_t hop_cap() const { return hop_cap_; }
+  uint32_t num_threads() const { return num_threads_; }
+
+ private:
+  const Graph& graph_;
+  ApproxParams params_;
+  TeaPlusOptions options_;
+  HeatKernel kernel_;
+  double omega_;
+  uint32_t hop_cap_;
+  uint64_t push_budget_;
+  uint64_t base_seed_;
+  uint32_t num_threads_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_PARALLEL_PARALLEL_TEA_PLUS_H_

@@ -1,0 +1,104 @@
+// Tests for the Walker alias sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/alias_sampler.h"
+#include "common/random.h"
+
+namespace hkpr {
+namespace {
+
+TEST(AliasSamplerTest, SingleWeightAlwaysSampled) {
+  AliasSampler alias(std::vector<double>{3.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(alias.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler alias(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(alias.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, UniformWeightsAreUniform) {
+  const size_t n = 8;
+  AliasSampler alias(std::vector<double>(n, 2.5));
+  Rng rng(3);
+  std::vector<int> counts(n, 0);
+  const int samples = 160000;
+  for (int i = 0; i < samples; ++i) ++counts[alias.Sample(rng)];
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], samples / static_cast<double>(n), 600.0) << i;
+  }
+}
+
+TEST(AliasSamplerTest, MatchesSkewedDistribution) {
+  const std::vector<double> weights = {10.0, 1.0, 0.1, 5.0, 0.0, 3.9};
+  AliasSampler alias(weights);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  Rng rng(4);
+  std::vector<int> counts(weights.size(), 0);
+  const int samples = 400000;
+  for (int i = 0; i < samples; ++i) ++counts[alias.Sample(rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = samples * weights[i] / total;
+    EXPECT_NEAR(counts[i], expected, 5.0 * std::sqrt(expected + 1.0) + 30.0)
+        << "index " << i;
+  }
+}
+
+TEST(AliasSamplerTest, TotalWeightReported) {
+  AliasSampler alias(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(alias.total_weight(), 6.0);
+}
+
+TEST(AliasSamplerTest, RebuildReplacesTable) {
+  AliasSampler alias(std::vector<double>{1.0});
+  alias.Build(std::vector<double>{0.0, 1.0});
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(alias.Sample(rng), 1u);
+  EXPECT_EQ(alias.size(), 2u);
+}
+
+TEST(AliasSamplerTest, DeterministicGivenSeed) {
+  const std::vector<double> weights = {0.3, 0.2, 0.5};
+  AliasSampler alias(weights);
+  Rng a(77), b(77);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(alias.Sample(a), alias.Sample(b));
+}
+
+TEST(AliasSamplerTest, LargeTableDistribution) {
+  // Power-law-ish weights over 10k entries; check aggregate mass of the
+  // head indices.
+  std::vector<double> weights(10000);
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+    total += weights[i];
+  }
+  AliasSampler alias(weights);
+  Rng rng(6);
+  const int samples = 300000;
+  int head = 0;  // samples landing in the first 10 indices
+  for (int i = 0; i < samples; ++i) {
+    if (alias.Sample(rng) < 10) ++head;
+  }
+  double head_mass = 0.0;
+  for (int i = 0; i < 10; ++i) head_mass += weights[i];
+  EXPECT_NEAR(head / static_cast<double>(samples), head_mass / total, 0.01);
+}
+
+TEST(AliasSamplerDeathTest, RejectsEmptyWeights) {
+  EXPECT_DEATH(AliasSampler(std::vector<double>{}), "at least one");
+}
+
+TEST(AliasSamplerDeathTest, RejectsAllZeroWeights) {
+  EXPECT_DEATH(AliasSampler(std::vector<double>{0.0, 0.0}), "positive total");
+}
+
+}  // namespace
+}  // namespace hkpr

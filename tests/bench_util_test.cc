@@ -1,0 +1,44 @@
+// Tests for the benchmark utilities (formatting and table layout).
+
+#include <gtest/gtest.h>
+
+#include "bench_util/table.h"
+
+namespace hkpr {
+namespace {
+
+TEST(FormatTest, FmtFPrecision) {
+  EXPECT_EQ(FmtF(0.123456, 4), "0.1235");
+  EXPECT_EQ(FmtF(2.0, 1), "2.0");
+  EXPECT_EQ(FmtF(-1.5, 2), "-1.50");
+}
+
+TEST(FormatTest, FmtSci) {
+  EXPECT_EQ(FmtSci(1e-6), "1.0e-06");
+  EXPECT_EQ(FmtSci(2.5e-4), "2.5e-04");
+}
+
+TEST(FormatTest, FmtMsAdaptive) {
+  EXPECT_EQ(FmtMs(1.234), "1.23 ms");
+  EXPECT_EQ(FmtMs(42.0), "42.0 ms");
+  EXPECT_EQ(FmtMs(2500.0), "2.50 s");
+}
+
+TEST(FormatTest, FmtCountGroupsThousands) {
+  EXPECT_EQ(FmtCount(0), "0");
+  EXPECT_EQ(FmtCount(999), "999");
+  EXPECT_EQ(FmtCount(1000), "1,000");
+  EXPECT_EQ(FmtCount(1234567), "1,234,567");
+  EXPECT_EQ(FmtCount(1000000000ull), "1,000,000,000");
+}
+
+TEST(TablePrinterTest, HandlesRaggedRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});            // short row is padded
+  table.AddRow({"1", "2", "3"});
+  table.Print();  // must not crash; layout checked by inspection in benches
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,183 @@
+// Tests for FlatMap, FlatSet and SparseVector.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/flat_map.h"
+#include "common/random.h"
+#include "common/sparse_vector.h"
+
+namespace hkpr {
+namespace {
+
+TEST(FlatMapTest, EmptyLookups) {
+  FlatMap<double> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(5), nullptr);
+  EXPECT_EQ(m.GetOr(5, -1.0), -1.0);
+  EXPECT_FALSE(m.Contains(5));
+}
+
+TEST(FlatMapTest, InsertAndLookup) {
+  FlatMap<double> m;
+  m[3] = 1.5;
+  m[7] = 2.5;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(*m.Find(3), 1.5);
+  EXPECT_DOUBLE_EQ(*m.Find(7), 2.5);
+  EXPECT_EQ(m.Find(4), nullptr);
+}
+
+TEST(FlatMapTest, OperatorAccumulates) {
+  FlatMap<double> m;
+  m[9] += 1.0;
+  m[9] += 2.0;
+  EXPECT_DOUBLE_EQ(m.GetOr(9, 0.0), 3.0);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, InsertionOrderIteration) {
+  FlatMap<int> m;
+  m[10] = 1;
+  m[5] = 2;
+  m[20] = 3;
+  std::vector<uint32_t> keys;
+  for (const auto& e : m.entries()) keys.push_back(e.key);
+  EXPECT_EQ(keys, (std::vector<uint32_t>{10, 5, 20}));
+}
+
+TEST(FlatMapTest, GrowthPreservesEntries) {
+  FlatMap<uint32_t> m;
+  for (uint32_t i = 0; i < 10000; ++i) m[i * 3] = i;
+  EXPECT_EQ(m.size(), 10000u);
+  for (uint32_t i = 0; i < 10000; ++i) {
+    ASSERT_NE(m.Find(i * 3), nullptr) << i;
+    EXPECT_EQ(*m.Find(i * 3), i);
+  }
+  EXPECT_EQ(m.Find(1), nullptr);
+}
+
+TEST(FlatMapTest, MatchesUnorderedMapUnderRandomOps) {
+  FlatMap<int64_t> m;
+  std::unordered_map<uint32_t, int64_t> ref;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.UniformInt(5000));
+    const int64_t delta = static_cast<int64_t>(rng.UniformInt(100)) - 50;
+    m[key] += delta;
+    ref[key] += delta;
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.Find(k), nullptr);
+    EXPECT_EQ(*m.Find(k), v);
+  }
+}
+
+TEST(FlatMapTest, ClearKeepsCapacityAndEmpties) {
+  FlatMap<double> m;
+  for (uint32_t i = 0; i < 100; ++i) m[i] = i;
+  const size_t bytes = m.MemoryBytes();
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(10), nullptr);
+  EXPECT_EQ(m.MemoryBytes(), bytes);
+  m[5] = 1.0;  // usable after clear
+  EXPECT_DOUBLE_EQ(m.GetOr(5, 0.0), 1.0);
+}
+
+TEST(FlatMapTest, ReservePreventsReallocGrowth) {
+  FlatMap<int> m;
+  m.Reserve(1000);
+  const size_t bytes = m.MemoryBytes();
+  for (uint32_t i = 0; i < 1000; ++i) m[i] = 1;
+  EXPECT_EQ(m.MemoryBytes(), bytes);
+}
+
+TEST(FlatMapTest, KeyZeroAndMaxValid) {
+  FlatMap<int> m;
+  m[0] = 7;
+  m[0xFFFFFFFEu] = 9;
+  EXPECT_EQ(m.GetOr(0, 0), 7);
+  EXPECT_EQ(m.GetOr(0xFFFFFFFEu, 0), 9);
+}
+
+TEST(FlatSetTest, InsertReportsNovelty) {
+  FlatSet s;
+  EXPECT_TRUE(s.Insert(4));
+  EXPECT_FALSE(s.Insert(4));
+  EXPECT_TRUE(s.Insert(5));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(6));
+}
+
+TEST(FlatSetTest, ForEachVisitsAllOnce) {
+  FlatSet s;
+  for (uint32_t i = 0; i < 50; ++i) s.Insert(i * 2);
+  size_t count = 0;
+  uint64_t sum = 0;
+  s.ForEach([&](uint32_t k) {
+    ++count;
+    sum += k;
+  });
+  EXPECT_EQ(count, 50u);
+  EXPECT_EQ(sum, 2u * (49u * 50u / 2u));
+}
+
+TEST(SparseVectorTest, AddAndGet) {
+  SparseVector v;
+  v.Add(3, 0.5);
+  v.Add(3, 0.25);
+  v.Add(9, 1.0);
+  EXPECT_DOUBLE_EQ(v.Get(3), 0.75);
+  EXPECT_DOUBLE_EQ(v.Get(9), 1.0);
+  EXPECT_DOUBLE_EQ(v.Get(4), 0.0);
+  EXPECT_EQ(v.nnz(), 2u);
+}
+
+TEST(SparseVectorTest, SumIgnoresOffset) {
+  SparseVector v;
+  v.Add(1, 0.4);
+  v.Add(2, 0.6);
+  v.set_degree_offset(0.01);
+  EXPECT_DOUBLE_EQ(v.Sum(), 1.0);
+}
+
+TEST(SparseVectorTest, ValueWithOffsetAppliesDegree) {
+  SparseVector v;
+  v.Add(1, 0.4);
+  v.set_degree_offset(0.05);
+  EXPECT_DOUBLE_EQ(v.ValueWithOffset(1, 4), 0.4 + 0.05 * 4);
+  // Absent entries still receive the offset (that is the point: the offset
+  // applies to every node).
+  EXPECT_DOUBLE_EQ(v.ValueWithOffset(2, 10), 0.5);
+}
+
+TEST(SparseVectorTest, SortedEntriesAscendingKeys) {
+  SparseVector v;
+  v.Add(9, 1.0);
+  v.Add(2, 2.0);
+  v.Add(5, 3.0);
+  auto sorted = v.SortedEntries();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.key < b.key;
+                             }));
+}
+
+TEST(SparseVectorTest, ClearResetsOffset) {
+  SparseVector v;
+  v.Add(1, 1.0);
+  v.set_degree_offset(0.5);
+  v.Clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_DOUBLE_EQ(v.degree_offset(), 0.0);
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,148 @@
+// Tests for the flow-based clustering baselines: SimpleLocal (MQI) and CRD.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/crd.h"
+#include "baselines/simple_local.h"
+#include "clustering/conductance.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+double Quotient(const Graph& g, const std::vector<NodeId>& set) {
+  const CutStats stats = ComputeCutStats(g, set);
+  return stats.volume == 0
+             ? 1.0
+             : static_cast<double>(stats.cut) / static_cast<double>(stats.volume);
+}
+
+TEST(MqiTest, NeverWorsensQuotient) {
+  Graph g = PowerlawCluster(500, 4, 0.3, 1);
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const NodeId start = static_cast<NodeId>(rng.UniformInt(g.NumNodes()));
+    if (g.Degree(start) == 0) continue;
+    std::vector<NodeId> ball = RandomBfsBall(g, start, 80, rng);
+    const double before = Quotient(g, ball);
+    std::vector<NodeId> improved =
+        MqiImprove(g, ball, 16, nullptr, nullptr);
+    EXPECT_LE(Quotient(g, improved), before + 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(MqiTest, RecoversCliqueFromNoisyBall) {
+  // Barbell: a ball spanning the bridge should be trimmed back to one clique
+  // (the minimum-quotient subset).
+  Graph g = testing::MakeBarbell(8);
+  std::vector<NodeId> noisy;
+  for (NodeId v = 0; v < 8; ++v) noisy.push_back(v);  // clique A
+  noisy.push_back(8);
+  noisy.push_back(9);  // two stragglers from clique B
+  std::vector<NodeId> improved = MqiImprove(g, noisy, 16, nullptr, nullptr);
+  EXPECT_LT(Quotient(g, improved), Quotient(g, noisy));
+  // The improved set should drop the stragglers.
+  EXPECT_TRUE(std::find(improved.begin(), improved.end(), 9u) ==
+              improved.end());
+}
+
+TEST(MqiTest, PerfectClusterUntouched) {
+  // A disconnected clique has cut 0; MQI must keep it as is.
+  GraphBuilder b(8);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 6);
+  Graph g = b.Build();
+  std::vector<NodeId> clique = {0, 1, 2, 3};
+  std::vector<NodeId> improved = MqiImprove(g, clique, 8, nullptr, nullptr);
+  EXPECT_EQ(improved.size(), 4u);
+}
+
+TEST(SimpleLocalTest, ClusterContainsSeed) {
+  Graph g = PowerlawCluster(1000, 4, 0.3, 3);
+  Rng rng(4);
+  SimpleLocalOptions options;
+  options.locality = 0.05;
+  FlowClusterResult result = SimpleLocal(g, 17, options, rng);
+  ASSERT_FALSE(result.cluster.empty());
+  EXPECT_TRUE(std::find(result.cluster.begin(), result.cluster.end(), 17u) !=
+              result.cluster.end());
+  EXPECT_LE(result.conductance, 1.0);
+  EXPECT_GT(result.flow_rounds, 0u);
+}
+
+TEST(SimpleLocalTest, FindsPlantedCommunityOnSbm) {
+  CommunityGraph cg = PlantedPartition(8, 40, 0.4, 0.004, 5);
+  Rng rng(6);
+  SimpleLocalOptions options;
+  options.locality = 0.15;
+  const NodeId seed = cg.communities.Community(2)[0];
+  FlowClusterResult result = SimpleLocal(cg.graph, seed, options, rng);
+  // The conductance of the found cluster should be comparable to the
+  // planted one's.
+  const double planted = Conductance(cg.graph, cg.communities.Community(2));
+  EXPECT_LT(result.conductance, 3.0 * planted + 0.3);
+}
+
+TEST(CrdTest, ReturnsSeedCluster) {
+  Graph g = PowerlawCluster(1000, 4, 0.3, 7);
+  CrdOptions options;
+  options.iterations = 8;
+  FlowClusterResult result = Crd(g, 23, options);
+  ASSERT_FALSE(result.cluster.empty());
+  EXPECT_TRUE(std::find(result.cluster.begin(), result.cluster.end(), 23u) !=
+              result.cluster.end());
+}
+
+TEST(CrdTest, RecoversPlantedCommunity) {
+  CommunityGraph cg = PlantedPartition(6, 50, 0.4, 0.003, 8);
+  CrdOptions options;
+  options.iterations = 12;
+  const NodeId seed = cg.communities.Community(1)[5];
+  FlowClusterResult result = Crd(cg.graph, seed, options);
+  // Count overlap with the planted community.
+  const auto& truth = cg.communities.Community(1);
+  size_t hits = 0;
+  for (NodeId v : result.cluster) {
+    if (std::find(truth.begin(), truth.end(), v) != truth.end()) ++hits;
+  }
+  EXPECT_GT(hits, result.cluster.size() / 2);  // majority from the community
+}
+
+TEST(CrdTest, WorkGrowsWithIterations) {
+  Graph g = PowerlawCluster(2000, 4, 0.3, 9);
+  CrdOptions few, many;
+  few.iterations = 3;
+  many.iterations = 14;
+  FlowClusterResult a = Crd(g, 11, few);
+  FlowClusterResult b = Crd(g, 11, many);
+  EXPECT_LE(a.total_arcs, b.total_arcs);
+  // More mass spreads further: the cluster should not shrink.
+  EXPECT_LE(a.cluster.size(), b.cluster.size() * 4);
+}
+
+TEST(CrdTest, IsolatedSeedYieldsEmpty) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();  // nodes 2,3 isolated
+  CrdOptions options;
+  FlowClusterResult result = Crd(g, 2, options);
+  EXPECT_TRUE(result.cluster.empty());
+}
+
+TEST(CrdTest, StaysLocalOnGrid) {
+  Graph g = Grid3D(14, 14, 14, true);
+  CrdOptions options;
+  options.iterations = 6;
+  FlowClusterResult result = Crd(g, 0, options);
+  EXPECT_LT(result.cluster.size(), g.NumNodes() / 4);
+}
+
+}  // namespace
+}  // namespace hkpr

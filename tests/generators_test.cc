@@ -1,0 +1,254 @@
+// Tests for the synthetic graph generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "graph/subgraph.h"
+
+namespace hkpr {
+namespace {
+
+/// Average local clustering coefficient over nodes with degree >= 2.
+double AverageClustering(const Graph& g) {
+  double sum = 0.0;
+  uint32_t counted = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const uint32_t d = g.Degree(v);
+    if (d < 2) continue;
+    uint64_t links = 0;
+    auto nbrs = g.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    sum += 2.0 * static_cast<double>(links) / (static_cast<double>(d) * (d - 1));
+    ++counted;
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+TEST(ErdosRenyiTest, GnmExactEdgeCount) {
+  Graph g = ErdosRenyiGnm(1000, 5000, 1);
+  EXPECT_EQ(g.NumNodes(), 1000u);
+  EXPECT_EQ(g.NumEdges(), 5000u);
+}
+
+TEST(ErdosRenyiTest, GnmNoDuplicateEdges) {
+  Graph g = ErdosRenyiGnm(50, 600, 2);
+  EXPECT_EQ(g.NumEdges(), 600u);  // dedup would shrink this if broken
+}
+
+TEST(ErdosRenyiTest, GnpExpectedEdges) {
+  const uint32_t n = 2000;
+  const double p = 0.005;
+  Graph g = ErdosRenyiGnp(n, p, 3);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, GnpZeroProbability) {
+  Graph g = ErdosRenyiGnp(100, 0.0, 4);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumNodes(), 100u);
+}
+
+TEST(BarabasiAlbertTest, SizeAndConnectivity) {
+  Graph g = BarabasiAlbert(2000, 3, 5);
+  EXPECT_EQ(g.NumNodes(), 2000u);
+  // Every non-core node adds up to 3 edges (dedup may remove a few).
+  EXPECT_GT(g.NumEdges(), 2000u * 3u * 8 / 10);
+  EXPECT_LE(g.NumEdges(), 2000u * 3u);
+  EXPECT_EQ(LargestComponent(g).size(), 2000u);
+}
+
+TEST(BarabasiAlbertTest, HeavyTail) {
+  Graph g = BarabasiAlbert(5000, 2, 6);
+  // Preferential attachment must produce hubs far above the average degree.
+  EXPECT_GT(g.MaxDegree(), 20u * static_cast<uint32_t>(g.AverageDegree()));
+}
+
+TEST(PowerlawClusterTest, TriadFormationRaisesClustering) {
+  Graph ba = PowerlawCluster(3000, 4, 0.0, 7);
+  Graph plc = PowerlawCluster(3000, 4, 0.9, 7);
+  EXPECT_GT(AverageClustering(plc), 2.0 * AverageClustering(ba));
+}
+
+TEST(PowerlawClusterTest, ConnectedAndSized) {
+  Graph g = PowerlawCluster(1000, 5, 0.3, 8);
+  EXPECT_EQ(g.NumNodes(), 1000u);
+  EXPECT_EQ(LargestComponent(g).size(), 1000u);
+  EXPECT_NEAR(g.AverageDegree(), 10.0, 1.5);
+}
+
+TEST(Grid3DTest, TorusAllDegreesSix) {
+  Graph g = Grid3D(5, 5, 5, /*torus=*/true);
+  EXPECT_EQ(g.NumNodes(), 125u);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(g.Degree(v), 6u) << v;
+  }
+  EXPECT_EQ(g.NumEdges(), 125u * 6u / 2u);
+}
+
+TEST(Grid3DTest, OpenGridBoundaryDegrees) {
+  Graph g = Grid3D(3, 3, 3, /*torus=*/false);
+  EXPECT_EQ(g.NumNodes(), 27u);
+  // Corner nodes have degree 3, the center has degree 6.
+  uint32_t min_deg = 100, max_deg = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    min_deg = std::min(min_deg, g.Degree(v));
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  EXPECT_EQ(min_deg, 3u);
+  EXPECT_EQ(max_deg, 6u);
+}
+
+TEST(Grid3DTest, TorusIsConnected) {
+  Graph g = Grid3D(4, 5, 3, /*torus=*/true);
+  EXPECT_EQ(LargestComponent(g).size(), g.NumNodes());
+}
+
+TEST(RmatTest, SizeAndSkew) {
+  Graph g = Rmat(12, 16.0, 9);
+  EXPECT_EQ(g.NumNodes(), 4096u);
+  EXPECT_GT(g.NumEdges(), 20000u);
+  // R-MAT's recursive skew should produce hubs.
+  EXPECT_GT(g.MaxDegree(), 100u);
+}
+
+TEST(RmatTest, DeterministicInSeed) {
+  Graph a = Rmat(10, 8.0, 11);
+  Graph b = Rmat(10, 8.0, 11);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  Graph c = Rmat(10, 8.0, 12);
+  EXPECT_NE(a.adjacency(), c.adjacency());
+}
+
+TEST(PlantedPartitionTest, StructureAndGroundTruth) {
+  CommunityGraph cg = PlantedPartition(8, 50, 0.3, 0.005, 13);
+  EXPECT_EQ(cg.graph.NumNodes(), 400u);
+  ASSERT_EQ(cg.communities.NumCommunities(), 8u);
+  for (size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(cg.communities.Community(c).size(), 50u);
+  }
+}
+
+TEST(PlantedPartitionTest, IntraDenserThanInter) {
+  CommunityGraph cg = PlantedPartition(6, 60, 0.25, 0.004, 14);
+  uint64_t intra = 0;
+  for (size_t c = 0; c < cg.communities.NumCommunities(); ++c) {
+    intra += InternalEdgeCount(cg.graph, cg.communities.Community(c));
+  }
+  const uint64_t inter = cg.graph.NumEdges() - intra;
+  EXPECT_GT(intra, inter * 2);
+}
+
+TEST(PlantedPartitionTest, ExpectedDensities) {
+  const double p_in = 0.2, p_out = 0.002;
+  CommunityGraph cg = PlantedPartition(5, 80, p_in, p_out, 15);
+  const auto& c0 = cg.communities.Community(0);
+  const double pairs = 80.0 * 79.0 / 2.0;
+  const double expected_intra = p_in * pairs;
+  EXPECT_NEAR(static_cast<double>(InternalEdgeCount(cg.graph, c0)),
+              expected_intra, 6.0 * std::sqrt(expected_intra));
+}
+
+TEST(LfrLikeTest, PartitionCoversAllNodes) {
+  LfrOptions options;
+  options.n = 2000;
+  CommunityGraph cg = LfrLike(options, 16);
+  EXPECT_EQ(cg.graph.NumNodes(), options.n);
+  size_t total = 0;
+  for (const auto& c : cg.communities.communities()) total += c.size();
+  EXPECT_EQ(total, options.n);  // single-membership partition
+}
+
+TEST(LfrLikeTest, DegreesWithinBounds) {
+  LfrOptions options;
+  options.n = 3000;
+  options.min_degree = 4;
+  options.max_degree = 40;
+  CommunityGraph cg = LfrLike(options, 17);
+  // Configuration-model dedup can lower degrees slightly; never raise them.
+  for (NodeId v = 0; v < cg.graph.NumNodes(); ++v) {
+    EXPECT_LE(cg.graph.Degree(v), options.max_degree);
+  }
+  EXPECT_GT(cg.graph.AverageDegree(), 0.7 * options.min_degree);
+}
+
+TEST(LfrLikeTest, MixingParameterApproximatelyHonored) {
+  LfrOptions options;
+  options.n = 4000;
+  options.mu = 0.2;
+  CommunityGraph cg = LfrLike(options, 18);
+  // Measure the realized fraction of inter-community edge endpoints.
+  uint64_t inter_arcs = 0;
+  for (NodeId v = 0; v < cg.graph.NumNodes(); ++v) {
+    const int64_t cv = cg.communities.CommunityOf(v, cg.graph.NumNodes());
+    for (NodeId u : cg.graph.Neighbors(v)) {
+      if (cg.communities.CommunityOf(u, cg.graph.NumNodes()) != cv) {
+        ++inter_arcs;
+      }
+    }
+  }
+  const double realized =
+      static_cast<double>(inter_arcs) / static_cast<double>(cg.graph.Volume());
+  EXPECT_NEAR(realized, options.mu, 0.1);
+}
+
+TEST(LfrLikeTest, CommunitySizesWithinBounds) {
+  LfrOptions options;
+  options.n = 3000;
+  options.min_community = 25;
+  options.max_community = 250;
+  CommunityGraph cg = LfrLike(options, 19);
+  for (const auto& c : cg.communities.communities()) {
+    EXPECT_GE(c.size(), 2u);  // a trailing sliver may merge below min
+    EXPECT_LE(c.size(), options.max_community + options.min_community);
+  }
+}
+
+TEST(WattsStrogatzTest, UnrewiredLatticeDegrees) {
+  Graph g = WattsStrogatz(100, 3, 0.0, 1);
+  EXPECT_EQ(g.NumNodes(), 100u);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) EXPECT_EQ(g.Degree(v), 6u);
+}
+
+TEST(WattsStrogatzTest, RewiringPreservesEdgeBudget) {
+  Graph g = WattsStrogatz(500, 4, 0.3, 2);
+  // Rewiring can only drop edges through dedup, never add.
+  EXPECT_LE(g.NumEdges(), 500u * 4u);
+  EXPECT_GT(g.NumEdges(), 500u * 4u * 9 / 10);
+}
+
+TEST(WattsStrogatzTest, HighClusteringAtZeroRewire) {
+  Graph lattice = WattsStrogatz(400, 3, 0.0, 3);
+  Graph random_ish = WattsStrogatz(400, 3, 1.0, 3);
+  double lattice_cc = 0.0, random_cc = 0.0;
+  for (NodeId v = 0; v < 50; ++v) {
+    lattice_cc += LocalClusteringCoefficient(lattice, v);
+    random_cc += LocalClusteringCoefficient(random_ish, v);
+  }
+  EXPECT_GT(lattice_cc, 2.0 * random_cc);
+}
+
+TEST(LfrLikeTest, CommunitiesAreAssortative) {
+  LfrOptions options;
+  options.n = 3000;
+  options.mu = 0.15;
+  CommunityGraph cg = LfrLike(options, 20);
+  // A random community should be far denser inside than a random node set
+  // of the same size.
+  const auto& community = cg.communities.Community(0);
+  const uint64_t internal = InternalEdgeCount(cg.graph, community);
+  const uint64_t volume = cg.graph.VolumeOf(community);
+  EXPECT_GT(2.0 * static_cast<double>(internal), 0.5 * static_cast<double>(volume));
+}
+
+}  // namespace
+}  // namespace hkpr

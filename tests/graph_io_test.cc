@@ -1,0 +1,137 @@
+// Tests for edge-list / binary graph serialization and community files.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/community.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  Graph g = testing::MakeBarbell(6);
+  const std::string path = TempPath("barbell.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Graph& g2 = loaded.value();
+  EXPECT_EQ(g2.NumNodes(), g.NumNodes());
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(g2.Degree(v), g.Degree(v)) << v;
+  }
+}
+
+TEST(GraphIoTest, EdgeListSkipsCommentsAndBlanks) {
+  const std::string path = TempPath("comments.txt");
+  std::ofstream out(path);
+  out << "# SNAP style comment\n% matrix-market comment\n\n0 1\n1\t2\n";
+  out.close();
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumNodes(), 3u);
+  EXPECT_EQ(loaded.value().NumEdges(), 2u);
+}
+
+TEST(GraphIoTest, EdgeListSymmetrizesAndDedups) {
+  const std::string path = TempPath("dups.txt");
+  std::ofstream out(path);
+  out << "0 1\n1 0\n0 1\n2 2\n";
+  out.close();
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumEdges(), 1u);
+  EXPECT_EQ(loaded.value().NumNodes(), 3u);  // node 2 kept, loop dropped
+}
+
+TEST(GraphIoTest, EdgeListMissingFileFails) {
+  auto loaded = LoadEdgeList(TempPath("does_not_exist.txt"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, EdgeListMalformedLineFails) {
+  const std::string path = TempPath("malformed.txt");
+  std::ofstream out(path);
+  out << "0 1\nnot numbers\n";
+  out.close();
+  auto loaded = LoadEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  Graph g = PowerlawCluster(500, 3, 0.4, 7);
+  const std::string path = TempPath("plc.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded.value().adjacency(), g.adjacency());
+  EXPECT_EQ(loaded.value().offsets(), g.offsets());
+}
+
+TEST(GraphIoTest, BinaryRejectsWrongMagic) {
+  const std::string path = TempPath("bad.bin");
+  std::ofstream out(path, std::ios::binary);
+  out << "NOTAGRAPHFILE";
+  out.close();
+  auto loaded = LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(GraphIoTest, BinaryEmptyGraph) {
+  Graph g;
+  GraphBuilder b(4);
+  g = b.Build();
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumNodes(), 4u);
+  EXPECT_EQ(loaded.value().NumEdges(), 0u);
+}
+
+TEST(CommunitySetTest, SaveLoadRoundTrip) {
+  CommunitySet cs;
+  cs.Add({1, 2, 3});
+  cs.Add({4, 5});
+  cs.Add({6});
+  const std::string path = TempPath("cmty.txt");
+  ASSERT_TRUE(cs.Save(path).ok());
+  auto loaded = CommunitySet::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().NumCommunities(), 3u);
+  EXPECT_EQ(loaded.value().Community(0), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(loaded.value().Community(2), (std::vector<NodeId>{6}));
+}
+
+TEST(CommunitySetTest, SizeFilter) {
+  CommunitySet cs;
+  cs.Add({1, 2, 3});
+  cs.Add({4, 5});
+  cs.Add({6, 7, 8, 9});
+  auto big = cs.CommunitiesOfSizeAtLeast(3);
+  EXPECT_EQ(big, (std::vector<size_t>{0, 2}));
+}
+
+TEST(CommunitySetTest, MembershipLookup) {
+  CommunitySet cs;
+  cs.Add({0, 1});
+  cs.Add({2, 3});
+  EXPECT_EQ(cs.CommunityOf(0, 5), 0);
+  EXPECT_EQ(cs.CommunityOf(3, 5), 1);
+  EXPECT_EQ(cs.CommunityOf(4, 5), -1);
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,119 @@
+// Tests for the HK-Relax baseline and its absolute-error guarantee.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/hk_relax.h"
+#include "clustering/metrics.h"
+#include "graph/generators.h"
+#include "hkpr/power_method.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+TEST(HkRelaxTest, AbsoluteErrorGuaranteeOnBarbell) {
+  Graph g = testing::MakeBarbell(6);
+  for (double eps : {1e-2, 1e-3, 1e-4}) {
+    HkRelaxOptions options;
+    options.t = 5.0;
+    options.eps_a = eps;
+    HkRelaxEstimator relax(g, options);
+    const std::vector<double> exact = ExactHkpr(g, options.t, 0);
+    SparseVector est = relax.Estimate(0);
+    EXPECT_LE(MaxNormalizedError(g, est, exact), eps) << "eps=" << eps;
+  }
+}
+
+TEST(HkRelaxTest, AbsoluteErrorGuaranteeOnRandomGraphs) {
+  for (uint64_t graph_seed : {1ull, 2ull, 3ull}) {
+    Graph g = PowerlawCluster(400, 4, 0.3, graph_seed);
+    HkRelaxOptions options;
+    options.t = 5.0;
+    options.eps_a = 1e-4;
+    HkRelaxEstimator relax(g, options);
+    const NodeId query = static_cast<NodeId>(17 * (graph_seed + 1));
+    const std::vector<double> exact = ExactHkpr(g, options.t, query);
+    SparseVector est = relax.Estimate(query);
+    EXPECT_LE(MaxNormalizedError(g, est, exact), options.eps_a)
+        << "graph seed " << graph_seed;
+  }
+}
+
+TEST(HkRelaxTest, WorkGrowsAsEpsShrinks) {
+  Graph g = PowerlawCluster(2000, 4, 0.3, 4);
+  EstimatorStats coarse_stats, fine_stats;
+  {
+    HkRelaxOptions options;
+    options.eps_a = 1e-3;
+    HkRelaxEstimator relax(g, options);
+    relax.Estimate(5, &coarse_stats);
+  }
+  {
+    HkRelaxOptions options;
+    options.eps_a = 1e-6;
+    HkRelaxEstimator relax(g, options);
+    relax.Estimate(5, &fine_stats);
+  }
+  EXPECT_GT(fine_stats.push_operations, coarse_stats.push_operations);
+}
+
+TEST(HkRelaxTest, TaylorDegreeCoversTail) {
+  Graph g = testing::MakeBarbell(4);
+  HkRelaxOptions options;
+  options.t = 5.0;
+  options.eps_a = 1e-5;
+  HkRelaxEstimator relax(g, options);
+  // Tail mass beyond N must be below eps/2.
+  HeatKernel kernel(options.t);
+  EXPECT_LE(kernel.Psi(relax.taylor_degree() + 1), options.eps_a / 2.0);
+}
+
+TEST(HkRelaxTest, MassNeverExceedsOne) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 5);
+  HkRelaxOptions options;
+  options.eps_a = 1e-4;
+  HkRelaxEstimator relax(g, options);
+  SparseVector est = relax.Estimate(3);
+  EXPECT_LE(est.Sum(), 1.0 + 1e-6);
+  EXPECT_GT(est.Sum(), 0.5);  // most mass recovered at this accuracy
+}
+
+TEST(HkRelaxTest, DeterministicAlgorithm) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 6);
+  HkRelaxOptions options;
+  options.eps_a = 1e-4;
+  HkRelaxEstimator a(g, options), b(g, options);
+  SparseVector ea = a.Estimate(8), eb = b.Estimate(8);
+  ASSERT_EQ(ea.nnz(), eb.nnz());
+  for (const auto& e : ea.entries()) EXPECT_DOUBLE_EQ(eb.Get(e.key), e.value);
+}
+
+TEST(HkRelaxTest, SupportIsLocal) {
+  // With a modest eps the support must stay far below n on a large sparse
+  // graph (local computation).
+  Graph g = Grid3D(12, 12, 12, true);
+  HkRelaxOptions options;
+  options.eps_a = 1e-3;
+  HkRelaxEstimator relax(g, options);
+  SparseVector est = relax.Estimate(0);
+  EXPECT_LT(est.nnz(), g.NumNodes() / 2);
+  EXPECT_GT(est.nnz(), 0u);
+}
+
+TEST(HkRelaxTest, LargerTSpreadsMass) {
+  Graph g = testing::MakePath(40);
+  HkRelaxOptions small_t, large_t;
+  small_t.t = 2.0;
+  small_t.eps_a = 1e-6;
+  large_t.t = 20.0;
+  large_t.eps_a = 1e-6;
+  HkRelaxEstimator a(g, small_t), b(g, large_t);
+  SparseVector ea = a.Estimate(20), eb = b.Estimate(20);
+  // Mass 10 hops away should be clearly larger with larger t.
+  EXPECT_GT(eb.Get(30), ea.Get(30));
+}
+
+}  // namespace
+}  // namespace hkpr

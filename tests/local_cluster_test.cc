@@ -1,0 +1,111 @@
+// End-to-end local clustering tests (estimate + sweep).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/hk_relax.h"
+#include "clustering/local_cluster.h"
+#include "clustering/metrics.h"
+#include "graph/generators.h"
+#include "hkpr/tea.h"
+#include "hkpr/tea_plus.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+ApproxParams ClusterParams(const Graph& g) {
+  ApproxParams p;
+  p.t = 5.0;
+  p.eps_r = 0.5;
+  // delta must sit below the typical normalized HKPR of relevant nodes
+  // (~1/vol near the seed); 1/(10 vol) keeps the guarantee meaningful even
+  // on the small test graphs.
+  p.delta = 1.0 / (10.0 * static_cast<double>(g.Volume()));
+  p.p_f = 1e-4;
+  return p;
+}
+
+TEST(LocalClusterTest, BarbellSeparation) {
+  Graph g = testing::MakeBarbell(8);
+  TeaPlusEstimator est(g, ClusterParams(g), 1);
+  LocalClusterResult result = LocalCluster(g, est, 0);
+  std::vector<NodeId> sorted = result.cluster;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<NodeId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_LT(result.conductance, 0.05);
+}
+
+TEST(LocalClusterTest, TimingsPopulated) {
+  Graph g = PowerlawCluster(500, 4, 0.3, 2);
+  TeaPlusEstimator est(g, ClusterParams(g), 3);
+  LocalClusterResult result = LocalCluster(g, est, 5);
+  EXPECT_GE(result.estimate_ms, 0.0);
+  EXPECT_GE(result.sweep_ms, 0.0);
+  EXPECT_GE(result.total_ms, result.estimate_ms);
+  EXPECT_GT(result.support_size, 0u);
+}
+
+TEST(LocalClusterTest, TeaPlusRecoversPlantedCommunity) {
+  CommunityGraph cg = PlantedPartition(10, 50, 0.3, 0.002, 4);
+  TeaPlusEstimator est(cg.graph, ClusterParams(cg.graph), 5);
+  const auto& truth = cg.communities.Community(3);
+  LocalClusterResult result = LocalCluster(cg.graph, est, truth[7]);
+  const F1Stats f1 = ComputeF1(result.cluster, truth);
+  EXPECT_GT(f1.f1, 0.7);
+}
+
+TEST(LocalClusterTest, TeaAndTeaPlusAgreeOnQuality) {
+  CommunityGraph cg = PlantedPartition(8, 40, 0.35, 0.003, 6);
+  const ApproxParams params = ClusterParams(cg.graph);
+  TeaEstimator tea(cg.graph, params, 7);
+  TeaPlusEstimator tea_plus(cg.graph, params, 7);
+  const NodeId seed = cg.communities.Community(0)[0];
+  LocalClusterResult a = LocalCluster(cg.graph, tea, seed);
+  LocalClusterResult b = LocalCluster(cg.graph, tea_plus, seed);
+  // Same guarantee, so the clusters should have comparable conductance.
+  EXPECT_NEAR(a.conductance, b.conductance, 0.15);
+}
+
+TEST(LocalClusterTest, HkRelaxComparableConductance) {
+  CommunityGraph cg = PlantedPartition(8, 40, 0.35, 0.003, 8);
+  HkRelaxOptions options;
+  options.eps_a = 1e-5;
+  HkRelaxEstimator relax(cg.graph, options);
+  TeaPlusEstimator tea_plus(cg.graph, ClusterParams(cg.graph), 9);
+  const NodeId seed = cg.communities.Community(5)[3];
+  LocalClusterResult a = LocalCluster(cg.graph, relax, seed);
+  LocalClusterResult b = LocalCluster(cg.graph, tea_plus, seed);
+  EXPECT_NEAR(a.conductance, b.conductance, 0.15);
+}
+
+TEST(LocalClusterTest, ClusterIsLocalOnGrid) {
+  Graph g = Grid3D(16, 16, 16, true);
+  ApproxParams params = ClusterParams(g);
+  params.delta = 1e-4;  // keep the estimate local
+  TeaPlusEstimator est(g, params, 10);
+  LocalClusterResult result = LocalCluster(g, est, 100);
+  EXPECT_LT(result.cluster.size(), g.NumNodes() / 2);
+  EXPECT_FALSE(result.cluster.empty());
+}
+
+TEST(LocalClusterTest, SeedUsuallyInCluster) {
+  // HKPR mass is highest near the seed; on community-structured graphs the
+  // best sweep prefix should contain the seed.
+  CommunityGraph cg = PlantedPartition(6, 50, 0.3, 0.002, 11);
+  TeaPlusEstimator est(cg.graph, ClusterParams(cg.graph), 12);
+  int contained = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const NodeId seed = cg.communities.Community(trial)[trial];
+    LocalClusterResult result = LocalCluster(cg.graph, est, seed);
+    if (std::find(result.cluster.begin(), result.cluster.end(), seed) !=
+        result.cluster.end()) {
+      ++contained;
+    }
+  }
+  EXPECT_GE(contained, 4);
+}
+
+}  // namespace
+}  // namespace hkpr

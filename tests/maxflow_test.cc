@@ -1,0 +1,142 @@
+// Tests for the Dinic max-flow substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "flow/maxflow.h"
+
+namespace hkpr {
+namespace {
+
+TEST(MaxFlowTest, SingleArc) {
+  FlowNetwork net(2);
+  net.AddArc(0, 1, 7);
+  EXPECT_EQ(net.MaxFlow(0, 1), 7);
+}
+
+TEST(MaxFlowTest, SeriesTakesMinimum) {
+  FlowNetwork net(3);
+  net.AddArc(0, 1, 10);
+  net.AddArc(1, 2, 4);
+  EXPECT_EQ(net.MaxFlow(0, 2), 4);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  FlowNetwork net(4);
+  net.AddArc(0, 1, 3);
+  net.AddArc(1, 3, 3);
+  net.AddArc(0, 2, 5);
+  net.AddArc(2, 3, 5);
+  EXPECT_EQ(net.MaxFlow(0, 3), 8);
+}
+
+TEST(MaxFlowTest, ClassicTextbookNetwork) {
+  // CLRS-style example with known max flow 23.
+  FlowNetwork net(6);
+  net.AddArc(0, 1, 16);
+  net.AddArc(0, 2, 13);
+  net.AddArc(1, 2, 10);
+  net.AddArc(2, 1, 4);
+  net.AddArc(1, 3, 12);
+  net.AddArc(3, 2, 9);
+  net.AddArc(2, 4, 14);
+  net.AddArc(4, 3, 7);
+  net.AddArc(3, 5, 20);
+  net.AddArc(4, 5, 4);
+  EXPECT_EQ(net.MaxFlow(0, 5), 23);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  FlowNetwork net(4);
+  net.AddArc(0, 1, 5);
+  net.AddArc(2, 3, 5);
+  EXPECT_EQ(net.MaxFlow(0, 3), 0);
+}
+
+TEST(MaxFlowTest, UndirectedEdgeBothWays) {
+  FlowNetwork a(2), b(2);
+  a.AddUndirectedEdge(0, 1, 6);
+  b.AddUndirectedEdge(0, 1, 6);
+  EXPECT_EQ(a.MaxFlow(0, 1), 6);
+  EXPECT_EQ(b.MaxFlow(1, 0), 6);
+}
+
+TEST(MaxFlowTest, MinCutSeparatesSourceFromSink) {
+  FlowNetwork net(5);
+  net.AddArc(0, 1, 2);
+  net.AddArc(0, 2, 2);
+  net.AddArc(1, 3, 1);
+  net.AddArc(2, 3, 1);
+  net.AddArc(3, 4, 10);
+  EXPECT_EQ(net.MaxFlow(0, 4), 2);
+  const std::vector<bool> side = net.MinCutSourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[4]);
+  EXPECT_FALSE(side[3]);  // bottleneck arcs 1->3, 2->3 are saturated
+}
+
+/// Brute-force min cut by enumerating all source/sink partitions.
+int64_t BruteForceMinCut(uint32_t n,
+                         const std::vector<std::array<int64_t, 3>>& arcs,
+                         uint32_t s, uint32_t t) {
+  int64_t best = INT64_MAX;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (!(mask & (1u << s)) || (mask & (1u << t))) continue;
+    int64_t cut = 0;
+    for (const auto& [from, to, cap] : arcs) {
+      if ((mask & (1u << from)) && !(mask & (1u << to))) cut += cap;
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+TEST(MaxFlowTest, MatchesBruteForceOnRandomNetworks) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t n = 6;
+    std::vector<std::array<int64_t, 3>> arcs;
+    FlowNetwork net(n);
+    for (int e = 0; e < 12; ++e) {
+      const uint32_t u = static_cast<uint32_t>(rng.UniformInt(n));
+      const uint32_t v = static_cast<uint32_t>(rng.UniformInt(n));
+      if (u == v) continue;
+      const int64_t cap = static_cast<int64_t>(rng.UniformInt(10)) + 1;
+      arcs.push_back({u, v, cap});
+      net.AddArc(u, v, cap);
+    }
+    const int64_t flow = net.MaxFlow(0, n - 1);
+    const int64_t cut = BruteForceMinCut(n, arcs, 0, n - 1);
+    EXPECT_EQ(flow, cut) << "trial " << trial;
+  }
+}
+
+TEST(MaxFlowTest, MinCutValueMatchesFlow) {
+  // Max-flow min-cut duality on a random instance: the cut induced by the
+  // reachable set must equal the flow value.
+  Rng rng(12);
+  const uint32_t n = 20;
+  FlowNetwork net(n);
+  std::vector<std::array<int64_t, 3>> arcs;
+  for (int e = 0; e < 80; ++e) {
+    const uint32_t u = static_cast<uint32_t>(rng.UniformInt(n));
+    const uint32_t v = static_cast<uint32_t>(rng.UniformInt(n));
+    if (u == v) continue;
+    const int64_t cap = static_cast<int64_t>(rng.UniformInt(20)) + 1;
+    arcs.push_back({u, v, cap});
+    net.AddArc(u, v, cap);
+  }
+  const int64_t flow = net.MaxFlow(0, n - 1);
+  const std::vector<bool> side = net.MinCutSourceSide(0);
+  int64_t cut = 0;
+  for (const auto& [from, to, cap] : arcs) {
+    if (side[from] && !side[to]) cut += cap;
+  }
+  EXPECT_EQ(cut, flow);
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,168 @@
+// Tests for F1, NDCG and error metrics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clustering/metrics.h"
+#include "graph/generators.h"
+#include "hkpr/power_method.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+TEST(F1Test, PerfectMatch) {
+  std::vector<NodeId> a = {1, 2, 3};
+  F1Stats f1 = ComputeF1(a, a);
+  EXPECT_DOUBLE_EQ(f1.precision, 1.0);
+  EXPECT_DOUBLE_EQ(f1.recall, 1.0);
+  EXPECT_DOUBLE_EQ(f1.f1, 1.0);
+}
+
+TEST(F1Test, DisjointSets) {
+  std::vector<NodeId> a = {1, 2};
+  std::vector<NodeId> b = {3, 4};
+  F1Stats f1 = ComputeF1(a, b);
+  EXPECT_DOUBLE_EQ(f1.f1, 0.0);
+}
+
+TEST(F1Test, HandComputedOverlap) {
+  std::vector<NodeId> predicted = {1, 2, 3, 4};   // 2 correct of 4
+  std::vector<NodeId> truth = {3, 4, 5, 6, 7, 8}; // 2 recalled of 6
+  F1Stats f1 = ComputeF1(predicted, truth);
+  EXPECT_DOUBLE_EQ(f1.precision, 0.5);
+  EXPECT_DOUBLE_EQ(f1.recall, 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(f1.f1, 2.0 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0));
+}
+
+TEST(F1Test, EmptyPrediction) {
+  std::vector<NodeId> none;
+  std::vector<NodeId> truth = {1};
+  F1Stats f1 = ComputeF1(none, truth);
+  EXPECT_DOUBLE_EQ(f1.f1, 0.0);
+}
+
+TEST(F1Test, DuplicatesCollapse) {
+  std::vector<NodeId> predicted = {1, 1, 2, 2};
+  std::vector<NodeId> truth = {1, 2};
+  F1Stats f1 = ComputeF1(predicted, truth);
+  EXPECT_DOUBLE_EQ(f1.f1, 1.0);
+}
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  Graph g = testing::MakeBarbell(5);
+  std::vector<double> exact = ExactHkpr(g, 5.0, 0);
+  std::vector<double> normalized = exact;
+  NormalizeByDegree(g, normalized);
+  SparseVector est;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) est.Add(v, exact[v]);
+  EXPECT_NEAR(NdcgAtK(g, est, normalized, 10), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, ShuffledRankingScoresBelowOne) {
+  Graph g = PowerlawCluster(200, 3, 0.3, 1);
+  std::vector<double> exact = ExactHkpr(g, 5.0, 3);
+  std::vector<double> normalized = exact;
+  NormalizeByDegree(g, normalized);
+  // Adversarial estimate: invert the scores on the support.
+  SparseVector bad;
+  double max_score = 0.0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_score = std::max(max_score, exact[v]);
+  }
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (exact[v] > 0) bad.Add(v, (max_score - exact[v]) + 1e-12);
+  }
+  const double ndcg = NdcgAtK(g, bad, normalized, 50);
+  EXPECT_LT(ndcg, 0.9);
+  EXPECT_GE(ndcg, 0.0);
+}
+
+TEST(NdcgTest, BetterEstimateScoresHigher) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 2);
+  std::vector<double> exact = ExactHkpr(g, 5.0, 9);
+  std::vector<double> normalized = exact;
+  NormalizeByDegree(g, normalized);
+
+  // Coarse estimate: heavy multiplicative noise. Fine: light noise.
+  Rng rng(3);
+  SparseVector coarse, fine;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (exact[v] <= 0) continue;
+    coarse.Add(v, exact[v] * (0.05 + 1.9 * rng.UniformDouble()));
+    fine.Add(v, exact[v] * (0.9 + 0.2 * rng.UniformDouble()));
+  }
+  EXPECT_GT(NdcgAtK(g, fine, normalized, 100),
+            NdcgAtK(g, coarse, normalized, 100));
+}
+
+TEST(NdcgTest, DepthZeroIsOne) {
+  Graph g = testing::MakeCycle(4);
+  std::vector<double> normalized(4, 0.1);
+  SparseVector est;
+  EXPECT_DOUBLE_EQ(NdcgAtK(g, est, normalized, 0), 1.0);
+}
+
+TEST(MaxNormalizedErrorTest, ZeroForExact) {
+  Graph g = testing::MakeBarbell(4);
+  std::vector<double> exact = ExactHkpr(g, 5.0, 0);
+  SparseVector est;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) est.Add(v, exact[v]);
+  EXPECT_DOUBLE_EQ(MaxNormalizedError(g, est, exact), 0.0);
+}
+
+TEST(MaxNormalizedErrorTest, DetectsSingleNodeError) {
+  Graph g = testing::MakeStar(5);  // d(0)=4, leaves degree 1
+  std::vector<double> exact(5, 0.1);
+  SparseVector est;
+  for (NodeId v = 0; v < 5; ++v) est.Add(v, 0.1);
+  est.Add(2, 0.05);  // off by 0.05 on a degree-1 node
+  EXPECT_DOUBLE_EQ(MaxNormalizedError(g, est, exact), 0.05);
+}
+
+TEST(MaxNormalizedErrorTest, IncludesDegreeOffset) {
+  Graph g = testing::MakeStar(5);
+  std::vector<double> exact(5, 0.0);
+  SparseVector est;
+  est.set_degree_offset(0.01);
+  // Every node v now has estimate 0.01*d(v) -> normalized error 0.01.
+  EXPECT_DOUBLE_EQ(MaxNormalizedError(g, est, exact), 0.01);
+}
+
+TEST(CountApproxViolationsTest, FlagsRelativeViolations) {
+  Graph g = testing::MakeStar(4);  // degrees 3,1,1,1
+  std::vector<double> exact = {0.3, 0.2, 0.2, 0.2};
+  SparseVector est;
+  est.Add(0, 0.3);
+  est.Add(1, 0.2);
+  est.Add(2, 0.2);
+  est.Add(3, 0.05);  // relative error 0.75 > eps_r on a significant node
+  EXPECT_EQ(CountApproxViolations(g, est, exact, 0.5, 0.01), 1u);
+}
+
+TEST(CountApproxViolationsTest, SmallValuesGetAbsoluteBudget) {
+  Graph g = testing::MakeStar(4);
+  std::vector<double> exact = {0.3, 1e-6, 0.2, 0.2};
+  SparseVector est;
+  est.Add(0, 0.3);
+  est.Add(1, 5e-6);  // 5x relative error but tiny absolute: below eps_r*delta
+  est.Add(2, 0.2);
+  est.Add(3, 0.2);
+  EXPECT_EQ(CountApproxViolations(g, est, exact, 0.5, 0.01), 0u);
+}
+
+TEST(CountApproxViolationsTest, SlackLoosens) {
+  Graph g = testing::MakeStar(4);
+  std::vector<double> exact = {0.3, 0.2, 0.2, 0.2};
+  SparseVector est;
+  est.Add(0, 0.3);
+  est.Add(1, 0.2);
+  est.Add(2, 0.2);
+  est.Add(3, 0.09);  // rel error 0.55, just past eps_r = 0.5
+  EXPECT_EQ(CountApproxViolations(g, est, exact, 0.5, 0.01, 1.0), 1u);
+  EXPECT_EQ(CountApproxViolations(g, est, exact, 0.5, 0.01, 1.2), 0u);
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,120 @@
+// Tests for ApproxParams helpers: p'_f (Equation 6), omega, hop cap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hkpr/params.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+TEST(PfPrimeTest, HighDegreeGraphKeepsPf) {
+  // Complete graph: every degree is n-1 = 19, so sum p_f^(d-1) = 20 * 1e-6^19
+  // which is far below 1 -> p'_f = p_f.
+  Graph g = testing::MakeComplete(20);
+  EXPECT_DOUBLE_EQ(ComputePfPrime(g, 1e-6), 1e-6);
+}
+
+TEST(PfPrimeTest, DegreeOneNodesShrinkPf) {
+  // Star: n-1 leaves with degree 1 contribute p_f^0 = 1 each, so the sum is
+  // about n-1 > 1 and p'_f ~= p_f / (n-1).
+  Graph g = testing::MakeStar(101);  // 100 leaves
+  const double pf_prime = ComputePfPrime(g, 1e-6);
+  EXPECT_LT(pf_prime, 1e-6);
+  EXPECT_NEAR(pf_prime, 1e-6 / 100.0, 1e-9);
+}
+
+TEST(PfPrimeTest, IsolatedNodesIgnored) {
+  GraphBuilder b(10);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);  // triangle; nodes 3..9 isolated
+  Graph g = b.Build();
+  // Triangle degrees are 2: sum = 3 * 1e-6 < 1 -> p'_f = p_f, regardless of
+  // the isolated nodes.
+  EXPECT_DOUBLE_EQ(ComputePfPrime(g, 1e-6), 1e-6);
+}
+
+TEST(PfPrimeTest, MonotoneInPf) {
+  Graph g = testing::MakeStar(50);
+  EXPECT_LT(ComputePfPrime(g, 1e-8), ComputePfPrime(g, 1e-4));
+}
+
+TEST(OmegaTest, TeaFormula) {
+  ApproxParams p;
+  p.eps_r = 0.5;
+  p.delta = 1e-4;
+  const double pf_prime = 1e-6;
+  const double expected =
+      2.0 * (1.0 + 0.5 / 3.0) * std::log(1e6) / (0.25 * 1e-4);
+  EXPECT_NEAR(OmegaTea(p, pf_prime), expected, 1e-6 * expected);
+}
+
+TEST(OmegaTest, TeaPlusFormula) {
+  ApproxParams p;
+  p.eps_r = 0.5;
+  p.delta = 1e-4;
+  const double pf_prime = 1e-6;
+  const double expected =
+      8.0 * (1.0 + 0.5 / 6.0) * std::log(1e6) / (0.25 * 1e-4);
+  EXPECT_NEAR(OmegaTeaPlus(p, pf_prime), expected, 1e-6 * expected);
+}
+
+TEST(OmegaTest, ShrinksWithLooserAccuracy) {
+  ApproxParams tight, loose;
+  tight.eps_r = 0.1;
+  loose.eps_r = 0.9;
+  tight.delta = loose.delta = 1e-5;
+  EXPECT_GT(OmegaTea(tight, 1e-6), OmegaTea(loose, 1e-6));
+  tight.eps_r = loose.eps_r = 0.5;
+  tight.delta = 1e-7;
+  loose.delta = 1e-3;
+  EXPECT_GT(OmegaTeaPlus(tight, 1e-6), OmegaTeaPlus(loose, 1e-6));
+}
+
+TEST(HopCapTest, GrowsWithC) {
+  ApproxParams p;
+  p.eps_r = 0.5;
+  p.delta = 1e-5;
+  const uint32_t k1 = ChooseHopCap(1.0, p, 10.0, 1000);
+  const uint32_t k2 = ChooseHopCap(3.0, p, 10.0, 1000);
+  EXPECT_LT(k1, k2);
+}
+
+TEST(HopCapTest, ShrinksWithDegree) {
+  ApproxParams p;
+  p.eps_r = 0.5;
+  p.delta = 1e-5;
+  EXPECT_GE(ChooseHopCap(2.0, p, 4.0, 1000), ChooseHopCap(2.0, p, 64.0, 1000));
+}
+
+TEST(HopCapTest, ClampedToMaxHop) {
+  ApproxParams p;
+  p.eps_r = 0.1;
+  p.delta = 1e-9;
+  EXPECT_EQ(ChooseHopCap(10.0, p, 2.0, 25), 25u);
+}
+
+TEST(HopCapTest, AtLeastOne) {
+  ApproxParams p;
+  p.eps_r = 0.9;
+  p.delta = 0.5;
+  EXPECT_GE(ChooseHopCap(0.1, p, 100.0, 50), 1u);
+}
+
+TEST(HopCapTest, MatchesPaperFormula) {
+  // K = c * log(1/(eps_r*delta)) / log(avg_deg), rounded up.
+  ApproxParams p;
+  p.eps_r = 0.5;
+  p.delta = 2e-5;
+  const double c = 2.5;
+  const double davg = 12.0;
+  const double raw = c * std::log(1.0 / (p.eps_r * p.delta)) / std::log(davg);
+  EXPECT_EQ(ChooseHopCap(c, p, davg, 1000),
+            static_cast<uint32_t>(std::ceil(raw)));
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,136 @@
+// Tests for the dense power-method ground truth.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/generators.h"
+#include "hkpr/power_method.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+/// Brute-force HKPR via explicit dense matrix powers (O(K n^3); tiny graphs
+/// only). Completely independent of the iterative implementation.
+std::vector<double> BruteForceHkpr(const Graph& g, double t, NodeId seed,
+                                   uint32_t max_k) {
+  const uint32_t n = g.NumNodes();
+  // P as a dense matrix.
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.Degree(u) == 0) {
+      p[u][u] = 1.0;  // stranded mass stays (matches the implementation)
+      continue;
+    }
+    for (NodeId v : g.Neighbors(u)) {
+      p[u][v] = 1.0 / g.Degree(u);
+    }
+  }
+  std::vector<std::vector<double>> pk(n, std::vector<double>(n, 0.0));
+  for (uint32_t i = 0; i < n; ++i) pk[i][i] = 1.0;  // P^0
+  std::vector<double> rho(n, 0.0);
+  double eta = std::exp(-t);
+  double factorial_scale = eta;
+  for (uint32_t k = 0; k <= max_k; ++k) {
+    if (k > 0) {
+      // pk = pk * P
+      std::vector<std::vector<double>> next(n, std::vector<double>(n, 0.0));
+      for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t l = 0; l < n; ++l) {
+          if (pk[i][l] == 0.0) continue;
+          for (uint32_t j = 0; j < n; ++j) next[i][j] += pk[i][l] * p[l][j];
+        }
+      }
+      pk.swap(next);
+      factorial_scale *= t / k;
+    }
+    for (uint32_t v = 0; v < n; ++v) rho[v] += factorial_scale * pk[seed][v];
+  }
+  return rho;
+}
+
+TEST(PowerMethodTest, MatchesBruteForceOnBarbell) {
+  Graph g = testing::MakeBarbell(3);
+  const double t = 4.0;
+  const std::vector<double> exact = ExactHkpr(g, t, 0);
+  const std::vector<double> brute = BruteForceHkpr(g, t, 0, 60);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_NEAR(exact[v], brute[v], 1e-10) << v;
+  }
+}
+
+TEST(PowerMethodTest, MatchesBruteForceOnStar) {
+  Graph g = testing::MakeStar(7);
+  const std::vector<double> exact = ExactHkpr(g, 2.0, 3);  // leaf seed
+  const std::vector<double> brute = BruteForceHkpr(g, 2.0, 3, 50);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_NEAR(exact[v], brute[v], 1e-10) << v;
+  }
+}
+
+TEST(PowerMethodTest, SumsToOne) {
+  Graph g = PowerlawCluster(200, 3, 0.3, 1);
+  const std::vector<double> rho = ExactHkpr(g, 5.0, 17);
+  double sum = 0.0;
+  for (double x : rho) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PowerMethodTest, NonNegative) {
+  Graph g = ErdosRenyiGnm(100, 300, 2);
+  const std::vector<double> rho = ExactHkpr(g, 5.0, 3);
+  for (double x : rho) EXPECT_GE(x, 0.0);
+}
+
+TEST(PowerMethodTest, SymmetryLemma6) {
+  // Lemma 6 implies rho_u[v]/d(v) == rho_v[u]/d(u) for undirected graphs.
+  Graph g = PowerlawCluster(80, 3, 0.4, 3);
+  const NodeId u = 5, v = 33;
+  const std::vector<double> rho_u = ExactHkpr(g, 5.0, u);
+  const std::vector<double> rho_v = ExactHkpr(g, 5.0, v);
+  EXPECT_NEAR(rho_u[v] / g.Degree(v), rho_v[u] / g.Degree(u), 1e-10);
+}
+
+TEST(PowerMethodTest, SeedDominatesNearbyMassForSmallT) {
+  Graph g = testing::MakePath(20);
+  const std::vector<double> rho = ExactHkpr(g, 1.0, 10);
+  // With t = 1 most mass stays within a couple of hops.
+  EXPECT_GT(rho[10] + rho[9] + rho[11], 0.5);
+  EXPECT_LT(rho[0], 1e-4);
+}
+
+TEST(PowerMethodTest, DisconnectedComponentGetsNoMass) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  Graph g = b.Build();
+  const std::vector<double> rho = ExactHkpr(g, 5.0, 0);
+  EXPECT_DOUBLE_EQ(rho[3], 0.0);
+  EXPECT_DOUBLE_EQ(rho[4], 0.0);
+  EXPECT_DOUBLE_EQ(rho[5], 0.0);
+}
+
+TEST(NormalizeByDegreeTest, DividesByDegree) {
+  Graph g = testing::MakeStar(4);
+  std::vector<double> rho = {0.6, 0.2, 0.1, 0.1};
+  NormalizeByDegree(g, rho);
+  EXPECT_DOUBLE_EQ(rho[0], 0.2);  // 0.6 / 3 (hub degree 3)
+  EXPECT_DOUBLE_EQ(rho[1], 0.2);  // leaves have degree 1
+  EXPECT_DOUBLE_EQ(rho[2], 0.1);
+}
+
+TEST(NormalizeByDegreeTest, IsolatedNodesZero) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  std::vector<double> rho = {0.5, 0.3, 0.2};
+  NormalizeByDegree(g, rho);
+  EXPECT_DOUBLE_EQ(rho[2], 0.0);
+}
+
+}  // namespace
+}  // namespace hkpr

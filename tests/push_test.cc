@@ -1,0 +1,243 @@
+// Tests for HK-Push / HK-Push+ — including the Lemma 1 invariant and
+// Theorem 2, validated against dense ground truth on small graphs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "hkpr/power_method.h"
+#include "hkpr/push.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+/// Evaluates the Lemma 1 identity
+///   rho_s[v] = q_s[v] + sum_u sum_k r_k[u] * h_u^(k)[v]
+/// densely and returns the max absolute deviation from the exact HKPR.
+double Lemma1Deviation(const Graph& g, const HeatKernel& kernel, NodeId seed,
+                       const PushResult& push) {
+  const std::vector<double> exact = ExactHkpr(g, kernel, seed);
+  std::vector<double> reconstructed(g.NumNodes(), 0.0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    reconstructed[v] = push.reserve.Get(v);
+  }
+  for (uint32_t k = 0; k <= push.residues.max_hop(); ++k) {
+    for (const auto& e : push.residues.Hop(k).entries()) {
+      if (e.value <= 0.0) continue;
+      const std::vector<double> h = testing::ExactH(g, kernel, e.key, k);
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        reconstructed[v] += e.value * h[v];
+      }
+    }
+  }
+  double worst = 0.0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    worst = std::max(worst, std::abs(reconstructed[v] - exact[v]));
+  }
+  return worst;
+}
+
+TEST(HkPushTest, Lemma1InvariantOnBarbell) {
+  Graph g = testing::MakeBarbell(5);
+  HeatKernel kernel(5.0);
+  for (double r_max : {0.5, 0.1, 0.01, 0.001}) {
+    PushResult push = HkPush(g, kernel, 0, r_max);
+    EXPECT_LT(Lemma1Deviation(g, kernel, 0, push), 1e-9) << "r_max=" << r_max;
+  }
+}
+
+TEST(HkPushTest, Lemma1InvariantOnRandomGraph) {
+  Graph g = ErdosRenyiGnm(40, 120, 3);
+  HeatKernel kernel(3.0);
+  PushResult push = HkPush(g, kernel, 7, 0.005);
+  EXPECT_LT(Lemma1Deviation(g, kernel, 7, push), 1e-9);
+}
+
+TEST(HkPushTest, ReserveIsLowerBoundOfExact) {
+  Graph g = testing::MakeBarbell(6);
+  HeatKernel kernel(5.0);
+  const std::vector<double> exact = ExactHkpr(g, kernel, 0);
+  PushResult push = HkPush(g, kernel, 0, 0.001);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LE(push.reserve.Get(v), exact[v] + 1e-12) << v;
+  }
+}
+
+TEST(HkPushTest, MassConservation) {
+  // reserve total + residue total == 1 at every threshold.
+  Graph g = PowerlawCluster(300, 3, 0.3, 4);
+  HeatKernel kernel(5.0);
+  for (double r_max : {0.1, 0.01, 0.001}) {
+    PushResult push = HkPush(g, kernel, 11, r_max);
+    EXPECT_NEAR(push.reserve.Sum() + push.residues.TotalSum(), 1.0, 1e-9);
+  }
+}
+
+TEST(HkPushTest, SmallerThresholdMoreWork) {
+  Graph g = PowerlawCluster(500, 4, 0.3, 5);
+  HeatKernel kernel(5.0);
+  PushResult coarse = HkPush(g, kernel, 10, 0.01);
+  PushResult fine = HkPush(g, kernel, 10, 0.0001);
+  EXPECT_GT(fine.push_operations, coarse.push_operations);
+  EXPECT_LT(fine.residues.TotalSum(), coarse.residues.TotalSum());
+}
+
+TEST(HkPushTest, ResiduesRespectThreshold) {
+  Graph g = PowerlawCluster(400, 3, 0.2, 6);
+  HeatKernel kernel(5.0);
+  const double r_max = 0.003;
+  PushResult push = HkPush(g, kernel, 5, r_max);
+  // Below the final hop, every remaining residue obeys r <= r_max * d(v).
+  for (uint32_t k = 0; k < kernel.MaxHop(); ++k) {
+    for (const auto& e : push.residues.Hop(k).entries()) {
+      EXPECT_LE(e.value, r_max * g.Degree(e.key) + 1e-12)
+          << "hop " << k << " node " << e.key;
+    }
+  }
+}
+
+TEST(HkPushTest, WorkScalesInverseThreshold) {
+  // Lemma 3: total pushes are O(1/r_max).
+  Graph g = PowerlawCluster(2000, 4, 0.3, 7);
+  HeatKernel kernel(5.0);
+  PushResult push = HkPush(g, kernel, 3, 0.0005);
+  EXPECT_LT(static_cast<double>(push.push_operations), 4.0 / 0.0005);
+}
+
+TEST(HkPushPlusTest, BudgetRespected) {
+  Graph g = PowerlawCluster(2000, 5, 0.3, 8);
+  HeatKernel kernel(5.0);
+  HkPushPlusOptions options;
+  options.eps_r = 0.5;
+  options.delta = 1e-7;
+  options.hop_cap = 12;
+  options.push_budget = 500;
+  PushResult push = HkPushPlus(g, kernel, 3, options);
+  EXPECT_TRUE(push.hit_budget);
+  // The budget check happens before processing an entry; an entry may
+  // overshoot by at most its own degree.
+  EXPECT_LE(push.push_operations, options.push_budget + g.MaxDegree());
+}
+
+TEST(HkPushPlusTest, Theorem2AbsoluteErrorOnEarlyExit) {
+  // When the early-exit test fires, the reserve alone must satisfy
+  // |q[v] - rho[v]|/d(v) <= eps_r * delta for all v (Theorem 2).
+  Graph g = testing::MakeBarbell(8);
+  HeatKernel kernel(5.0);
+  HkPushPlusOptions options;
+  options.eps_r = 0.5;
+  options.delta = 0.01;  // loose: early exit will fire
+  options.hop_cap = 20;
+  options.push_budget = 100000000;
+  PushResult push = HkPushPlus(g, kernel, 0, options);
+  ASSERT_TRUE(push.hit_absolute_target);
+  const std::vector<double> exact = ExactHkpr(g, kernel, 0);
+  const double eps_a = options.eps_r * options.delta;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const double err = std::abs(push.reserve.Get(v) - exact[v]) / g.Degree(v);
+    EXPECT_LE(err, eps_a + 1e-12) << v;
+  }
+}
+
+TEST(HkPushPlusTest, EarlyExitBoundIsSound) {
+  // Whenever hit_absolute_target is reported, the exact residue scan must
+  // confirm Inequality (11).
+  Graph g = PowerlawCluster(500, 4, 0.3, 9);
+  HeatKernel kernel(5.0);
+  HkPushPlusOptions options;
+  options.eps_r = 0.5;
+  options.delta = 1e-3;
+  options.hop_cap = 10;
+  options.push_budget = 1000000000;
+  PushResult push = HkPushPlus(g, kernel, 1, options);
+  if (push.hit_absolute_target) {
+    EXPECT_LE(push.residues.MaxNormalizedResidueSum(g),
+              options.eps_r * options.delta + 1e-12);
+  }
+}
+
+TEST(HkPushPlusTest, Lemma1InvariantHolds) {
+  // The invariant must hold for HK-Push+ too (same push operation).
+  Graph g = ErdosRenyiGnm(30, 90, 10);
+  HeatKernel kernel(4.0);
+  HkPushPlusOptions options;
+  options.eps_r = 0.5;
+  options.delta = 1e-4;
+  options.hop_cap = 8;
+  options.push_budget = 2000;
+  PushResult push = HkPushPlus(g, kernel, 2, options);
+  EXPECT_LT(Lemma1Deviation(g, kernel, 2, push), 1e-9);
+}
+
+TEST(HkPushPlusTest, HopCapLimitsResidueHops) {
+  Graph g = PowerlawCluster(300, 3, 0.2, 11);
+  HeatKernel kernel(5.0);
+  HkPushPlusOptions options;
+  options.eps_r = 0.5;
+  options.delta = 1e-5;
+  options.hop_cap = 4;
+  options.push_budget = 1000000;
+  PushResult push = HkPushPlus(g, kernel, 0, options);
+  EXPECT_EQ(push.residues.max_hop(), 4u);
+  // No residue past the cap was ever pushed, so hop sums at the cap are the
+  // only ones that can be large; just check the table depth is respected.
+  EXPECT_GE(push.residues.HopSum(4), 0.0);
+}
+
+TEST(HkPushPlusTest, MassConservation) {
+  Graph g = PowerlawCluster(300, 3, 0.2, 12);
+  HeatKernel kernel(5.0);
+  HkPushPlusOptions options;
+  options.eps_r = 0.5;
+  options.delta = 1e-6;
+  options.hop_cap = 10;
+  options.push_budget = 100000;
+  PushResult push = HkPushPlus(g, kernel, 4, options);
+  EXPECT_NEAR(push.reserve.Sum() + push.residues.TotalSum(), 1.0, 1e-9);
+}
+
+TEST(ResidueTableTest, SumsMaintained) {
+  ResidueTable table(3);
+  table.Add(0, 5, 0.5);
+  table.Add(0, 6, 0.25);
+  table.Add(2, 5, 0.1);
+  EXPECT_DOUBLE_EQ(table.HopSum(0), 0.75);
+  EXPECT_DOUBLE_EQ(table.HopSum(2), 0.1);
+  EXPECT_DOUBLE_EQ(table.TotalSum(), 0.85);
+  table.Zero(0, 5);
+  EXPECT_DOUBLE_EQ(table.HopSum(0), 0.25);
+  EXPECT_DOUBLE_EQ(table.Get(0, 5), 0.0);
+}
+
+TEST(ResidueTableTest, RecomputeAfterDirectMutation) {
+  ResidueTable table(1);
+  table.Add(0, 1, 0.6);
+  table.Add(1, 2, 0.4);
+  for (auto& e : table.MutableHop(0).mutable_entries()) e.value *= 0.5;
+  table.RecomputeSums();
+  EXPECT_DOUBLE_EQ(table.HopSum(0), 0.3);
+  EXPECT_DOUBLE_EQ(table.TotalSum(), 0.7);
+}
+
+TEST(ResidueTableTest, MaxNormalizedResidueSum) {
+  Graph g = testing::MakeStar(4);  // d(0)=3, d(1..3)=1
+  ResidueTable table(1);
+  table.Add(0, 0, 0.9);  // 0.9/3 = 0.3
+  table.Add(1, 1, 0.2);  // 0.2/1 = 0.2
+  table.Add(1, 2, 0.1);  // 0.1
+  EXPECT_DOUBLE_EQ(table.MaxNormalizedResidueSum(g), 0.3 + 0.2);
+}
+
+TEST(ResidueTableTest, NonZeroCountSkipsZeroedEntries) {
+  ResidueTable table(0);
+  table.Add(0, 1, 0.5);
+  table.Add(0, 2, 0.5);
+  table.Zero(0, 1);
+  EXPECT_EQ(table.TotalNonZeros(), 1u);
+  EXPECT_EQ(table.TotalEntries(), 2u);
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,106 @@
+// Tests for k-RandomWalk (Lemma 2, Lemma 4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "hkpr/power_method.h"
+#include "hkpr/random_walk.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+TEST(KRandomWalkTest, EndDistributionMatchesHkprForKZero) {
+  // For k = 0, h_s^(0) is exactly rho_s (Lemma 2 with Equation 2).
+  Graph g = testing::MakeBarbell(4);
+  HeatKernel kernel(4.0);
+  const std::vector<double> exact = ExactHkpr(g, kernel, 0);
+  Rng rng(1);
+  const int n = 400000;
+  std::vector<int> counts(g.NumNodes(), 0);
+  for (int i = 0; i < n; ++i) ++counts[KRandomWalk(g, kernel, 0, 0, rng)];
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const double expected = n * exact[v];
+    EXPECT_NEAR(counts[v], expected, 5.0 * std::sqrt(expected + 1.0) + 40.0)
+        << v;
+  }
+}
+
+TEST(KRandomWalkTest, EndDistributionMatchesExactHForPositiveK) {
+  Graph g = testing::MakeCycle(6);
+  HeatKernel kernel(3.0);
+  const uint32_t k = 2;
+  const NodeId start = 1;
+  const std::vector<double> h = testing::ExactH(g, kernel, start, k);
+  Rng rng(2);
+  const int n = 300000;
+  std::vector<int> counts(g.NumNodes(), 0);
+  for (int i = 0; i < n; ++i) ++counts[KRandomWalk(g, kernel, start, k, rng)];
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const double expected = n * h[v];
+    EXPECT_NEAR(counts[v], expected, 5.0 * std::sqrt(expected + 1.0) + 40.0)
+        << v;
+  }
+}
+
+TEST(KRandomWalkTest, BeyondMaxHopStopsImmediately) {
+  Graph g = testing::MakeCycle(5);
+  HeatKernel kernel(2.0);
+  Rng rng(3);
+  uint64_t steps = 0;
+  const NodeId end =
+      KRandomWalk(g, kernel, 3, kernel.MaxHop() + 5, rng, &steps);
+  EXPECT_EQ(end, 3u);
+  EXPECT_EQ(steps, 0u);
+}
+
+TEST(KRandomWalkTest, IsolatedNodeStaysPut) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();  // node 2 isolated
+  HeatKernel kernel(5.0);
+  Rng rng(4);
+  EXPECT_EQ(KRandomWalk(g, kernel, 2, 0, rng), 2u);
+}
+
+TEST(KRandomWalkTest, ExpectedStepsAtMostT) {
+  // Lemma 4: expected walk cost is <= t (for k = 0 it is exactly
+  // E[length] = t).
+  Graph g = ErdosRenyiGnm(200, 1000, 5);
+  const double t = 6.0;
+  HeatKernel kernel(t);
+  Rng rng(5);
+  uint64_t steps = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) KRandomWalk(g, kernel, 10, 0, rng, &steps);
+  EXPECT_NEAR(static_cast<double>(steps) / n, t, 0.1);
+}
+
+TEST(KRandomWalkTest, ExpectedStepsShrinkWithK) {
+  // Conditioned on being k hops in, the remaining expected length drops.
+  Graph g = ErdosRenyiGnm(200, 1000, 6);
+  const double t = 6.0;
+  HeatKernel kernel(t);
+  Rng rng(6);
+  const int n = 100000;
+  uint64_t steps_k0 = 0, steps_k8 = 0;
+  for (int i = 0; i < n; ++i) KRandomWalk(g, kernel, 10, 0, rng, &steps_k0);
+  for (int i = 0; i < n; ++i) KRandomWalk(g, kernel, 10, 8, rng, &steps_k8);
+  EXPECT_LT(steps_k8, steps_k0);
+}
+
+TEST(KRandomWalkTest, DeterministicGivenRngSeed) {
+  Graph g = PowerlawCluster(200, 3, 0.2, 7);
+  HeatKernel kernel(5.0);
+  Rng a(99), b(99);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(KRandomWalk(g, kernel, 0, 0, a), KRandomWalk(g, kernel, 0, 0, b));
+  }
+}
+
+}  // namespace
+}  // namespace hkpr

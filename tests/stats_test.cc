@@ -1,0 +1,121 @@
+// Tests for the graph statistics module.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+TEST(DegreeStatsTest, CompleteGraph) {
+  Graph g = testing::MakeComplete(9);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 8u);
+  EXPECT_EQ(stats.max, 8u);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0);
+  EXPECT_DOUBLE_EQ(stats.median, 8.0);
+}
+
+TEST(DegreeStatsTest, StarGraph) {
+  Graph g = testing::MakeStar(11);  // hub degree 10, ten leaves degree 1
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 10u);
+  EXPECT_NEAR(stats.mean, 20.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.median, 1.0);
+}
+
+TEST(DegreeHistogramTest, CountsPerDegree) {
+  Graph g = testing::MakeStar(5);
+  const std::vector<uint64_t> histogram = DegreeHistogram(g);
+  ASSERT_EQ(histogram.size(), 5u);  // max degree 4
+  EXPECT_EQ(histogram[1], 4u);
+  EXPECT_EQ(histogram[4], 1u);
+  EXPECT_EQ(histogram[0], 0u);
+}
+
+TEST(LocalClusteringTest, CompleteGraphIsOne) {
+  Graph g = testing::MakeComplete(6);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, v), 1.0);
+  }
+}
+
+TEST(LocalClusteringTest, StarAndCycleAreZero) {
+  Graph star = testing::MakeStar(6);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(star, 0), 0.0);
+  Graph cycle = testing::MakeCycle(8);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(cycle, 3), 0.0);
+}
+
+TEST(LocalClusteringTest, BarbellBridgeNode) {
+  // In a barbell of clique size 4, the bridge endpoint has neighbors
+  // {3 clique mates + 1 bridge}; only the 3 clique pairs are closed.
+  Graph g = testing::MakeBarbell(4);
+  // Node 3 is the bridge endpoint in clique A: degree 4, closed pairs = 3.
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 3), 3.0 / 6.0);
+  // Interior clique node: degree 3, all pairs closed.
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0);
+}
+
+TEST(AverageClusteringTest, ExactVsSampledAgree) {
+  Graph g = PowerlawCluster(2000, 4, 0.5, 3);
+  const double exact = AverageClusteringCoefficient(g);
+  Rng rng(4);
+  const double sampled = AverageClusteringCoefficient(g, 800, rng);
+  EXPECT_NEAR(sampled, exact, 0.05);
+  EXPECT_GT(exact, 0.05);  // triad formation guarantees clustering
+}
+
+TEST(TriangleCountTest, KnownGraphs) {
+  EXPECT_EQ(CountTriangles(testing::MakeComplete(5)), 10u);  // C(5,3)
+  EXPECT_EQ(CountTriangles(testing::MakeCycle(10)), 0u);
+  EXPECT_EQ(CountTriangles(testing::MakeStar(10)), 0u);
+  EXPECT_EQ(CountTriangles(testing::MakeCycle(3)), 1u);
+}
+
+TEST(TriangleCountTest, Barbell) {
+  // Two K5 cliques: 2 * C(5,3) = 20 triangles; the bridge adds none.
+  EXPECT_EQ(CountTriangles(testing::MakeBarbell(5)), 20u);
+}
+
+TEST(GlobalClusteringTest, CompleteIsOne) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(testing::MakeComplete(7)), 1.0);
+}
+
+TEST(GlobalClusteringTest, TriangleFreeIsZero) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(testing::MakeCycle(12)), 0.0);
+}
+
+TEST(GlobalClusteringTest, PathologyFreeOnEmpty) {
+  GraphBuilder b(3);
+  Graph g = b.Build();
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(DiameterTest, PathGraphExact) {
+  Graph g = testing::MakePath(17);
+  EXPECT_EQ(EstimateDiameter(g, 8), 16u);
+}
+
+TEST(DiameterTest, CycleLowerBound) {
+  Graph g = testing::MakeCycle(20);
+  const uint32_t estimate = EstimateDiameter(g, 0);
+  EXPECT_EQ(estimate, 10u);  // double sweep is exact on a cycle
+}
+
+TEST(DiameterTest, CompleteGraphIsOne) {
+  EXPECT_EQ(EstimateDiameter(testing::MakeComplete(8), 0), 1u);
+}
+
+TEST(DiameterTest, SmallWorldShortensPaths) {
+  // Watts-Strogatz: rewiring shrinks the diameter of the ring lattice.
+  Graph lattice = WattsStrogatz(600, 3, 0.0, 5);
+  Graph small_world = WattsStrogatz(600, 3, 0.2, 5);
+  EXPECT_LT(EstimateDiameter(small_world, 0), EstimateDiameter(lattice, 0));
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,136 @@
+// Tests for induced subgraphs, density, BFS balls and components.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+TEST(InduceTest, TriangleFromBarbell) {
+  Graph g = testing::MakeBarbell(3);  // cliques {0,1,2}, {3,4,5}
+  std::vector<NodeId> nodes = {0, 1, 2};
+  InducedSubgraph sub = Induce(g, nodes);
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 3u);
+  EXPECT_EQ(sub.to_original.size(), 3u);
+}
+
+TEST(InduceTest, MappingIsConsistent) {
+  Graph g = testing::MakePath(6);
+  std::vector<NodeId> nodes = {4, 2, 3};
+  InducedSubgraph sub = Induce(g, nodes);
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);  // 2-3 and 3-4
+  // Edges in the subgraph map back to original edges.
+  for (NodeId lu = 0; lu < sub.graph.NumNodes(); ++lu) {
+    for (NodeId lv : sub.graph.Neighbors(lu)) {
+      EXPECT_TRUE(g.HasEdge(sub.to_original[lu], sub.to_original[lv]));
+    }
+  }
+}
+
+TEST(InduceTest, DuplicatesIgnored) {
+  Graph g = testing::MakeCycle(5);
+  std::vector<NodeId> nodes = {0, 1, 1, 0, 2};
+  InducedSubgraph sub = Induce(g, nodes);
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+}
+
+TEST(InternalEdgeCountTest, CliqueSubset) {
+  Graph g = testing::MakeComplete(6);
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  EXPECT_EQ(InternalEdgeCount(g, nodes), 6u);
+}
+
+TEST(EdgeDensityTest, CliqueVsPath) {
+  Graph clique = testing::MakeComplete(8);
+  Graph path = testing::MakePath(8);
+  std::vector<NodeId> all = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_GT(EdgeDensity(clique, all), EdgeDensity(path, all));
+  EXPECT_DOUBLE_EQ(EdgeDensity(clique, all), 28.0 / 8.0);
+  EXPECT_DOUBLE_EQ(EdgeDensity(path, all), 7.0 / 8.0);
+}
+
+TEST(RandomBfsBallTest, SizeAndConnectivity) {
+  Graph g = Grid3D(8, 8, 8, true);
+  Rng rng(3);
+  std::vector<NodeId> ball = RandomBfsBall(g, 0, 60, rng);
+  EXPECT_EQ(ball.size(), 60u);
+  EXPECT_EQ(ball[0], 0u);
+  // Connected: the induced subgraph has one component.
+  InducedSubgraph sub = Induce(g, ball);
+  EXPECT_EQ(LargestComponent(sub.graph).size(), sub.graph.NumNodes());
+}
+
+TEST(RandomBfsBallTest, ExhaustsSmallComponent) {
+  GraphBuilder b(10);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(5, 6);  // separate component
+  Graph g = b.Build();
+  Rng rng(4);
+  std::vector<NodeId> ball = RandomBfsBall(g, 0, 100, rng);
+  EXPECT_EQ(ball.size(), 3u);
+  EXPECT_TRUE(std::find(ball.begin(), ball.end(), 5u) == ball.end());
+}
+
+TEST(RandomBfsBallTest, DifferentSeedsDifferentBalls) {
+  Graph g = PowerlawCluster(2000, 4, 0.2, 5);
+  Rng rng1(10), rng2(20);
+  auto b1 = RandomBfsBall(g, 100, 50, rng1);
+  auto b2 = RandomBfsBall(g, 100, 50, rng2);
+  EXPECT_NE(b1, b2);  // randomized visit order
+}
+
+TEST(ConnectedComponentsTest, CountsComponents) {
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  Graph g = b.Build();  // components {0,1,2}, {3,4}, {5}, {6}
+  ComponentLabels cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 4u);
+  EXPECT_EQ(cc.label[0], cc.label[2]);
+  EXPECT_NE(cc.label[0], cc.label[3]);
+  EXPECT_NE(cc.label[5], cc.label[6]);
+}
+
+TEST(RestrictToLargestComponentTest, DropsSmallComponentsAndRelabels) {
+  GraphBuilder b(9);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 4);
+  b.AddEdge(4, 6);
+  b.AddEdge(7, 8);  // smaller component; nodes 1,3,5 isolated
+  Graph g = b.Build();
+  Graph lcc = RestrictToLargestComponent(g);
+  EXPECT_EQ(lcc.NumNodes(), 4u);
+  EXPECT_EQ(lcc.NumEdges(), 3u);
+  EXPECT_EQ(ConnectedComponents(lcc).num_components, 1u);
+}
+
+TEST(RestrictToLargestComponentTest, ConnectedGraphUnchangedUpToLabels) {
+  Graph g = testing::MakeCycle(12);
+  Graph lcc = RestrictToLargestComponent(g);
+  EXPECT_EQ(lcc.NumNodes(), 12u);
+  EXPECT_EQ(lcc.NumEdges(), 12u);
+}
+
+TEST(LargestComponentTest, PicksBiggest) {
+  GraphBuilder b(10);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(7, 8);
+  Graph g = b.Build();
+  std::vector<NodeId> lc = LargestComponent(g);
+  EXPECT_EQ(lc, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hkpr

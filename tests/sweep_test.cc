@@ -1,0 +1,211 @@
+// Tests for the sweep cut and conductance utilities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "clustering/conductance.h"
+#include "clustering/sweep.h"
+#include "common/sparse_vector.h"
+#include "graph/generators.h"
+#include "hkpr/power_method.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+TEST(ConductanceTest, BarbellBridge) {
+  Graph g = testing::MakeBarbell(5);  // bridge edge between cliques
+  std::vector<NodeId> clique_a = {0, 1, 2, 3, 4};
+  const CutStats stats = ComputeCutStats(g, clique_a);
+  EXPECT_EQ(stats.cut, 1u);
+  EXPECT_EQ(stats.volume, 4u * 5u + 1u);  // 5 nodes of degree 4, +1 bridge
+  EXPECT_DOUBLE_EQ(stats.conductance, 1.0 / 21.0);
+}
+
+TEST(ConductanceTest, EmptyAndFullSetsAreWorst) {
+  Graph g = testing::MakeCycle(6);
+  std::vector<NodeId> empty;
+  std::vector<NodeId> full = {0, 1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Conductance(g, empty), 1.0);
+  EXPECT_DOUBLE_EQ(Conductance(g, full), 1.0);
+}
+
+TEST(ConductanceTest, SingleNode) {
+  Graph g = testing::MakeCycle(8);
+  std::vector<NodeId> one = {3};
+  // cut = 2, vol = 2 -> conductance 1.
+  EXPECT_DOUBLE_EQ(Conductance(g, one), 1.0);
+}
+
+TEST(ConductanceTest, DuplicatesIgnored) {
+  Graph g = testing::MakeBarbell(4);
+  std::vector<NodeId> dup = {0, 1, 2, 3, 0, 1};
+  std::vector<NodeId> uniq = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(Conductance(g, dup), Conductance(g, uniq));
+}
+
+TEST(ConductanceTest, HalfCycle) {
+  Graph g = testing::MakeCycle(10);
+  std::vector<NodeId> half = {0, 1, 2, 3, 4};
+  // cut = 2, vol = 10, total vol = 20 -> phi = 2/10.
+  EXPECT_DOUBLE_EQ(Conductance(g, half), 0.2);
+}
+
+TEST(SweepTest, FindsBarbellCut) {
+  Graph g = testing::MakeBarbell(6);
+  const std::vector<double> rho = ExactHkpr(g, 5.0, 0);
+  SparseVector est;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (rho[v] > 0) est.Add(v, rho[v]);
+  }
+  SweepResult sweep = SweepCut(g, est);
+  // Best cut is exactly clique A.
+  std::vector<NodeId> sorted = sweep.cluster;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<NodeId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(sweep.conductance, Conductance(g, sweep.cluster));
+}
+
+TEST(SweepTest, MatchesBruteForcePrefixEvaluation) {
+  Graph g = PowerlawCluster(200, 3, 0.4, 1);
+  const std::vector<double> rho = ExactHkpr(g, 5.0, 7);
+  SparseVector est;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (rho[v] > 1e-12) est.Add(v, rho[v]);
+  }
+  SweepOptions options;
+  options.keep_profile = true;
+  SweepResult sweep = SweepCut(g, est, options);
+
+  // Recompute each prefix's conductance from scratch.
+  struct Scored {
+    NodeId node;
+    double score;
+  };
+  std::vector<Scored> order;
+  for (const auto& e : est.entries()) {
+    if (e.value > 0 && g.Degree(e.key) > 0) {
+      order.push_back({e.key, e.value / g.Degree(e.key)});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  ASSERT_EQ(sweep.profile.size(), order.size());
+  std::vector<NodeId> prefix;
+  double best = 2.0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    prefix.push_back(order[i].node);
+    const double phi = Conductance(g, prefix);
+    EXPECT_NEAR(sweep.profile[i], phi, 1e-12) << "prefix " << i;
+    best = std::min(best, phi);
+  }
+  EXPECT_NEAR(sweep.conductance, best, 1e-12);
+}
+
+TEST(SweepTest, EmptyEstimate) {
+  Graph g = testing::MakeCycle(5);
+  SparseVector est;
+  SweepResult sweep = SweepCut(g, est);
+  EXPECT_TRUE(sweep.cluster.empty());
+  EXPECT_DOUBLE_EQ(sweep.conductance, 1.0);
+}
+
+TEST(SweepTest, IgnoresNonPositiveEntriesAndIsolated) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();  // 3, 4 isolated
+  SparseVector est;
+  est.Add(0, 0.5);
+  est.Add(1, -0.1);
+  est.Add(3, 0.9);  // isolated
+  SweepResult sweep = SweepCut(g, est);
+  EXPECT_EQ(sweep.support_size, 1u);
+}
+
+TEST(SweepTest, MaxPrefixLimitsInspection) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 2);
+  const std::vector<double> rho = ExactHkpr(g, 5.0, 3);
+  SparseVector est;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (rho[v] > 1e-12) est.Add(v, rho[v]);
+  }
+  SweepOptions options;
+  options.max_prefix = 5;
+  SweepResult sweep = SweepCut(g, est, options);
+  EXPECT_LE(sweep.cluster.size(), 5u);
+}
+
+TEST(SweepTest, MaxVolumeKeepsClusterLocal) {
+  // Two planted communities joined into one graph: without the cap the
+  // sweep may return a near-bisection, with the cap it must stay local.
+  CommunityGraph cg = PlantedPartition(4, 50, 0.3, 0.01, 9);
+  const NodeId seed = cg.communities.Community(0)[0];
+  const std::vector<double> rho = ExactHkpr(cg.graph, 8.0, seed);
+  SparseVector est;
+  for (NodeId v = 0; v < cg.graph.NumNodes(); ++v) {
+    if (rho[v] > 1e-12) est.Add(v, rho[v]);
+  }
+  SweepOptions capped;
+  capped.max_volume = cg.graph.Volume() / 3;
+  SweepResult sweep = SweepCut(cg.graph, est, capped);
+  ASSERT_FALSE(sweep.cluster.empty());
+  EXPECT_LE(cg.graph.VolumeOf(sweep.cluster), capped.max_volume);
+}
+
+TEST(SweepTest, MaxVolumeStillReturnsBestWithinBound) {
+  Graph g = testing::MakeBarbell(6);
+  const std::vector<double> rho = ExactHkpr(g, 5.0, 0);
+  SparseVector est;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (rho[v] > 0) est.Add(v, rho[v]);
+  }
+  // Clique A has volume 6*5+1 = 31; cap well above it changes nothing.
+  SweepOptions capped;
+  capped.max_volume = 40;
+  SweepResult with_cap = SweepCut(g, est, capped);
+  SweepResult without = SweepCut(g, est);
+  EXPECT_EQ(with_cap.cluster, without.cluster);
+}
+
+TEST(SweepTest, DegreeOffsetDoesNotChangeRanking) {
+  Graph g = testing::MakeBarbell(5);
+  const std::vector<double> rho = ExactHkpr(g, 5.0, 0);
+  SparseVector plain, offset;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (rho[v] > 0) {
+      plain.Add(v, rho[v]);
+      offset.Add(v, rho[v]);
+    }
+  }
+  offset.set_degree_offset(0.001);
+  SweepResult a = SweepCut(g, plain);
+  SweepResult c = SweepCut(g, offset);
+  EXPECT_EQ(a.cluster, c.cluster);
+  EXPECT_DOUBLE_EQ(a.conductance, c.conductance);
+}
+
+TEST(SweepTest, RecoversPlantedCommunity) {
+  CommunityGraph cg = PlantedPartition(5, 60, 0.3, 0.002, 3);
+  const NodeId seed = cg.communities.Community(0)[0];
+  const std::vector<double> rho = ExactHkpr(cg.graph, 5.0, seed);
+  SparseVector est;
+  for (NodeId v = 0; v < cg.graph.NumNodes(); ++v) {
+    if (rho[v] > 1e-9) est.Add(v, rho[v]);
+  }
+  SweepResult sweep = SweepCut(cg.graph, est);
+  // The sweep cluster should be mostly the planted community.
+  const auto& truth = cg.communities.Community(0);
+  size_t hits = 0;
+  for (NodeId v : sweep.cluster) {
+    if (std::find(truth.begin(), truth.end(), v) != truth.end()) ++hits;
+  }
+  EXPECT_GT(hits * 10, sweep.cluster.size() * 8);  // >80% purity
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -1,0 +1,129 @@
+// Shared fixtures and reference implementations for the test suite.
+
+#ifndef HKPR_TESTS_TEST_UTIL_H_
+#define HKPR_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "hkpr/heat_kernel.h"
+
+namespace hkpr::testing {
+
+/// Path graph 0-1-2-...-(n-1).
+inline Graph MakePath(uint32_t n) {
+  GraphBuilder b(n);
+  for (uint32_t v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  return b.Build();
+}
+
+/// Cycle graph.
+inline Graph MakeCycle(uint32_t n) {
+  GraphBuilder b(n);
+  for (uint32_t v = 0; v < n; ++v) b.AddEdge(v, (v + 1) % n);
+  return b.Build();
+}
+
+/// Star: node 0 connected to 1..n-1.
+inline Graph MakeStar(uint32_t n) {
+  GraphBuilder b(n);
+  for (uint32_t v = 1; v < n; ++v) b.AddEdge(0, v);
+  return b.Build();
+}
+
+/// Complete graph K_n.
+inline Graph MakeComplete(uint32_t n) {
+  GraphBuilder b(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+/// Two cliques of size k bridged by a single edge — the canonical
+/// low-conductance two-cluster graph. Nodes 0..k-1 form clique A,
+/// k..2k-1 clique B; the bridge is (k-1, k).
+inline Graph MakeBarbell(uint32_t k) {
+  GraphBuilder b(2 * k);
+  for (uint32_t u = 0; u < k; ++u) {
+    for (uint32_t v = u + 1; v < k; ++v) {
+      b.AddEdge(u, v);
+      b.AddEdge(k + u, k + v);
+    }
+  }
+  b.AddEdge(k - 1, k);
+  return b.Build();
+}
+
+/// The small example graph G' of the paper's Figure 1: seed s=0 with
+/// neighbors v1=1, v2=2; v1-v2 edge; v3..v7 = 3..7.
+/// Edges: s-v1, s-v2, v1-v2, v1-v3, v2-v3, ... reconstructed to give
+/// d(s)=2, d(v1)=3, d(v2)=6, d(v3)=1..  (structure used only for smoke
+/// tests; exact degrees of the figure are not load-bearing).
+inline Graph MakePaperFigure1() {
+  GraphBuilder b(8);
+  b.AddEdge(0, 1);  // s - v1
+  b.AddEdge(0, 2);  // s - v2
+  b.AddEdge(1, 2);  // v1 - v2
+  b.AddEdge(1, 3);  // v1 - v3
+  b.AddEdge(2, 4);
+  b.AddEdge(2, 5);
+  b.AddEdge(2, 6);
+  b.AddEdge(2, 7);
+  return b.Build();
+}
+
+/// Exact lazy personalized PageRank by dense power iteration:
+/// p = alpha * sum_k (1-alpha)^k W^k e_s with W = (I + D^-1 A)/2.
+inline std::vector<double> ExactLazyPpr(const Graph& g, double alpha,
+                                        NodeId seed, uint32_t iterations) {
+  const uint32_t n = g.NumNodes();
+  std::vector<double> x(n, 0.0), next(n, 0.0), acc(n, 0.0);
+  x[seed] = 1.0;
+  double scale = alpha;
+  for (uint32_t k = 0; k <= iterations; ++k) {
+    for (uint32_t v = 0; v < n; ++v) acc[v] += scale * x[v];
+    scale *= (1.0 - alpha);
+    // next = W x (row vector through symmetric W).
+    for (uint32_t v = 0; v < n; ++v) next[v] = 0.5 * x[v];
+    for (uint32_t u = 0; u < n; ++u) {
+      if (x[u] == 0.0 || g.Degree(u) == 0) continue;
+      const double share = 0.5 * x[u] / g.Degree(u);
+      for (NodeId v : g.Neighbors(u)) next[v] += share;
+    }
+    x.swap(next);
+  }
+  return acc;
+}
+
+/// Exact conditional stopping distribution h_u^(k) (Equation 5), dense:
+/// h_u^(k)[v] = sum_l eta(k+l)/psi(k) * P^l[u, v].
+inline std::vector<double> ExactH(const Graph& g, const HeatKernel& kernel,
+                                  NodeId u, uint32_t k) {
+  const uint32_t n = g.NumNodes();
+  std::vector<double> x(n, 0.0), next(n, 0.0), acc(n, 0.0);
+  x[u] = 1.0;
+  const double psi_k = kernel.Psi(k);
+  for (uint32_t l = 0; k + l <= kernel.MaxHop(); ++l) {
+    const double w = kernel.Eta(k + l) / psi_k;
+    for (uint32_t v = 0; v < n; ++v) acc[v] += w * x[v];
+    std::fill(next.begin(), next.end(), 0.0);
+    for (uint32_t a = 0; a < n; ++a) {
+      if (x[a] == 0.0) continue;
+      if (g.Degree(a) == 0) {
+        next[a] += x[a];
+        continue;
+      }
+      const double share = x[a] / g.Degree(a);
+      for (NodeId b : g.Neighbors(a)) next[b] += share;
+    }
+    x.swap(next);
+  }
+  return acc;
+}
+
+}  // namespace hkpr::testing
+
+#endif  // HKPR_TESTS_TEST_UTIL_H_
