@@ -1,25 +1,93 @@
 // Parallel scalability of the walk phases (extension; cf. Shun et al.
-// VLDB'16 referenced in Section 6 as future work for TEA/TEA+).
+// VLDB'16 referenced in Section 6 as future work for TEA/TEA+), plus the
+// serving-style repeated-query throughput of the persistent query engine.
 //
 // Expected shape: near-linear speedup of Monte-Carlo with thread count
 // (walks dominate); TEA+ speedup limited by its sequential push phase
-// (Amdahl), most visible in walk-heavy configurations (small c).
+// (Amdahl), most visible in walk-heavy configurations (small c). For the
+// repeated-query section, the pool avoids per-query thread spawns and the
+// reused workspaces avoid per-query allocation, so pooled throughput should
+// beat spawn-per-call by a margin that grows with the thread count.
+//
+// Extra flag: --json=PATH writes the repeated-query results as JSON (for
+// BENCH_*.json trajectories).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/timer.h"
 #include "hkpr/monte_carlo.h"
+#include "hkpr/queries.h"
 #include "hkpr/tea_plus.h"
+#include "hkpr/workspace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/parallel_monte_carlo.h"
 #include "parallel/parallel_tea_plus.h"
+#include "parallel/thread_pool.h"
 
 using namespace hkpr;
 using namespace hkpr::bench;
 
+namespace {
+
+/// One row of the repeated-query throughput comparison.
+struct ThroughputRow {
+  std::string mode;  // "spawn", "pool", "batch"
+  uint32_t threads;
+  uint32_t queries;
+  double seconds;
+  double qps() const { return queries / (seconds + 1e-12); }
+};
+
+/// Runs `num_queries` single-seed TEA+ queries, cycling through `seeds`.
+template <typename QueryFn>
+double TimeQueries(uint32_t num_queries, const std::vector<NodeId>& seeds,
+                   QueryFn&& query) {
+  WallTimer timer;
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    query(seeds[i % seeds.size()]);
+  }
+  return timer.ElapsedSeconds();
+}
+
+void WriteThroughputJson(const std::string& path, const Dataset& dataset,
+                         uint32_t num_queries,
+                         const std::vector<ThroughputRow>& rows) {
+  std::FILE* f = path.empty() ? stdout : std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"repeated_query_throughput\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n  \"nodes\": %u,\n  \"edges\": %llu,\n",
+               dataset.name.c_str(), dataset.graph.NumNodes(),
+               static_cast<unsigned long long>(dataset.graph.NumEdges()));
+  std::fprintf(f, "  \"queries\": %u,\n  \"rows\": [\n", num_queries);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"threads\": %u, \"seconds\": %.6f, "
+                 "\"qps\": %.1f}%s\n",
+                 r.mode.c_str(), r.threads, r.seconds, r.qps(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (f != stdout) std::fclose(f);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
   std::printf("== Parallel scalability (extension) ==\n");
   std::printf("hardware threads available: %u\n", HardwareThreads());
 
@@ -74,6 +142,70 @@ int main(int argc, char** argv) {
                     FmtF(agg.avg_conductance)});
     }
     table.Print();
+  }
+
+  // -- Repeated-query throughput: persistent engine vs spawn-per-call ------
+  //
+  // The serving scenario: many coarse (delta ~ 20/n) TEA+ queries in a row,
+  // walk phase forced (c=1) so every query exercises the parallel section.
+  // "spawn" recreates threads and scratch per query (the legacy path),
+  // "pool" answers the same queries on parked workers with one reused
+  // workspace, "batch" pushes whole seed batches through BatchQueryEngine
+  // (queries sharded across threads, per-thread workspaces).
+  std::printf("\n-- Repeated-query throughput (TEA+, walk-heavy, c=1) --\n");
+  {
+    const uint32_t num_queries = config.full ? 2000 : 1000;
+    ApproxParams serve_params;
+    serve_params.t = 5.0;
+    serve_params.eps_r = 0.5;
+    serve_params.delta = 100.0 * DefaultDelta(dataset.graph);
+    serve_params.p_f = 1e-6;
+    TeaPlusOptions serve_options;
+    serve_options.c = 1.0;
+    std::vector<NodeId> serve_seeds =
+        UniformSeeds(dataset.graph, 1000, rng);
+
+    std::vector<ThroughputRow> results;
+    TablePrinter table(
+        {"threads", "spawn q/s", "pool q/s", "batch q/s", "pool gain"});
+    for (uint32_t threads : thread_counts) {
+      ParallelTeaPlusEstimator spawning(dataset.graph, serve_params,
+                                        config.rng_seed, threads,
+                                        serve_options);
+      const double spawn_s = TimeQueries(
+          num_queries, serve_seeds, [&](NodeId s) { spawning.Estimate(s); });
+
+      ThreadPool pool(threads);
+      ParallelTeaPlusEstimator pooled(dataset.graph, serve_params,
+                                      config.rng_seed, threads, serve_options,
+                                      &pool);
+      QueryWorkspace ws;
+      const double pool_s = TimeQueries(
+          num_queries, serve_seeds, [&](NodeId s) { pooled.EstimateInto(s, ws); });
+
+      BatchQueryEngine engine(dataset.graph, serve_params, config.rng_seed,
+                              threads, serve_options);
+      WallTimer batch_timer;
+      for (uint32_t done = 0; done < num_queries;) {
+        const uint32_t take = std::min<uint32_t>(
+            num_queries - done, static_cast<uint32_t>(serve_seeds.size()));
+        engine.EstimateBatch(
+            std::span<const NodeId>(serve_seeds.data(), take));
+        done += take;
+      }
+      const double batch_s = batch_timer.ElapsedSeconds();
+
+      results.push_back({"spawn", threads, num_queries, spawn_s});
+      results.push_back({"pool", threads, num_queries, pool_s});
+      results.push_back({"batch", threads, num_queries, batch_s});
+      table.AddRow({std::to_string(threads),
+                    FmtF(num_queries / spawn_s, 0),
+                    FmtF(num_queries / pool_s, 0),
+                    FmtF(num_queries / batch_s, 0),
+                    FmtF(spawn_s / (pool_s + 1e-12), 2) + "x"});
+    }
+    table.Print();
+    WriteThroughputJson(json_path, dataset, num_queries, results);
   }
   return 0;
 }

@@ -21,33 +21,35 @@ void AliasSampler::Build(const std::vector<double>& weights) {
   alias_.assign(n, 0);
 
   // Scaled weights; an entry is "small" if below 1 (its column can be topped
-  // up by a single alias) and "large" otherwise.
-  std::vector<double> scaled(n);
+  // up by a single alias) and "large" otherwise. The scratch vectors are
+  // members so that rebuilding reuses their capacity.
+  scaled_.assign(n, 0.0);
   const double scale = static_cast<double>(n) / total_weight_;
-  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+  for (size_t i = 0; i < n; ++i) scaled_[i] = weights[i] * scale;
 
-  std::vector<uint32_t> small, large;
-  small.reserve(n);
-  large.reserve(n);
+  small_.clear();
+  large_.clear();
+  small_.reserve(n);
+  large_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+    (scaled_[i] < 1.0 ? small_ : large_).push_back(static_cast<uint32_t>(i));
   }
 
-  while (!small.empty() && !large.empty()) {
-    const uint32_t s = small.back();
-    small.pop_back();
-    const uint32_t l = large.back();
-    prob_[s] = scaled[s];
+  while (!small_.empty() && !large_.empty()) {
+    const uint32_t s = small_.back();
+    small_.pop_back();
+    const uint32_t l = large_.back();
+    prob_[s] = scaled_[s];
     alias_[s] = l;
-    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-    if (scaled[l] < 1.0) {
-      large.pop_back();
-      small.push_back(l);
+    scaled_[l] = (scaled_[l] + scaled_[s]) - 1.0;
+    if (scaled_[l] < 1.0) {
+      large_.pop_back();
+      small_.push_back(l);
     }
   }
   // Remaining columns are exactly 1 up to floating-point error.
-  for (uint32_t i : large) prob_[i] = 1.0;
-  for (uint32_t i : small) prob_[i] = 1.0;
+  for (uint32_t i : large_) prob_[i] = 1.0;
+  for (uint32_t i : small_) prob_[i] = 1.0;
 }
 
 }  // namespace hkpr

@@ -25,7 +25,10 @@ class AliasSampler {
   /// have a positive sum. O(n) time and space.
   explicit AliasSampler(const std::vector<double>& weights) { Build(weights); }
 
-  /// (Re)builds the table; see constructor.
+  /// (Re)builds the table; see constructor. Rebuilding reuses the table and
+  /// scratch capacity from previous builds, so repeatedly rebuilding a
+  /// sampler (one per query in a reused workspace) stops allocating once the
+  /// largest support size has been seen.
   void Build(const std::vector<double>& weights);
 
   /// Draws an index with probability weights[i] / sum(weights).
@@ -43,13 +46,19 @@ class AliasSampler {
   /// Approximate heap bytes held (for memory accounting).
   size_t MemoryBytes() const {
     return prob_.capacity() * sizeof(double) +
-           alias_.capacity() * sizeof(uint32_t);
+           alias_.capacity() * sizeof(uint32_t) +
+           scaled_.capacity() * sizeof(double) +
+           (small_.capacity() + large_.capacity()) * sizeof(uint32_t);
   }
 
  private:
   std::vector<double> prob_;
   std::vector<uint32_t> alias_;
   double total_weight_ = 0.0;
+  // Build() scratch, kept across rebuilds so rebuilding is allocation-free.
+  std::vector<double> scaled_;
+  std::vector<uint32_t> small_;
+  std::vector<uint32_t> large_;
 };
 
 }  // namespace hkpr

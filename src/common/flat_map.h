@@ -12,6 +12,7 @@
 #ifndef HKPR_COMMON_FLAT_MAP_H_
 #define HKPR_COMMON_FLAT_MAP_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -97,9 +98,27 @@ class FlatMap {
   bool empty() const { return entries_.empty(); }
 
   /// Removes all entries but keeps allocated capacity.
+  ///
+  /// When few slots are touched relative to the table size, clears in
+  /// O(touched) by emptying only the occupied slots instead of refilling the
+  /// whole probe table — this is what makes reused query workspaces cheap to
+  /// reset between queries. Entries are removed in reverse insertion order:
+  /// with linear probing and no deletions, every slot a key probed over was
+  /// occupied by an *earlier* insertion, so removing latest-first never
+  /// breaks the probe chain of a key that is still present.
   void Clear() {
+    // Empty map: every slot is already kEmpty (the only slot writers are
+    // insertion and this function), so there is nothing to wipe. This makes
+    // per-query resets of warmed-but-unused maps free.
+    if (entries_.empty()) return;
+    if (entries_.size() * 8 <= slots_.size()) {
+      for (size_t i = entries_.size(); i-- > 0;) {
+        slots_[FindSlot(entries_[i].key)] = kEmpty;
+      }
+    } else {
+      std::fill(slots_.begin(), slots_.end(), kEmpty);
+    }
     entries_.clear();
-    std::fill(slots_.begin(), slots_.end(), kEmpty);
   }
 
   /// Insertion-ordered entries. Stable unless the map is mutated.

@@ -24,6 +24,11 @@ class SparseVector {
   SparseVector() = default;
   explicit SparseVector(size_t expected_nnz) : map_(expected_nnz) {}
 
+  /// Pre-sizes the backing map for roughly `expected_nnz` entries; a later
+  /// Clear() keeps the capacity, so reused vectors stop allocating once they
+  /// have seen their steady-state support size.
+  void Reserve(size_t expected_nnz) { map_.Reserve(expected_nnz); }
+
   /// Adds `delta` to entry `v`.
   void Add(uint32_t v, double delta) { map_[v] += delta; }
 
@@ -59,6 +64,16 @@ class SparseVector {
 
   const std::vector<FlatMap<double>::Entry>& entries() const {
     return map_.entries();
+  }
+
+  /// A copy whose backing table is sized to this vector's support instead
+  /// of inheriting the source's (possibly much larger, warmed-up) capacity.
+  /// Use when retaining results produced inside a reused workspace.
+  SparseVector CompactCopy() const {
+    SparseVector out(nnz());
+    for (const auto& e : map_.entries()) out.map_[e.key] = e.value;
+    out.degree_offset_ = degree_offset_;
+    return out;
   }
 
   /// Entries sorted by key, useful for deterministic output and comparisons.

@@ -37,6 +37,9 @@ HeatKernel::HeatKernel(double t, double tail_tolerance) : t_(t) {
     tail += eta_[i];
     psi_[i] = tail;
   }
+
+  term_.assign(eta_.size(), 0.0);
+  for (size_t i = 0; i < eta_.size(); ++i) term_[i] = eta_[i] / psi_[i];
 }
 
 uint32_t HeatKernel::SamplePoissonLength(Rng& rng) const {

@@ -11,6 +11,7 @@
 #define HKPR_HKPR_HEAT_KERNEL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -41,9 +42,14 @@ class HeatKernel {
   /// Probability that a walk whose current hop index is k stops here:
   /// eta(k)/psi(k). Returns 1 beyond MaxHop() (deterministic termination).
   double TerminationProb(uint32_t k) const {
-    if (k >= eta_.size()) return 1.0;
-    return eta_[k] / psi_[k];
+    if (k >= term_.size()) return 1.0;
+    return term_[k];
   }
+
+  /// The full precomputed termination-probability table, term[k] =
+  /// eta(k)/psi(k) for k in [0, MaxHop()]. Walk inner loops index this span
+  /// directly instead of calling TerminationProb per step.
+  std::span<const double> TerminationProbs() const { return term_; }
 
   /// Fraction of a k-hop residue converted to reserve by a push operation.
   double ReserveFraction(uint32_t k) const { return TerminationProb(k); }
@@ -59,7 +65,8 @@ class HeatKernel {
   double t_;
   std::vector<double> eta_;
   std::vector<double> psi_;
-  std::vector<double> cdf_;  // cdf_[k] = sum_{l <= k} eta(l)
+  std::vector<double> cdf_;   // cdf_[k] = sum_{l <= k} eta(l)
+  std::vector<double> term_;  // term_[k] = eta_[k] / psi_[k]
 };
 
 }  // namespace hkpr

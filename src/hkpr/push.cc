@@ -1,24 +1,26 @@
 #include "hkpr/push.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 
 namespace hkpr {
 
-PushResult HkPush(const Graph& graph, const HeatKernel& kernel, NodeId seed,
-                  double r_max) {
+PushCounters HkPushInto(const Graph& graph, const HeatKernel& kernel,
+                        NodeId seed, double r_max, QueryWorkspace& ws) {
   HKPR_CHECK(seed < graph.NumNodes());
   HKPR_CHECK(r_max > 0.0);
   const uint32_t max_hop = kernel.MaxHop();
-  PushResult out{SparseVector(), ResidueTable(max_hop)};
-  out.residues.Add(0, seed, 1.0);
+  ws.PrepareQuery(max_hop);
+  ws.residues.Add(0, seed, 1.0);
+  PushCounters out;
 
   // Hop-ordered drain: residues only flow k -> k+1, so after hop k is
   // processed nothing ever re-enters it.
   for (uint32_t k = 0; k < max_hop; ++k) {
-    auto& hop = out.residues.MutableHop(k);
+    auto& hop = ws.residues.MutableHop(k);
     // Entries appended during this hop's processing belong to hop k+1, so
     // iterating by index over the growing entry array is safe; hop k's entry
     // array itself does not grow while we process it.
@@ -29,12 +31,12 @@ PushResult HkPush(const Graph& graph, const HeatKernel& kernel, NodeId seed,
       const uint32_t d = graph.Degree(v);
       if (d == 0 || r <= r_max * d) continue;
       const double reserve_frac = kernel.ReserveFraction(k);
-      out.reserve.Add(v, reserve_frac * r);
+      ws.result.Add(v, reserve_frac * r);
       const double share = (1.0 - reserve_frac) * r / d;
       for (NodeId u : graph.Neighbors(v)) {
-        out.residues.Add(k + 1, u, share);
+        ws.residues.Add(k + 1, u, share);
       }
-      out.residues.Zero(k, v);
+      ws.residues.Zero(k, v);
       out.push_operations += d;
       ++out.entries_processed;
     }
@@ -42,14 +44,16 @@ PushResult HkPush(const Graph& graph, const HeatKernel& kernel, NodeId seed,
   return out;
 }
 
-PushResult HkPushPlus(const Graph& graph, const HeatKernel& kernel,
-                      NodeId seed, const HkPushPlusOptions& options) {
+PushCounters HkPushPlusInto(const Graph& graph, const HeatKernel& kernel,
+                            NodeId seed, const HkPushPlusOptions& options,
+                            QueryWorkspace& ws) {
   HKPR_CHECK(seed < graph.NumNodes());
   HKPR_CHECK(options.eps_r > 0.0 && options.delta > 0.0);
   HKPR_CHECK(options.hop_cap >= 1);
   const uint32_t cap = std::min(options.hop_cap, kernel.MaxHop());
-  PushResult out{SparseVector(), ResidueTable(cap)};
-  out.residues.Add(0, seed, 1.0);
+  ws.PrepareQuery(cap);
+  ws.residues.Add(0, seed, 1.0);
+  PushCounters out;
 
   const double eps_a = options.eps_r * options.delta;
   const double threshold = eps_a / static_cast<double>(cap);
@@ -59,13 +63,14 @@ PushResult HkPushPlus(const Graph& graph, const HeatKernel& kernel,
   // upper bound, and once hop k is fully drained every surviving entry is
   // below `threshold`, so the bound is then clamped to it. The loop may
   // terminate as soon as the bound sum certifies Inequality (11).
-  std::vector<double> norm_bound(static_cast<size_t>(cap) + 1, 0.0);
+  std::vector<double>& norm_bound = ws.norm_bound;
+  norm_bound.assign(static_cast<size_t>(cap) + 1, 0.0);
   const uint32_t seed_degree = graph.Degree(seed);
   norm_bound[0] = seed_degree > 0 ? 1.0 / seed_degree : 0.0;
   double bound_total = norm_bound[0];
 
   for (uint32_t k = 0; k < cap; ++k) {
-    auto& hop = out.residues.MutableHop(k);
+    auto& hop = ws.residues.MutableHop(k);
     const auto& entries = hop.entries();
     const double reserve_frac = kernel.ReserveFraction(k);
     for (size_t i = 0; i < entries.size(); ++i) {
@@ -77,17 +82,17 @@ PushResult HkPushPlus(const Graph& graph, const HeatKernel& kernel,
         out.hit_budget = true;
         return out;
       }
-      out.reserve.Add(v, reserve_frac * r);
+      ws.result.Add(v, reserve_frac * r);
       const double share = (1.0 - reserve_frac) * r / d;
       for (NodeId u : graph.Neighbors(v)) {
-        const double new_r = out.residues.Add(k + 1, u, share);
+        const double new_r = ws.residues.Add(k + 1, u, share);
         const double norm = new_r / graph.Degree(u);
         if (norm > norm_bound[k + 1]) {
           bound_total += norm - norm_bound[k + 1];
           norm_bound[k + 1] = norm;
         }
       }
-      out.residues.Zero(k, v);
+      ws.residues.Zero(k, v);
       out.push_operations += d;
       ++out.entries_processed;
 
@@ -107,6 +112,34 @@ PushResult HkPushPlus(const Graph& graph, const HeatKernel& kernel,
     }
   }
   return out;
+}
+
+namespace {
+
+PushResult ToPushResult(QueryWorkspace&& ws, const PushCounters& counters) {
+  PushResult out{std::move(ws.result), std::move(ws.residues)};
+  out.push_operations = counters.push_operations;
+  out.entries_processed = counters.entries_processed;
+  out.hit_absolute_target = counters.hit_absolute_target;
+  out.hit_budget = counters.hit_budget;
+  return out;
+}
+
+}  // namespace
+
+PushResult HkPush(const Graph& graph, const HeatKernel& kernel, NodeId seed,
+                  double r_max) {
+  QueryWorkspace ws;
+  const PushCounters counters = HkPushInto(graph, kernel, seed, r_max, ws);
+  return ToPushResult(std::move(ws), counters);
+}
+
+PushResult HkPushPlus(const Graph& graph, const HeatKernel& kernel,
+                      NodeId seed, const HkPushPlusOptions& options) {
+  QueryWorkspace ws;
+  const PushCounters counters =
+      HkPushPlusInto(graph, kernel, seed, options, ws);
+  return ToPushResult(std::move(ws), counters);
 }
 
 }  // namespace hkpr

@@ -17,6 +17,7 @@
 #include "graph/graph.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/residue.h"
+#include "hkpr/workspace.h"
 
 namespace hkpr {
 
@@ -64,6 +65,26 @@ struct HkPushPlusOptions {
 /// Inequality (11) with eps_a = eps_r * delta.
 PushResult HkPushPlus(const Graph& graph, const HeatKernel& kernel,
                       NodeId seed, const HkPushPlusOptions& options);
+
+/// Work counters of a workspace-based push phase. Plain value type so the
+/// allocation-free entry points below have nothing to heap-allocate.
+struct PushCounters {
+  uint64_t push_operations = 0;
+  uint64_t entries_processed = 0;
+  bool hit_absolute_target = false;
+  bool hit_budget = false;
+};
+
+/// Algorithm 1 into a reusable workspace: the reserve is accumulated into
+/// `ws.result` (cleared first) and the residues into `ws.residues`.
+/// Allocation-free once the workspace capacities have warmed up.
+PushCounters HkPushInto(const Graph& graph, const HeatKernel& kernel,
+                        NodeId seed, double r_max, QueryWorkspace& ws);
+
+/// Algorithm 4 into a reusable workspace; see HkPushInto.
+PushCounters HkPushPlusInto(const Graph& graph, const HeatKernel& kernel,
+                            NodeId seed, const HkPushPlusOptions& options,
+                            QueryWorkspace& ws);
 
 }  // namespace hkpr
 

@@ -70,4 +70,74 @@ SparseVector EstimateSeedSet(const Graph& graph, HkprEstimator& estimator,
   return combined;
 }
 
+namespace {
+
+/// Mixes the engine seed with a query's global index into an independent
+/// RNG stream (SplitMix64-style finalizer).
+uint64_t QueryRngSeed(uint64_t base_seed, uint64_t query_index) {
+  uint64_t z = base_seed + (query_index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+BatchQueryEngine::BatchQueryEngine(const Graph& graph,
+                                   const ApproxParams& params, uint64_t seed,
+                                   uint32_t num_threads,
+                                   const TeaPlusOptions& options)
+    : graph_(graph), pool_(num_threads), base_seed_(seed) {
+  estimators_.reserve(pool_.num_threads());
+  workspaces_.resize(pool_.num_threads());
+  // p'_f is an O(n) scan; compute it once for all per-thread estimators.
+  const double pf_prime = ComputePfPrime(graph, params.p_f);
+  for (uint32_t tid = 0; tid < pool_.num_threads(); ++tid) {
+    // The per-estimator constructor seed is irrelevant: every query
+    // re-seeds its estimator from (base_seed_, query index).
+    estimators_.emplace_back(graph, params, seed, options, pf_prime);
+  }
+}
+
+std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
+    std::span<const NodeId> seeds) {
+  for (NodeId seed : seeds) {
+    HKPR_CHECK(seed < graph_.NumNodes()) << "batch seed out of range";
+  }
+  std::vector<SparseVector> out(seeds.size());
+  const uint64_t batch_offset = queries_served_;
+  queries_served_ += seeds.size();
+  pool_.Chunks(seeds.size(), [&](uint32_t tid, uint64_t begin, uint64_t end) {
+    TeaPlusEstimator& estimator = estimators_[tid];
+    QueryWorkspace& ws = workspaces_[tid];
+    for (uint64_t i = begin; i < end; ++i) {
+      estimator.Reseed(QueryRngSeed(base_seed_, batch_offset + i));
+      // Compact: the returned vector must not inherit the workspace's
+      // warmed-up table capacity (one hub query would bloat every later
+      // small result answered by this thread).
+      out[i] = estimator.EstimateInto(seeds[i], ws).CompactCopy();
+    }
+  });
+  return out;
+}
+
+std::vector<std::vector<ScoredNode>> BatchQueryEngine::TopKBatch(
+    std::span<const NodeId> seeds, size_t k) {
+  for (NodeId seed : seeds) {
+    HKPR_CHECK(seed < graph_.NumNodes()) << "batch seed out of range";
+  }
+  std::vector<std::vector<ScoredNode>> out(seeds.size());
+  const uint64_t batch_offset = queries_served_;
+  queries_served_ += seeds.size();
+  pool_.Chunks(seeds.size(), [&](uint32_t tid, uint64_t begin, uint64_t end) {
+    TeaPlusEstimator& estimator = estimators_[tid];
+    QueryWorkspace& ws = workspaces_[tid];
+    for (uint64_t i = begin; i < end; ++i) {
+      estimator.Reseed(QueryRngSeed(base_seed_, batch_offset + i));
+      out[i] = TopKNormalized(graph_, estimator.EstimateInto(seeds[i], ws), k);
+    }
+  });
+  return out;
+}
+
 }  // namespace hkpr

@@ -1,5 +1,6 @@
 // Higher-level HKPR query helpers built on the estimator interface:
-// top-k proximity queries and seed-set (multi-seed) estimation.
+// top-k proximity queries, seed-set (multi-seed) estimation, and the
+// pool-backed batch query engine a serving frontend would call.
 
 #ifndef HKPR_HKPR_QUERIES_H_
 #define HKPR_HKPR_QUERIES_H_
@@ -11,6 +12,9 @@
 #include "common/sparse_vector.h"
 #include "graph/graph.h"
 #include "hkpr/estimator.h"
+#include "hkpr/tea_plus.h"
+#include "hkpr/workspace.h"
+#include "parallel/thread_pool.h"
 
 namespace hkpr {
 
@@ -39,6 +43,50 @@ std::vector<ScoredNode> TopKQuery(const Graph& graph,
 SparseVector EstimateSeedSet(const Graph& graph, HkprEstimator& estimator,
                              std::span<const NodeId> seeds,
                              std::span<const double> weights = {});
+
+/// The serving-side query engine: a persistent ThreadPool plus one TEA+
+/// estimator and one QueryWorkspace per pool thread.
+///
+/// EstimateBatch() statically shards a batch of seed nodes across the pool;
+/// each worker answers its shard of queries sequentially, reusing its
+/// workspace, so steady-state batches cost no thread spawns and no per-query
+/// scratch allocations (only the returned estimates are fresh memory).
+///
+/// Each query's RNG is re-seeded from (engine seed, batch offset, position
+/// in batch), so results are deterministic AND independent of the pool size
+/// — a batch answered on 1 thread is bit-identical to the same batch on 8.
+class BatchQueryEngine {
+ public:
+  /// `num_threads == 0` uses all hardware threads. The graph must outlive
+  /// the engine.
+  BatchQueryEngine(const Graph& graph, const ApproxParams& params,
+                   uint64_t seed, uint32_t num_threads = 0,
+                   const TeaPlusOptions& options = TeaPlusOptions());
+
+  /// Answers one TEA+ query per entry of `seeds`; out[i] is the estimate for
+  /// seeds[i]. Every seed must be a valid node id.
+  std::vector<SparseVector> EstimateBatch(std::span<const NodeId> seeds);
+
+  /// Convenience: batch top-k — out[i] is TopKNormalized of seeds[i]'s
+  /// estimate.
+  std::vector<std::vector<ScoredNode>> TopKBatch(std::span<const NodeId> seeds,
+                                                 size_t k);
+
+  uint32_t num_threads() const { return pool_.num_threads(); }
+  ThreadPool& pool() { return pool_; }
+
+  /// Queries answered since construction (advances the per-query RNG
+  /// derivation, so repeated identical batches draw fresh randomness).
+  uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  const Graph& graph_;
+  ThreadPool pool_;
+  std::vector<TeaPlusEstimator> estimators_;  // one per pool thread
+  std::vector<QueryWorkspace> workspaces_;    // one per pool thread
+  uint64_t base_seed_;
+  uint64_t queries_served_ = 0;
+};
 
 }  // namespace hkpr
 

@@ -1,19 +1,26 @@
 #include "hkpr/random_walk.h"
 
+#include <span>
+
 namespace hkpr {
 
 NodeId KRandomWalk(const Graph& graph, const HeatKernel& kernel, NodeId u,
                    uint32_t k, Rng& rng, uint64_t* steps) {
+  const uint32_t max_hop = kernel.MaxHop();
+  // A stranded walk (degree-0 position) stays stranded, so the degree check
+  // runs once per visited node — before the hop loop for the start node,
+  // after each move for its successors — rather than once per step.
+  if (k >= max_hop || graph.Degree(u) == 0) return u;
+  const std::span<const double> term = kernel.TerminationProbs();
   NodeId current = u;
   uint32_t hop = k;
-  const uint32_t max_hop = kernel.MaxHop();
   uint64_t traversed = 0;
   while (hop < max_hop) {
-    if (rng.UniformDouble() <= kernel.TerminationProb(hop)) break;
-    if (graph.Degree(current) == 0) break;  // stranded: stop in place
+    if (rng.UniformDouble() <= term[hop]) break;
     current = graph.RandomNeighbor(current, rng);
     ++hop;
     ++traversed;
+    if (graph.Degree(current) == 0) break;  // stranded: stop in place
   }
   if (steps != nullptr) *steps += traversed;
   return current;

@@ -6,10 +6,15 @@
 // non-Markovianness discussed in Section 6). ResidueTable is that per-hop
 // sparse storage plus the running aggregates TEA/TEA+ need: per-hop sums
 // (for beta_k and alpha) and the total.
+//
+// A table can be Reset() and reused across queries: hop storage only ever
+// grows, and the per-hop maps keep their capacity through clears, so a
+// steady-state query sequence performs no heap allocations here.
 
 #ifndef HKPR_HKPR_RESIDUE_H_
 #define HKPR_HKPR_RESIDUE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -22,11 +27,20 @@ namespace hkpr {
 class ResidueTable {
  public:
   /// Creates empty residue vectors for hops 0..max_hop inclusive.
-  explicit ResidueTable(uint32_t max_hop)
-      : hops_(static_cast<size_t>(max_hop) + 1),
-        hop_sum_(static_cast<size_t>(max_hop) + 1, 0.0) {}
+  explicit ResidueTable(uint32_t max_hop) { Reset(max_hop); }
 
-  uint32_t max_hop() const { return static_cast<uint32_t>(hops_.size() - 1); }
+  /// Clears the table and re-dimensions it for hops 0..max_hop inclusive.
+  /// Storage is retained (and only grows), so repeated Reset/fill cycles on
+  /// one table are allocation-free once capacities have warmed up.
+  void Reset(uint32_t max_hop) {
+    const size_t needed = static_cast<size_t>(max_hop) + 1;
+    if (hops_.size() < needed) hops_.resize(needed);
+    num_hops_ = needed;
+    for (auto& hop : hops_) hop.Clear();
+    hop_sum_.assign(hops_.size(), 0.0);
+  }
+
+  uint32_t max_hop() const { return static_cast<uint32_t>(num_hops_ - 1); }
 
   /// Current residue r_k[v] (0 if absent).
   double Get(uint32_t k, NodeId v) const { return hops_[k].GetOr(v, 0.0); }
@@ -55,7 +69,7 @@ class ResidueTable {
   /// alpha = sum over all hops and nodes of the residues.
   double TotalSum() const {
     double s = 0.0;
-    for (double h : hop_sum_) s += h;
+    for (size_t k = 0; k < num_hops_; ++k) s += hop_sum_[k];
     return s;
   }
 
@@ -65,7 +79,7 @@ class ResidueTable {
   /// Recomputes hop sums by scanning entries; call after mutating residues
   /// directly through MutableHop (e.g. TEA+'s residue reduction).
   void RecomputeSums() {
-    for (size_t k = 0; k < hops_.size(); ++k) {
+    for (size_t k = 0; k < num_hops_; ++k) {
       double s = 0.0;
       for (const auto& e : hops_[k].entries()) s += e.value;
       hop_sum_[k] = s;
@@ -76,9 +90,9 @@ class ResidueTable {
   /// Inequality (11) / TEA+'s Line 7 test. O(total entries).
   double MaxNormalizedResidueSum(const Graph& graph) const {
     double total = 0.0;
-    for (const auto& hop : hops_) {
+    for (size_t k = 0; k < num_hops_; ++k) {
       double best = 0.0;
-      for (const auto& e : hop.entries()) {
+      for (const auto& e : hops_[k].entries()) {
         if (e.value <= 0.0) continue;
         const double norm = e.value / graph.Degree(e.key);
         if (norm > best) best = norm;
@@ -91,15 +105,15 @@ class ResidueTable {
   /// Number of stored entries across hops (including zeroed slots).
   size_t TotalEntries() const {
     size_t n = 0;
-    for (const auto& hop : hops_) n += hop.size();
+    for (size_t k = 0; k < num_hops_; ++k) n += hops_[k].size();
     return n;
   }
 
   /// Number of entries with a strictly positive residue.
   size_t TotalNonZeros() const {
     size_t n = 0;
-    for (const auto& hop : hops_) {
-      for (const auto& e : hop.entries()) {
+    for (size_t k = 0; k < num_hops_; ++k) {
+      for (const auto& e : hops_[k].entries()) {
         if (e.value > 0.0) ++n;
       }
     }
@@ -113,8 +127,9 @@ class ResidueTable {
   }
 
  private:
-  std::vector<FlatMap<double>> hops_;
+  std::vector<FlatMap<double>> hops_;  // may exceed num_hops_ after Reset
   std::vector<double> hop_sum_;
+  size_t num_hops_ = 1;
 };
 
 }  // namespace hkpr

@@ -1,45 +1,12 @@
 #include "hkpr/tea.h"
 
 #include <cmath>
-#include <utility>
-#include <vector>
 
-#include "common/alias_sampler.h"
 #include "common/logging.h"
 #include "hkpr/push.h"
 #include "hkpr/random_walk.h"
 
 namespace hkpr {
-
-namespace {
-
-/// Flattened positive residue entries, ready for alias sampling.
-struct WalkStarts {
-  std::vector<std::pair<NodeId, uint32_t>> entries;  // (node, hop)
-  std::vector<double> weights;
-
-  size_t MemoryBytes() const {
-    return entries.capacity() * sizeof(entries[0]) +
-           weights.capacity() * sizeof(double);
-  }
-};
-
-WalkStarts CollectWalkStarts(const ResidueTable& residues) {
-  WalkStarts out;
-  out.entries.reserve(residues.TotalNonZeros());
-  out.weights.reserve(residues.TotalNonZeros());
-  for (uint32_t k = 0; k <= residues.max_hop(); ++k) {
-    for (const auto& e : residues.Hop(k).entries()) {
-      if (e.value > 0.0) {
-        out.entries.emplace_back(e.key, k);
-        out.weights.push_back(e.value);
-      }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 TeaEstimator::TeaEstimator(const Graph& graph, const ApproxParams& params,
                            uint64_t seed, const TeaOptions& options)
@@ -51,26 +18,32 @@ TeaEstimator::TeaEstimator(const Graph& graph, const ApproxParams& params,
 }
 
 SparseVector TeaEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
+  return EstimateWithFreshWorkspace(*this, seed, stats);
+}
+
+const SparseVector& TeaEstimator::EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                               EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
 
   // Phase 1: deterministic traversal.
-  PushResult push = HkPush(graph_, kernel_, seed, r_max_);
-  SparseVector rho = std::move(push.reserve);
+  const PushCounters push = HkPushInto(graph_, kernel_, seed, r_max_, ws);
+  SparseVector& rho = ws.result;
 
   // Phase 2: refine with residue-guided walks.
-  const double alpha = push.residues.TotalSum();
+  const double alpha = ws.residues.TotalSum();
   const uint64_t num_walks =
       alpha > 0.0 ? static_cast<uint64_t>(std::ceil(alpha * omega_)) : 0;
   uint64_t steps = 0;
   size_t alias_bytes = 0;
   if (num_walks > 0) {
-    WalkStarts starts = CollectWalkStarts(push.residues);
-    AliasSampler alias(starts.weights);
-    alias_bytes = alias.MemoryBytes() + starts.MemoryBytes();
+    ws.CollectWalkStarts();
+    alias_bytes = ws.alias.MemoryBytes() +
+                  ws.starts.capacity() * sizeof(ws.starts[0]) +
+                  ws.weights.capacity() * sizeof(double);
     const double increment = alpha / static_cast<double>(num_walks);
     for (uint64_t i = 0; i < num_walks; ++i) {
-      const auto [u, k] = starts.entries[alias.Sample(rng_)];
+      const auto [u, k] = ws.starts[ws.alias.Sample(rng_)];
       const NodeId end = KRandomWalk(graph_, kernel_, u, k, rng_, &steps);
       rho.Add(end, increment);
     }
@@ -82,7 +55,7 @@ SparseVector TeaEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
     stats->num_walks = num_walks;
     stats->walk_steps = steps;
     stats->peak_bytes =
-        push.residues.MemoryBytes() + rho.MemoryBytes() + alias_bytes;
+        ws.residues.MemoryBytes() + rho.MemoryBytes() + alias_bytes;
   }
   return rho;
 }

@@ -9,6 +9,7 @@
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
+#include "hkpr/workspace.h"
 
 namespace hkpr {
 
@@ -34,6 +35,16 @@ class TeaEstimator : public HkprEstimator {
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
+
+  /// Runs the query entirely inside `ws` and returns a reference to
+  /// `ws.result` (valid until the next query on that workspace).
+  /// Allocation-free once the workspace capacities have warmed up.
+  const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                   EstimatorStats* stats = nullptr);
+
+  /// Re-seeds the walk-phase RNG; queries after a Reseed(s) replay the same
+  /// randomness as a freshly constructed estimator with seed `s`.
+  void Reseed(uint64_t seed) { rng_.Reseed(seed); }
 
   std::string_view name() const override { return "TEA"; }
 

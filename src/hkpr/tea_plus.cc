@@ -1,25 +1,48 @@
 #include "hkpr/tea_plus.h"
 
 #include <cmath>
-#include <utility>
-#include <vector>
 
-#include "common/alias_sampler.h"
 #include "common/logging.h"
 #include "hkpr/push.h"
 #include "hkpr/random_walk.h"
 
 namespace hkpr {
 
+void ReduceResidues(const Graph& graph, const TeaPlusOptions& options,
+                    double eps_delta, ResidueTable& residues) {
+  const double total = residues.TotalSum();
+  if (total <= 0.0) return;
+  const uint32_t num_hops = residues.max_hop() + 1;
+  for (uint32_t k = 0; k < num_hops; ++k) {
+    const double beta_k = options.beta_mode == BetaMode::kProportionalToHopSum
+                              ? residues.HopSum(k) / total
+                              : 1.0 / static_cast<double>(num_hops);
+    if (beta_k <= 0.0) continue;
+    const double cut = beta_k * eps_delta;
+    for (auto& e : residues.MutableHop(k).mutable_entries()) {
+      if (e.value <= 0.0) continue;
+      const double reduced = e.value - cut * graph.Degree(e.key);
+      e.value = reduced > 0.0 ? reduced : 0.0;
+    }
+  }
+  residues.RecomputeSums();
+}
+
 TeaPlusEstimator::TeaPlusEstimator(const Graph& graph,
                                    const ApproxParams& params, uint64_t seed,
                                    const TeaPlusOptions& options)
+    : TeaPlusEstimator(graph, params, seed, options,
+                       ComputePfPrime(graph, params.p_f)) {}
+
+TeaPlusEstimator::TeaPlusEstimator(const Graph& graph,
+                                   const ApproxParams& params, uint64_t seed,
+                                   const TeaPlusOptions& options,
+                                   double pf_prime)
     : graph_(graph),
       params_(params),
       options_(options),
       kernel_(params.t),
       rng_(seed) {
-  const double pf_prime = ComputePfPrime(graph, params.p_f);
   omega_ = OmegaTeaPlus(params, pf_prime);
   push_budget_ = static_cast<uint64_t>(std::ceil(omega_ * params.t / 2.0));
   hop_cap_ = ChooseHopCap(options.c, params, graph.AverageDegree(),
@@ -27,6 +50,12 @@ TeaPlusEstimator::TeaPlusEstimator(const Graph& graph,
 }
 
 SparseVector TeaPlusEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
+  return EstimateWithFreshWorkspace(*this, seed, stats);
+}
+
+const SparseVector& TeaPlusEstimator::EstimateInto(NodeId seed,
+                                                   QueryWorkspace& ws,
+                                                   EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
   const double eps_delta = params_.eps_r * params_.delta;
@@ -38,8 +67,9 @@ SparseVector TeaPlusEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
   push_options.hop_cap = hop_cap_;
   push_options.push_budget = push_budget_;
   push_options.enable_early_exit = options_.enable_early_exit;
-  PushResult push = HkPushPlus(graph_, kernel_, seed, push_options);
-  SparseVector rho = std::move(push.reserve);
+  const PushCounters push =
+      HkPushPlusInto(graph_, kernel_, seed, push_options, ws);
+  SparseVector& rho = ws.result;
 
   if (stats != nullptr) {
     stats->push_operations = push.push_operations;
@@ -51,11 +81,11 @@ SparseVector TeaPlusEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
   // certificate implies the exact test, so check it first (free).
   const bool absolute_ok =
       push.hit_absolute_target ||
-      push.residues.MaxNormalizedResidueSum(graph_) <= eps_delta;
+      ws.residues.MaxNormalizedResidueSum(graph_) <= eps_delta;
   if (absolute_ok) {
     if (stats != nullptr) {
       stats->early_exit = true;
-      stats->peak_bytes = push.residues.MemoryBytes() + rho.MemoryBytes();
+      stats->peak_bytes = ws.residues.MemoryBytes() + rho.MemoryBytes();
     }
     return rho;
   }
@@ -64,55 +94,24 @@ SparseVector TeaPlusEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
   // beta_k * eps_r * delta * d(u); the induced underestimation is bounded by
   // eps_r*delta*d(v) in total (Inequality 19) and recentered by the final
   // offset below.
-  ResidueTable& residues = push.residues;
   if (options_.enable_residue_reduction) {
-    const double total = residues.TotalSum();
-    if (total > 0.0) {
-      const uint32_t num_hops = residues.max_hop() + 1;
-      for (uint32_t k = 0; k < num_hops; ++k) {
-        double beta_k;
-        if (options_.beta_mode == BetaMode::kProportionalToHopSum) {
-          beta_k = residues.HopSum(k) / total;
-        } else {
-          beta_k = 1.0 / static_cast<double>(num_hops);
-        }
-        if (beta_k <= 0.0) continue;
-        const double cut = beta_k * eps_delta;
-        for (auto& e : residues.MutableHop(k).mutable_entries()) {
-          if (e.value <= 0.0) continue;
-          const double reduced = e.value - cut * graph_.Degree(e.key);
-          e.value = reduced > 0.0 ? reduced : 0.0;
-        }
-      }
-      residues.RecomputeSums();
-    }
+    ReduceResidues(graph_, options_, eps_delta, ws.residues);
   }
 
   // Lines 12-17: walk phase on the reduced residues (as in TEA).
-  const double alpha = residues.TotalSum();
+  const double alpha = ws.residues.TotalSum();
   const uint64_t num_walks =
       alpha > 0.0 ? static_cast<uint64_t>(std::ceil(alpha * omega_)) : 0;
   uint64_t steps = 0;
   size_t alias_bytes = 0;
   if (num_walks > 0) {
-    std::vector<std::pair<NodeId, uint32_t>> starts;
-    std::vector<double> weights;
-    starts.reserve(residues.TotalNonZeros());
-    weights.reserve(residues.TotalNonZeros());
-    for (uint32_t k = 0; k <= residues.max_hop(); ++k) {
-      for (const auto& e : residues.Hop(k).entries()) {
-        if (e.value > 0.0) {
-          starts.emplace_back(e.key, k);
-          weights.push_back(e.value);
-        }
-      }
-    }
-    AliasSampler alias(weights);
-    alias_bytes = alias.MemoryBytes() + starts.capacity() * sizeof(starts[0]) +
-                  weights.capacity() * sizeof(double);
+    ws.CollectWalkStarts();
+    alias_bytes = ws.alias.MemoryBytes() +
+                  ws.starts.capacity() * sizeof(ws.starts[0]) +
+                  ws.weights.capacity() * sizeof(double);
     const double increment = alpha / static_cast<double>(num_walks);
     for (uint64_t i = 0; i < num_walks; ++i) {
-      const auto [u, k] = starts[alias.Sample(rng_)];
+      const auto [u, k] = ws.starts[ws.alias.Sample(rng_)];
       const NodeId end = KRandomWalk(graph_, kernel_, u, k, rng_, &steps);
       rho.Add(end, increment);
     }
@@ -128,7 +127,7 @@ SparseVector TeaPlusEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
     stats->num_walks = num_walks;
     stats->walk_steps = steps;
     stats->peak_bytes =
-        residues.MemoryBytes() + rho.MemoryBytes() + alias_bytes;
+        ws.residues.MemoryBytes() + rho.MemoryBytes() + alias_bytes;
   }
   return rho;
 }

@@ -9,6 +9,8 @@
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
+#include "hkpr/residue.h"
+#include "hkpr/workspace.h"
 
 namespace hkpr {
 
@@ -48,8 +50,26 @@ class TeaPlusEstimator : public HkprEstimator {
                    uint64_t seed,
                    const TeaPlusOptions& options = TeaPlusOptions());
 
+  /// Variant taking a precomputed p'_f (Equation 6). ComputePfPrime is an
+  /// O(n) scan the paper notes is done once when the graph is loaded; pass
+  /// it here to avoid re-scanning when constructing many estimators over
+  /// one graph (e.g. one per pool thread in BatchQueryEngine).
+  TeaPlusEstimator(const Graph& graph, const ApproxParams& params,
+                   uint64_t seed, const TeaPlusOptions& options,
+                   double pf_prime);
+
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
+
+  /// Runs the query entirely inside `ws` and returns a reference to
+  /// `ws.result` (valid until the next query on that workspace).
+  /// Allocation-free once the workspace capacities have warmed up.
+  const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                   EstimatorStats* stats = nullptr);
+
+  /// Re-seeds the walk-phase RNG; queries after a Reseed(s) replay the same
+  /// randomness as a freshly constructed estimator with seed `s`.
+  void Reseed(uint64_t seed) { rng_.Reseed(seed); }
 
   std::string_view name() const override { return "TEA+"; }
 
@@ -67,6 +87,13 @@ class TeaPlusEstimator : public HkprEstimator {
   uint64_t push_budget_;
   Rng rng_;
 };
+
+/// Algorithm 5 Lines 8-11, shared by the sequential and parallel TEA+:
+/// lowers each residue r_k[u] by beta_k * eps_delta * d(u) (beta per
+/// `options.beta_mode`) and recomputes the hop sums. No-op on an empty
+/// table.
+void ReduceResidues(const Graph& graph, const TeaPlusOptions& options,
+                    double eps_delta, ResidueTable& residues);
 
 }  // namespace hkpr
 

@@ -1,0 +1,34 @@
+#include "hkpr/workspace.h"
+
+namespace hkpr {
+
+size_t QueryWorkspace::CollectWalkStarts() {
+  starts.clear();
+  weights.clear();
+  const size_t nnz = residues.TotalNonZeros();
+  starts.reserve(nnz);
+  weights.reserve(nnz);
+  for (uint32_t k = 0; k <= residues.max_hop(); ++k) {
+    for (const auto& e : residues.Hop(k).entries()) {
+      if (e.value > 0.0) {
+        starts.emplace_back(e.key, k);
+        weights.push_back(e.value);
+      }
+    }
+  }
+  if (!weights.empty()) alias.Build(weights);
+  return starts.size();
+}
+
+size_t QueryWorkspace::MemoryBytes() const {
+  size_t b = result.MemoryBytes() + residues.MemoryBytes() +
+             norm_bound.capacity() * sizeof(double) +
+             starts.capacity() * sizeof(starts[0]) +
+             weights.capacity() * sizeof(double) + alias.MemoryBytes();
+  for (const auto& scratch : thread_scratch_) {
+    b += scratch.counts.MemoryBytes();
+  }
+  return b;
+}
+
+}  // namespace hkpr

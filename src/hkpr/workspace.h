@@ -1,0 +1,116 @@
+// Reusable per-query scratch state for the HKPR estimators.
+//
+// Every Estimate() call needs the same family of buffers: a reserve/result
+// vector, a multi-hop residue table, the HK-Push+ bound array, flattened
+// walk-start arrays with their alias table, and (for the parallel
+// estimators) per-thread walk accumulators. Allocating these from scratch
+// per query is the dominant fixed cost of small queries; a QueryWorkspace
+// owns all of them and is reset — never reallocated — between queries, so a
+// steady-state query stream performs zero heap allocations (verified by the
+// workspace tests with the AllocCounters hook in common/mem_tracker.h).
+//
+// A workspace is not thread-safe; the intended pattern is one workspace per
+// serving thread (see BatchQueryEngine in hkpr/queries.h). The per-thread
+// WalkScratch entries inside one workspace ARE handed to distinct pool
+// threads during a single parallel estimate.
+
+#ifndef HKPR_HKPR_WORKSPACE_H_
+#define HKPR_HKPR_WORKSPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/alias_sampler.h"
+#include "common/sparse_vector.h"
+#include "graph/graph.h"
+#include "hkpr/residue.h"
+
+namespace hkpr {
+
+/// One thread's walk-phase accumulator: end-point counts plus a step
+/// counter. Lives inside a QueryWorkspace, one per participating thread.
+struct WalkScratch {
+  SparseVector counts;
+  uint64_t steps = 0;
+};
+
+/// All scratch state one query needs, reusable across queries.
+class QueryWorkspace {
+ public:
+  QueryWorkspace() = default;
+
+  /// The estimate under construction. HK-Push writes the reserve here, the
+  /// walk phase accumulates into it, and EstimateInto() returns a reference
+  /// to it — valid until the next query on this workspace.
+  SparseVector result;
+
+  /// Residue table for the push phase; Reset() between queries.
+  ResidueTable residues{0};
+
+  /// HK-Push+ per-hop normalized-residue upper bounds.
+  std::vector<double> norm_bound;
+
+  /// Flattened positive residue entries (node, hop) and their weights, the
+  /// alias sampler's input.
+  std::vector<std::pair<NodeId, uint32_t>> starts;
+  std::vector<double> weights;
+
+  /// Alias table over `weights`; rebuilt (allocation-free at steady state)
+  /// per query that reaches the walk phase.
+  AliasSampler alias;
+
+  /// Clears the single-query state. Capacities are retained.
+  void PrepareQuery(uint32_t max_hop) {
+    result.Clear();
+    residues.Reset(max_hop);
+    starts.clear();
+    weights.clear();
+  }
+
+  /// Per-thread walk accumulators, cleared and ready for use. Grows to
+  /// `num_threads` entries on first use and is retained afterwards. Every
+  /// entry is cleared — including ones beyond `num_threads` left over from a
+  /// wider earlier query — so merge loops may safely iterate the whole
+  /// vector.
+  std::vector<WalkScratch>& ThreadScratch(uint32_t num_threads) {
+    if (thread_scratch_.size() < num_threads) {
+      thread_scratch_.resize(num_threads);
+    }
+    for (WalkScratch& scratch : thread_scratch_) {
+      scratch.counts.Clear();
+      scratch.steps = 0;
+    }
+    return thread_scratch_;
+  }
+
+  /// Fills `starts`/`weights` from the positive entries of `residues` and
+  /// builds the alias table. Returns the number of start entries.
+  size_t CollectWalkStarts();
+
+  /// Approximate heap bytes held by all buffers (for memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<WalkScratch> thread_scratch_;
+};
+
+/// Implements the legacy by-value Estimate() contract on top of an
+/// EstimateInto-style estimator: runs the query in a fresh workspace and
+/// moves — not copies — the result out. Allocating per call is deliberate:
+/// it keeps the legacy API's per-query memory accounting (EstimatorStats::
+/// peak_bytes reflects this query's sizes, not capacities warmed by earlier
+/// queries — the Figure 5 semantics) and leaves workspace reuse to callers
+/// that opt in via EstimateInto.
+template <typename Estimator, typename Stats>
+SparseVector EstimateWithFreshWorkspace(Estimator& estimator, NodeId seed,
+                                        Stats* stats) {
+  QueryWorkspace ws;
+  estimator.EstimateInto(seed, ws, stats);
+  return std::move(ws.result);
+}
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_WORKSPACE_H_

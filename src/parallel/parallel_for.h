@@ -2,12 +2,15 @@
 //
 // The paper notes (Section 6, citing Shun et al. VLDB'16) that HKPR
 // estimation parallelizes well; this module provides the substrate the
-// parallel estimators build on. Threads are spawned per call — the walk
-// phases they run are orders of magnitude longer than thread start-up.
+// parallel estimators build on. Threads are spawned per call, which is
+// acceptable for one-shot benchmark runs; repeated-query serving should use
+// the persistent ThreadPool (parallel/thread_pool.h) instead, which keeps
+// the same ParallelChunks partition but parks its workers between calls.
 
 #ifndef HKPR_PARALLEL_PARALLEL_FOR_H_
 #define HKPR_PARALLEL_PARALLEL_FOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -38,6 +41,23 @@ inline void ParallelInvoke(uint32_t num_threads,
   for (std::thread& w : workers) w.join();
 }
 
+/// Contiguous chunk [begin, end) of [0, total) for shard `tid` of `ways`;
+/// chunk sizes differ by at most one item. Shared by ParallelChunks and
+/// ThreadPool::ChunksLimit so their partitions cannot drift apart — the
+/// pool's bit-identical-results guarantee depends on both using exactly
+/// this decomposition.
+struct ChunkRange {
+  uint64_t begin;
+  uint64_t end;
+};
+
+inline ChunkRange ChunkBounds(uint64_t total, uint32_t ways, uint32_t tid) {
+  const uint64_t base = total / ways;
+  const uint64_t remainder = total % ways;
+  const uint64_t begin = tid * base + std::min<uint64_t>(tid, remainder);
+  return {begin, begin + base + (tid < remainder ? 1 : 0)};
+}
+
 /// Splits [0, total) into `num_threads` contiguous chunks and runs
 /// fn(thread_id, begin, end) in parallel. Chunks differ in size by at most
 /// one item.
@@ -45,12 +65,9 @@ template <typename Fn>
 void ParallelChunks(uint64_t total, uint32_t num_threads, Fn&& fn) {
   if (total == 0) return;
   if (num_threads > total) num_threads = static_cast<uint32_t>(total);
-  const uint64_t base = total / num_threads;
-  const uint64_t remainder = total % num_threads;
   ParallelInvoke(num_threads, [&](uint32_t tid) {
-    const uint64_t begin = tid * base + std::min<uint64_t>(tid, remainder);
-    const uint64_t end = begin + base + (tid < remainder ? 1 : 0);
-    fn(tid, begin, end);
+    const ChunkRange range = ChunkBounds(total, num_threads, tid);
+    fn(tid, range.begin, range.end);
   });
 }
 

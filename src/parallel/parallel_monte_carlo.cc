@@ -1,7 +1,6 @@
 #include "parallel/parallel_monte_carlo.h"
 
 #include <cmath>
-#include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -12,12 +11,13 @@ namespace hkpr {
 
 ParallelMonteCarloEstimator::ParallelMonteCarloEstimator(
     const Graph& graph, const ApproxParams& params, uint64_t seed,
-    uint32_t num_threads)
+    uint32_t num_threads, ThreadPool* pool)
     : graph_(graph),
       params_(params),
       kernel_(params.t),
       base_seed_(seed),
-      num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {
+      num_threads_(num_threads == 0 ? HardwareThreads() : num_threads),
+      pool_(pool) {
   const double pf_prime = ComputePfPrime(graph, params.p_f);
   num_walks_ = static_cast<uint64_t>(std::ceil(OmegaTea(params, pf_prime)));
   HKPR_CHECK(num_walks_ > 0);
@@ -25,34 +25,38 @@ ParallelMonteCarloEstimator::ParallelMonteCarloEstimator(
 
 SparseVector ParallelMonteCarloEstimator::Estimate(NodeId seed,
                                                    EstimatorStats* stats) {
+  return EstimateWithFreshWorkspace(*this, seed, stats);
+}
+
+const SparseVector& ParallelMonteCarloEstimator::EstimateInto(
+    NodeId seed, QueryWorkspace& ws, EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
   const uint64_t epoch = epoch_++;
 
-  struct ThreadState {
-    SparseVector counts;
-    uint64_t steps = 0;
+  ws.result.Clear();
+  std::vector<WalkScratch>& locals = ws.ThreadScratch(num_threads_);
+  const auto shard = [&](uint32_t tid, uint64_t begin, uint64_t end) {
+    uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
+    mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
+    Rng rng(mix);
+    WalkScratch& state = locals[tid];
+    for (uint64_t i = begin; i < end; ++i) {
+      const NodeId v = KRandomWalk(graph_, kernel_, seed, 0, rng, &state.steps);
+      state.counts.Add(v, 1.0);
+    }
   };
-  std::vector<ThreadState> locals(num_threads_);
+  if (pool_ != nullptr) {
+    pool_->ChunksLimit(num_walks_, num_threads_, shard);
+  } else {
+    ParallelChunks(num_walks_, num_threads_, shard);
+  }
 
-  ParallelChunks(num_walks_, num_threads_,
-                 [&](uint32_t tid, uint64_t begin, uint64_t end) {
-                   uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
-                   mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
-                   Rng rng(mix);
-                   ThreadState& state = locals[tid];
-                   for (uint64_t i = begin; i < end; ++i) {
-                     const NodeId v = KRandomWalk(graph_, kernel_, seed, 0,
-                                                  rng, &state.steps);
-                     state.counts.Add(v, 1.0);
-                   }
-                 });
-
-  SparseVector rho;
+  SparseVector& rho = ws.result;
   const double weight = 1.0 / static_cast<double>(num_walks_);
   uint64_t steps = 0;
   size_t peak = 0;
-  for (const ThreadState& state : locals) {
+  for (const WalkScratch& state : locals) {
     for (const auto& e : state.counts.entries()) {
       rho.Add(e.key, e.value * weight);
     }

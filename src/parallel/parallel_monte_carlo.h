@@ -8,6 +8,8 @@
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
+#include "hkpr/workspace.h"
+#include "parallel/thread_pool.h"
 
 namespace hkpr {
 
@@ -16,14 +18,26 @@ namespace hkpr {
 /// thread-local accumulator; results are merged once at the end, so the
 /// output is deterministic for a fixed (seed, num_threads) pair and meets
 /// the same (d, eps_r, delta) guarantee as the sequential estimator.
+///
+/// With a ThreadPool attached, walk shards run on the pool's parked workers
+/// (the chunk partition — and therefore the result — is identical to the
+/// spawn-per-call path); without one, threads are spawned per call.
 class ParallelMonteCarloEstimator : public HkprEstimator {
  public:
-  /// `num_threads == 0` uses all hardware threads.
+  /// `num_threads == 0` uses all hardware threads. `pool`, when non-null,
+  /// must outlive the estimator and have at least 1 thread; shards beyond
+  /// the pool size run inline.
   ParallelMonteCarloEstimator(const Graph& graph, const ApproxParams& params,
-                              uint64_t seed, uint32_t num_threads = 0);
+                              uint64_t seed, uint32_t num_threads = 0,
+                              ThreadPool* pool = nullptr);
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
+
+  /// Runs the query inside `ws` and returns a reference to `ws.result`.
+  /// Allocation-free at steady state when a ThreadPool is attached.
+  const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                   EstimatorStats* stats = nullptr);
 
   std::string_view name() const override { return "Monte-Carlo(par)"; }
 
@@ -37,6 +51,7 @@ class ParallelMonteCarloEstimator : public HkprEstimator {
   uint64_t num_walks_;
   uint64_t base_seed_;
   uint32_t num_threads_;
+  ThreadPool* pool_;
   uint64_t epoch_ = 0;  // advances per query so repeated calls differ
 };
 

@@ -1,10 +1,7 @@
 #include "parallel/parallel_tea_plus.h"
 
 #include <cmath>
-#include <utility>
-#include <vector>
 
-#include "common/alias_sampler.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "hkpr/push.h"
@@ -15,13 +12,14 @@ namespace hkpr {
 
 ParallelTeaPlusEstimator::ParallelTeaPlusEstimator(
     const Graph& graph, const ApproxParams& params, uint64_t seed,
-    uint32_t num_threads, const TeaPlusOptions& options)
+    uint32_t num_threads, const TeaPlusOptions& options, ThreadPool* pool)
     : graph_(graph),
       params_(params),
       options_(options),
       kernel_(params.t),
       base_seed_(seed),
-      num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {
+      num_threads_(num_threads == 0 ? HardwareThreads() : num_threads),
+      pool_(pool) {
   const double pf_prime = ComputePfPrime(graph, params.p_f);
   omega_ = OmegaTeaPlus(params, pf_prime);
   push_budget_ = static_cast<uint64_t>(std::ceil(omega_ * params.t / 2.0));
@@ -31,6 +29,11 @@ ParallelTeaPlusEstimator::ParallelTeaPlusEstimator(
 
 SparseVector ParallelTeaPlusEstimator::Estimate(NodeId seed,
                                                 EstimatorStats* stats) {
+  return EstimateWithFreshWorkspace(*this, seed, stats);
+}
+
+const SparseVector& ParallelTeaPlusEstimator::EstimateInto(
+    NodeId seed, QueryWorkspace& ws, EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
   const double eps_delta = params_.eps_r * params_.delta;
@@ -44,8 +47,9 @@ SparseVector ParallelTeaPlusEstimator::Estimate(NodeId seed,
   push_options.hop_cap = hop_cap_;
   push_options.push_budget = push_budget_;
   push_options.enable_early_exit = options_.enable_early_exit;
-  PushResult push = HkPushPlus(graph_, kernel_, seed, push_options);
-  SparseVector rho = std::move(push.reserve);
+  const PushCounters push =
+      HkPushPlusInto(graph_, kernel_, seed, push_options, ws);
+  SparseVector& rho = ws.result;
 
   if (stats != nullptr) {
     stats->push_operations = push.push_operations;
@@ -54,82 +58,52 @@ SparseVector ParallelTeaPlusEstimator::Estimate(NodeId seed,
 
   const bool absolute_ok =
       push.hit_absolute_target ||
-      push.residues.MaxNormalizedResidueSum(graph_) <= eps_delta;
+      ws.residues.MaxNormalizedResidueSum(graph_) <= eps_delta;
   if (absolute_ok) {
     if (stats != nullptr) {
       stats->early_exit = true;
-      stats->peak_bytes = push.residues.MemoryBytes() + rho.MemoryBytes();
+      stats->peak_bytes = ws.residues.MemoryBytes() + rho.MemoryBytes();
     }
     return rho;
   }
 
-  ResidueTable& residues = push.residues;
   if (options_.enable_residue_reduction) {
-    const double total = residues.TotalSum();
-    if (total > 0.0) {
-      const uint32_t num_hops = residues.max_hop() + 1;
-      for (uint32_t k = 0; k < num_hops; ++k) {
-        const double beta_k =
-            options_.beta_mode == BetaMode::kProportionalToHopSum
-                ? residues.HopSum(k) / total
-                : 1.0 / static_cast<double>(num_hops);
-        if (beta_k <= 0.0) continue;
-        const double cut = beta_k * eps_delta;
-        for (auto& e : residues.MutableHop(k).mutable_entries()) {
-          if (e.value <= 0.0) continue;
-          const double reduced = e.value - cut * graph_.Degree(e.key);
-          e.value = reduced > 0.0 ? reduced : 0.0;
-        }
-      }
-      residues.RecomputeSums();
-    }
+    ReduceResidues(graph_, options_, eps_delta, ws.residues);
   }
 
   // Parallel walk phase.
-  const double alpha = residues.TotalSum();
+  const double alpha = ws.residues.TotalSum();
   const uint64_t num_walks =
       alpha > 0.0 ? static_cast<uint64_t>(std::ceil(alpha * omega_)) : 0;
   uint64_t steps = 0;
   size_t alias_bytes = 0;
   if (num_walks > 0) {
-    std::vector<std::pair<NodeId, uint32_t>> starts;
-    std::vector<double> weights;
-    starts.reserve(residues.TotalNonZeros());
-    weights.reserve(residues.TotalNonZeros());
-    for (uint32_t k = 0; k <= residues.max_hop(); ++k) {
-      for (const auto& e : residues.Hop(k).entries()) {
-        if (e.value > 0.0) {
-          starts.emplace_back(e.key, k);
-          weights.push_back(e.value);
-        }
-      }
-    }
-    const AliasSampler alias(weights);  // read-only during the walks
-    alias_bytes = alias.MemoryBytes() + starts.capacity() * sizeof(starts[0]) +
-                  weights.capacity() * sizeof(double);
+    ws.CollectWalkStarts();  // alias table is read-only during the walks
+    alias_bytes = ws.alias.MemoryBytes() +
+                  ws.starts.capacity() * sizeof(ws.starts[0]) +
+                  ws.weights.capacity() * sizeof(double);
 
-    struct ThreadState {
-      SparseVector counts;
-      uint64_t steps = 0;
+    std::vector<WalkScratch>& locals = ws.ThreadScratch(num_threads_);
+    const auto shard = [&](uint32_t tid, uint64_t begin, uint64_t end) {
+      uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
+      mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
+      Rng rng(mix);
+      WalkScratch& state = locals[tid];
+      for (uint64_t i = begin; i < end; ++i) {
+        const auto [u, k] = ws.starts[ws.alias.Sample(rng)];
+        const NodeId end_node =
+            KRandomWalk(graph_, kernel_, u, k, rng, &state.steps);
+        state.counts.Add(end_node, 1.0);
+      }
     };
-    std::vector<ThreadState> locals(num_threads_);
-    ParallelChunks(
-        num_walks, num_threads_,
-        [&](uint32_t tid, uint64_t begin, uint64_t end) {
-          uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
-          mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
-          Rng rng(mix);
-          ThreadState& state = locals[tid];
-          for (uint64_t i = begin; i < end; ++i) {
-            const auto [u, k] = starts[alias.Sample(rng)];
-            const NodeId end_node =
-                KRandomWalk(graph_, kernel_, u, k, rng, &state.steps);
-            state.counts.Add(end_node, 1.0);
-          }
-        });
+    if (pool_ != nullptr) {
+      pool_->ChunksLimit(num_walks, num_threads_, shard);
+    } else {
+      ParallelChunks(num_walks, num_threads_, shard);
+    }
 
     const double increment = alpha / static_cast<double>(num_walks);
-    for (const ThreadState& state : locals) {
+    for (const WalkScratch& state : locals) {
       for (const auto& e : state.counts.entries()) {
         rho.Add(e.key, e.value * increment);
       }
@@ -145,7 +119,7 @@ SparseVector ParallelTeaPlusEstimator::Estimate(NodeId seed,
     stats->num_walks = num_walks;
     stats->walk_steps = steps;
     stats->peak_bytes =
-        residues.MemoryBytes() + rho.MemoryBytes() + alias_bytes;
+        ws.residues.MemoryBytes() + rho.MemoryBytes() + alias_bytes;
   }
   return rho;
 }

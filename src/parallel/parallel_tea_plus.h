@@ -9,6 +9,8 @@
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
 #include "hkpr/tea_plus.h"
+#include "hkpr/workspace.h"
+#include "parallel/thread_pool.h"
 
 namespace hkpr {
 
@@ -18,15 +20,26 @@ namespace hkpr {
 /// the walk phase is embarrassingly parallel (each walk is independent and
 /// the alias structure is read-only). Accuracy analysis is unchanged: the
 /// union of per-thread walks is exactly the same set of i.i.d. samples.
+///
+/// With a ThreadPool attached, walk shards run on the pool's parked workers
+/// (the chunk partition — and therefore the result — is identical to the
+/// spawn-per-call path); without one, threads are spawned per call.
 class ParallelTeaPlusEstimator : public HkprEstimator {
  public:
-  /// `num_threads == 0` uses all hardware threads.
+  /// `num_threads == 0` uses all hardware threads. `pool`, when non-null,
+  /// must outlive the estimator; shards beyond the pool size run inline.
   ParallelTeaPlusEstimator(const Graph& graph, const ApproxParams& params,
                            uint64_t seed, uint32_t num_threads = 0,
-                           const TeaPlusOptions& options = TeaPlusOptions());
+                           const TeaPlusOptions& options = TeaPlusOptions(),
+                           ThreadPool* pool = nullptr);
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
+
+  /// Runs the query inside `ws` and returns a reference to `ws.result`.
+  /// Allocation-free at steady state when a ThreadPool is attached.
+  const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                   EstimatorStats* stats = nullptr);
 
   std::string_view name() const override { return "TEA+(par)"; }
 
@@ -44,6 +57,7 @@ class ParallelTeaPlusEstimator : public HkprEstimator {
   uint64_t push_budget_;
   uint64_t base_seed_;
   uint32_t num_threads_;
+  ThreadPool* pool_;
   uint64_t epoch_ = 0;
 };
 

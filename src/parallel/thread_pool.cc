@@ -1,0 +1,96 @@
+#include "parallel/thread_pool.h"
+
+namespace hkpr {
+
+namespace {
+
+/// Set while a thread is executing inside WorkerLoop. Used to detect nested
+/// submission (a pool task dispatching to its own pool), which must run
+/// inline: the outer dispatch owns the generation/pending state.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+/// Set on the submitting thread for the duration of a dispatch. The caller
+/// participates as thread 0, so a task it runs can also nest — that path
+/// must run inline too, not start a second dispatch while workers are busy.
+thread_local const ThreadPool* t_dispatching_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t tid = 1; tid < num_threads_; ++tid) {
+    workers_.emplace_back([this, tid] { WorkerLoop(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::OnWorkerThread() const {
+  return t_worker_pool == this || t_dispatching_pool == this;
+}
+
+void ThreadPool::Run(uint32_t ways, TaskFn fn, void* ctx) {
+  if (ways == 0) return;
+  if (ways == 1 || workers_.empty() || OnWorkerThread()) {
+    // Single-thread pools and nested submissions execute every shard inline
+    // on the calling thread; the (tid, begin, end) decomposition is the
+    // same, so results are unchanged.
+    for (uint32_t tid = 0; tid < ways; ++tid) fn(ctx, tid);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = fn;
+    ctx_ = ctx;
+    active_ways_ = ways;
+    pending_ = static_cast<uint32_t>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  t_dispatching_pool = this;
+  fn(ctx, 0);
+  // Shards beyond the pool size run inline on the caller, preserving the
+  // requested partition (and therefore bit-identical results) when a
+  // narrow pool serves a wider dispatch.
+  for (uint32_t tid = num_threads_; tid < ways; ++tid) fn(ctx, tid);
+  t_dispatching_pool = nullptr;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(uint32_t tid) {
+  t_worker_pool = this;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    TaskFn task;
+    void* ctx;
+    uint32_t ways;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+      ctx = ctx_;
+      ways = active_ways_;
+    }
+    if (tid < ways) task(ctx, tid);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace hkpr

@@ -1,0 +1,116 @@
+// Persistent worker pool for repeated data-parallel phases.
+//
+// ParallelInvoke (parallel_for.h) spawns fresh std::threads on every call,
+// which is fine for one-shot benchmarks but dominates latency when a serving
+// frontend answers many small queries. ThreadPool keeps workers parked on a
+// condition variable between calls, so dispatching a walk phase costs a
+// notify + wakeup instead of thread creation, and the hot path performs no
+// heap allocations (tasks are passed as a function pointer + context, never
+// a std::function).
+//
+// The Chunks() entry point mirrors ParallelChunks exactly — same contiguous
+// partition, same (thread_id, begin, end) callback — so the parallel
+// estimators produce bit-identical results whether they run on a pool or on
+// freshly spawned threads.
+
+#ifndef HKPR_PARALLEL_THREAD_POOL_H_
+#define HKPR_PARALLEL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace hkpr {
+
+/// A fixed-size pool of condition-variable-parked workers.
+///
+/// One dispatch at a time: Run/Invoke/Chunks block the calling thread until
+/// the task completes, and the caller participates as thread 0. Submitting
+/// from inside a pool task (nesting) is safe and falls back to running the
+/// nested task inline on the calling worker. External submission from two
+/// threads at once is not supported.
+class ThreadPool {
+ public:
+  /// Plain task representation: no std::function, so dispatch never touches
+  /// the heap. `ctx` points at caller-owned state (usually a stack lambda).
+  using TaskFn = void (*)(void* ctx, uint32_t thread_id);
+
+  /// `num_threads == 0` uses all hardware threads. The pool owns
+  /// `num_threads - 1` workers; the submitting thread acts as thread 0.
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(ctx, tid) for tid in [0, ways) and joins. The caller runs
+  /// tid 0; parked workers take tids 1..num_threads()-1; shards beyond the
+  /// pool size (`ways > num_threads()`) run inline on the caller, so a
+  /// caller that partitions work `ways` ways gets exactly that partition
+  /// regardless of the pool size. Allocation-free.
+  void Run(uint32_t ways, TaskFn fn, void* ctx);
+
+  /// Runs fn(tid) for tid in [0, ways); `fn` may be any callable (captured
+  /// by reference on the caller's stack, so still allocation-free).
+  template <typename Fn>
+  void Invoke(uint32_t ways, Fn&& fn) {
+    using Callable = std::remove_reference_t<Fn>;
+    Run(
+        ways,
+        [](void* ctx, uint32_t tid) { (*static_cast<Callable*>(ctx))(tid); },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+  /// Splits [0, total) into contiguous chunks (identical partition to
+  /// ParallelChunks) and runs fn(thread_id, begin, end) across the pool.
+  template <typename Fn>
+  void Chunks(uint64_t total, Fn&& fn) {
+    ChunksLimit(total, num_threads_, std::forward<Fn>(fn));
+  }
+
+  /// Chunks() with exactly `max_ways` shards (clamped to `total`, not to
+  /// the pool size) — the partition matches ParallelChunks(total, max_ways)
+  /// even when `max_ways` exceeds the pool, so pool-backed estimators stay
+  /// bit-identical to the spawn-per-call path for any pool size.
+  template <typename Fn>
+  void ChunksLimit(uint64_t total, uint32_t max_ways, Fn&& fn) {
+    if (total == 0) return;
+    uint32_t ways = max_ways;
+    if (ways == 0) ways = 1;
+    if (ways > total) ways = static_cast<uint32_t>(total);
+    auto body = [&](uint32_t tid) {
+      const ChunkRange range = ChunkBounds(total, ways, tid);
+      fn(tid, range.begin, range.end);
+    };
+    Invoke(ways, body);
+  }
+
+ private:
+  void WorkerLoop(uint32_t tid);
+  bool OnWorkerThread() const;
+
+  uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;  // submitter waits for pending_ == 0
+  uint64_t generation_ = 0;
+  uint32_t pending_ = 0;
+  uint32_t active_ways_ = 0;
+  TaskFn task_ = nullptr;
+  void* ctx_ = nullptr;
+  bool shutdown_ = false;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,158 @@
+// Tests for the persistent ThreadPool.
+
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace hkpr {
+namespace {
+
+TEST(ThreadPoolTest, ChunksCoverRangeExactly) {
+  for (uint32_t pool_threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(pool_threads);
+    for (uint64_t total : {1ull, 7ull, 100ull, 1001ull}) {
+      std::vector<std::atomic<int>> hits(total);
+      pool.Chunks(total, [&](uint32_t, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (uint64_t i = 0; i < total; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "pool=" << pool_threads << " total=" << total << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SamePartitionAsParallelChunks) {
+  // Pool-backed estimators promise bit-identical results, which requires
+  // the exact contiguous partition of ParallelChunks.
+  using Chunk = std::tuple<uint32_t, uint64_t, uint64_t>;
+  for (uint64_t total : {5ull, 64ull, 1000ull}) {
+    for (uint32_t threads : {1u, 3u, 4u}) {
+      std::set<Chunk> legacy, pooled;
+      std::mutex mu;
+      ParallelChunks(total, threads,
+                     [&](uint32_t tid, uint64_t begin, uint64_t end) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       legacy.insert({tid, begin, end});
+                     });
+      ThreadPool pool(threads);
+      pool.Chunks(total, [&](uint32_t tid, uint64_t begin, uint64_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        pooled.insert({tid, begin, end});
+      });
+      EXPECT_EQ(legacy, pooled) << "total=" << total << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RepeatedSubmitJoin) {
+  // The pool parks and re-dispatches its workers across many submissions
+  // without losing or duplicating work.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  uint64_t expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    const uint64_t total = 1 + (round % 17);
+    pool.Chunks(total, [&](uint32_t, uint64_t begin, uint64_t end) {
+      for (uint64_t i = begin; i < end; ++i) sum.fetch_add(i + 1);
+    });
+    expected += total * (total + 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, CallerRunsThreadZero) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id tid0_thread;
+  pool.Invoke(4, [&](uint32_t tid) {
+    if (tid == 0) tid0_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(tid0_thread, caller);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionRunsInline) {
+  // A task that submits to its own pool must not deadlock; the nested task
+  // runs serially on the submitting worker and still covers its range.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> inner_hits{0};
+  pool.Invoke(4, [&](uint32_t) {
+    pool.Chunks(10, [&](uint32_t, uint64_t begin, uint64_t end) {
+      inner_hits.fetch_add(end - begin);
+    });
+  });
+  EXPECT_EQ(inner_hits.load(), 40u);  // 4 outer tasks x 10 inner items
+}
+
+TEST(ThreadPoolTest, SingleThreadFallback) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(25, 0);
+  pool.Chunks(hits.size(), [&](uint32_t tid, uint64_t begin, uint64_t end) {
+    EXPECT_EQ(tid, 0u);
+    for (uint64_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, WaysBeyondPoolSizeRunInlineOnCaller) {
+  // A dispatch wider than the pool keeps its partition: every tid in
+  // [0, ways) runs exactly once, with the overflow shards on the caller.
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::atomic<int>> hits(8);
+  std::atomic<int> overflow_on_caller{0};
+  pool.Invoke(8, [&](uint32_t tid) {
+    hits[tid].fetch_add(1);
+    if (tid >= 2 && std::this_thread::get_id() == caller) {
+      ++overflow_on_caller;
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(overflow_on_caller.load(), 6);
+}
+
+TEST(ThreadPoolTest, NarrowPoolKeepsWidePartition) {
+  // ChunksLimit(total, K) must produce the ParallelChunks(total, K)
+  // partition even when K exceeds the pool size — the bit-identity
+  // guarantee of the pool-backed estimators depends on it.
+  using Chunk = std::tuple<uint32_t, uint64_t, uint64_t>;
+  std::set<Chunk> legacy, pooled;
+  std::mutex mu;
+  ParallelChunks(100, 8, [&](uint32_t tid, uint64_t begin, uint64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    legacy.insert({tid, begin, end});
+  });
+  ThreadPool pool(2);
+  pool.ChunksLimit(100, 8, [&](uint32_t tid, uint64_t begin, uint64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    pooled.insert({tid, begin, end});
+  });
+  EXPECT_EQ(legacy, pooled);
+}
+
+TEST(ThreadPoolTest, ZeroItemsNoCalls) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.Chunks(0, [&](uint32_t, uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardwareThreads) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.num_threads(), HardwareThreads());
+}
+
+}  // namespace
+}  // namespace hkpr

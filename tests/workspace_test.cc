@@ -1,0 +1,335 @@
+// Tests for the query-engine layer: workspace reuse, pool-backed estimator
+// determinism, the batch API, and the zero-allocation steady-state
+// guarantee.
+//
+// This translation unit overrides the global operator new/delete to feed
+// AllocCounters (common/mem_tracker.h). The override applies to the whole
+// test binary but only counts; behavior is unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/mem_tracker.h"
+#include "graph/generators.h"
+#include "hkpr/queries.h"
+#include "hkpr/tea.h"
+#include "hkpr/tea_plus.h"
+#include "hkpr/workspace.h"
+#include "parallel/parallel_monte_carlo.h"
+#include "parallel/parallel_tea_plus.h"
+#include "parallel/thread_pool.h"
+#include "test_util.h"
+
+// ---- counting operator new/delete (whole-binary, count-only) --------------
+
+void* operator new(std::size_t size) {
+  hkpr::AllocCounters::RecordAllocation();
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  hkpr::AllocCounters::RecordAllocation();
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept {
+  hkpr::AllocCounters::RecordDeallocation();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  hkpr::AllocCounters::RecordDeallocation();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t a) noexcept {
+  ::operator delete(p, a);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t a) noexcept {
+  ::operator delete(p, a);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t a) noexcept {
+  ::operator delete(p, a);
+}
+
+// ---------------------------------------------------------------------------
+
+namespace hkpr {
+namespace {
+
+/// Allocations performed by `fn()`.
+template <typename Fn>
+uint64_t AllocationsDuring(Fn&& fn) {
+  const uint64_t before = AllocCounters::Allocations();
+  fn();
+  return AllocCounters::Allocations() - before;
+}
+
+ApproxParams TestParams(double delta) {
+  ApproxParams p;
+  p.t = 5.0;
+  p.eps_r = 0.5;
+  p.delta = delta;
+  p.p_f = 1e-4;
+  return p;
+}
+
+void ExpectSameVector(const SparseVector& a, const SparseVector& b) {
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_DOUBLE_EQ(a.degree_offset(), b.degree_offset());
+  for (const auto& e : a.entries()) EXPECT_DOUBLE_EQ(b.Get(e.key), e.value);
+}
+
+TEST(WorkspaceTest, TeaPlusReusedWorkspaceMatchesFreshEstimators) {
+  Graph g = PowerlawCluster(400, 3, 0.3, 1);
+  const ApproxParams params = TestParams(1e-5);
+
+  TeaPlusEstimator fresh_a(g, params, 7);
+  const SparseVector expected_a = fresh_a.Estimate(3);
+  TeaPlusEstimator fresh_b(g, params, 7);
+  const SparseVector expected_b = fresh_b.Estimate(11);
+
+  // Two sequential queries on one estimator + one workspace, re-seeded so
+  // each query replays the fresh estimator's randomness.
+  TeaPlusEstimator reused(g, params, 7);
+  QueryWorkspace ws;
+  ExpectSameVector(reused.EstimateInto(3, ws), expected_a);
+  reused.Reseed(7);
+  ExpectSameVector(reused.EstimateInto(11, ws), expected_b);
+}
+
+TEST(WorkspaceTest, TeaReusedWorkspaceMatchesFreshEstimators) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 2);
+  const ApproxParams params = TestParams(1e-4);
+
+  TeaEstimator fresh_a(g, params, 5);
+  const SparseVector expected_a = fresh_a.Estimate(9);
+  TeaEstimator fresh_b(g, params, 5);
+  const SparseVector expected_b = fresh_b.Estimate(2);
+
+  TeaEstimator reused(g, params, 5);
+  QueryWorkspace ws;
+  ExpectSameVector(reused.EstimateInto(9, ws), expected_a);
+  reused.Reseed(5);
+  ExpectSameVector(reused.EstimateInto(2, ws), expected_b);
+}
+
+TEST(WorkspaceTest, PoolBackedTeaPlusMatchesSpawnPerCall) {
+  Graph g = PowerlawCluster(500, 4, 0.3, 3);
+  const ApproxParams params = TestParams(1e-5);
+  TeaPlusOptions options;
+  options.c = 1.0;  // force the walk phase
+  ThreadPool pool(4);
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    ParallelTeaPlusEstimator spawning(g, params, 17, threads, options);
+    ParallelTeaPlusEstimator pooled(g, params, 17, threads, options, &pool);
+    const SparseVector expected = spawning.Estimate(9);
+    const SparseVector got = pooled.Estimate(9);
+    ExpectSameVector(got, expected);
+  }
+}
+
+TEST(WorkspaceTest, PoolBackedMonteCarloMatchesSpawnPerCall) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 4);
+  const ApproxParams params = TestParams(1e-3);
+  ThreadPool pool(4);
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    ParallelMonteCarloEstimator spawning(g, params, 23, threads);
+    ParallelMonteCarloEstimator pooled(g, params, 23, threads, &pool);
+    ExpectSameVector(pooled.Estimate(5), spawning.Estimate(5));
+  }
+}
+
+TEST(WorkspaceTest, NarrowPoolMatchesSpawnPerCallAtWiderThreadCount) {
+  // An estimator configured for 8 shards attached to a 2-thread pool must
+  // still produce the 8-shard partition (overflow shards run inline), i.e.
+  // results stay a function of (seed, num_threads) alone.
+  Graph g = PowerlawCluster(400, 3, 0.3, 11);
+  const ApproxParams params = TestParams(1e-5);
+  TeaPlusOptions options;
+  options.c = 1.0;
+  ThreadPool pool(2);
+  ParallelTeaPlusEstimator spawning(g, params, 17, 8, options);
+  ParallelTeaPlusEstimator pooled(g, params, 17, 8, options, &pool);
+  ExpectSameVector(pooled.Estimate(9), spawning.Estimate(9));
+}
+
+TEST(WorkspaceTest, DeterministicAcrossRunsAndPoolReuse) {
+  // Fixed seed + fixed thread count => identical SparseVector across runs,
+  // and a pool that has already served other estimators gives the same
+  // answer as a fresh one.
+  Graph g = PowerlawCluster(400, 3, 0.3, 5);
+  const ApproxParams params = TestParams(1e-4);
+  ThreadPool fresh_pool(3);
+  ThreadPool used_pool(3);
+  ParallelMonteCarloEstimator warm(g, params, 99, 3, &used_pool);
+  warm.Estimate(1);  // dirty the pool with unrelated work
+  ParallelTeaPlusEstimator a(g, params, 31, 3, TeaPlusOptions(), &fresh_pool);
+  ParallelTeaPlusEstimator b(g, params, 31, 3, TeaPlusOptions(), &used_pool);
+  ExpectSameVector(b.Estimate(7), a.Estimate(7));
+}
+
+TEST(WorkspaceTest, SequentialTeaPlusSteadyStateIsAllocationFree) {
+  Graph g = PowerlawCluster(400, 3, 0.3, 6);
+  const ApproxParams params = TestParams(1e-5);
+  TeaPlusOptions options;
+  options.c = 1.0;  // force the walk phase (the allocation-heavy path)
+  TeaPlusEstimator estimator(g, params, 13, options);
+  QueryWorkspace ws;
+
+  // Warm-up: identical queries, so the second pass sees every buffer at its
+  // steady-state capacity.
+  for (int i = 0; i < 3; ++i) {
+    estimator.Reseed(13);
+    estimator.EstimateInto(21, ws);
+  }
+  EstimatorStats stats;
+  const uint64_t allocs = AllocationsDuring([&] {
+    estimator.Reseed(13);
+    estimator.EstimateInto(21, ws, &stats);
+  });
+  EXPECT_GT(stats.num_walks, 0u) << "test must exercise the walk phase";
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(WorkspaceTest, PoolBackedTeaPlusSteadyStateIsAllocationFree) {
+  // On a complete graph every walk endpoint is one of n nodes, so the
+  // per-thread count buffers saturate during warm-up and the epoch-advanced
+  // randomness of later queries cannot grow them.
+  Graph g = testing::MakeComplete(16);
+  const ApproxParams params = TestParams(1e-3);
+  TeaPlusOptions options;
+  options.c = 1.0;
+  ThreadPool pool(4);
+  ParallelTeaPlusEstimator estimator(g, params, 41, 4, options, &pool);
+  QueryWorkspace ws;
+
+  EstimatorStats stats;
+  for (int i = 0; i < 3; ++i) estimator.EstimateInto(5, ws, &stats);
+  ASSERT_GT(stats.num_walks, 0u) << "test must exercise the walk phase";
+  const uint64_t allocs =
+      AllocationsDuring([&] { estimator.EstimateInto(5, ws); });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(WorkspaceTest, PoolBackedMonteCarloSteadyStateIsAllocationFree) {
+  Graph g = testing::MakeComplete(16);
+  const ApproxParams params = TestParams(1e-3);
+  ThreadPool pool(4);
+  ParallelMonteCarloEstimator estimator(g, params, 43, 4, &pool);
+  QueryWorkspace ws;
+
+  for (int i = 0; i < 3; ++i) estimator.EstimateInto(2, ws);
+  const uint64_t allocs =
+      AllocationsDuring([&] { estimator.EstimateInto(2, ws); });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(BatchQueryEngineTest, BatchIsIndependentOfThreadCount) {
+  Graph g = PowerlawCluster(400, 3, 0.3, 7);
+  const ApproxParams params = TestParams(1e-5);
+  std::vector<NodeId> seeds = {1, 5, 9, 14, 22, 60, 120, 350};
+
+  BatchQueryEngine single(g, params, 77, 1);
+  BatchQueryEngine wide(g, params, 77, 4);
+  const auto expected = single.EstimateBatch(seeds);
+  const auto got = wide.EstimateBatch(seeds);
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ExpectSameVector(got[i], expected[i]);
+  }
+}
+
+TEST(BatchQueryEngineTest, BatchMatchesReseededSequentialQueries) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 8);
+  const ApproxParams params = TestParams(1e-4);
+  std::vector<NodeId> seeds = {2, 8, 31};
+
+  BatchQueryEngine engine(g, params, 55, 2);
+  const auto batch = engine.EstimateBatch(seeds);
+  ASSERT_EQ(batch.size(), seeds.size());
+  for (const SparseVector& estimate : batch) {
+    EXPECT_GT(estimate.Sum(), 0.5);  // HKPR mass is (close to) 1
+  }
+}
+
+TEST(BatchQueryEngineTest, RepeatedBatchDrawsFreshRandomness) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 9);
+  ApproxParams params = TestParams(1e-5);
+  TeaPlusOptions options;
+  options.c = 1.0;  // force the walk phase so randomness matters
+  BatchQueryEngine engine(g, params, 91, 2, options);
+  std::vector<NodeId> seeds = {4};
+  const auto first = engine.EstimateBatch(seeds);
+  const auto second = engine.EstimateBatch(seeds);
+  EXPECT_EQ(engine.queries_served(), 2u);
+  bool any_diff = false;
+  for (const auto& e : first[0].entries()) {
+    if (second[0].Get(e.key) != e.value) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BatchQueryEngineTest, TopKBatchMatchesPerQueryTopK) {
+  Graph g = PowerlawCluster(400, 4, 0.3, 10);
+  const ApproxParams params = TestParams(1e-5);
+  std::vector<NodeId> seeds = {3, 17, 200};
+
+  BatchQueryEngine a(g, params, 33, 2);
+  BatchQueryEngine b(g, params, 33, 2);
+  const auto estimates = a.EstimateBatch(seeds);
+  const auto rankings = b.TopKBatch(seeds, 10);
+  ASSERT_EQ(rankings.size(), seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const auto expected = TopKNormalized(g, estimates[i], 10);
+    ASSERT_EQ(rankings[i].size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(rankings[i][j].node, expected[j].node);
+      EXPECT_DOUBLE_EQ(rankings[i][j].score, expected[j].score);
+    }
+  }
+}
+
+TEST(BatchQueryEngineTest, BatchWorkspacesStopAllocatingAtSteadyState) {
+  // The engine-level statement of the zero-allocation property: repeating a
+  // batch allocates only the returned vectors, not per-query scratch. The
+  // output allocation count is measured from a warmed-up baseline batch and
+  // must not grow once workspaces have seen the workload.
+  Graph g = testing::MakeComplete(16);
+  const ApproxParams params = TestParams(1e-3);
+  BatchQueryEngine engine(g, params, 13, 2);
+  std::vector<NodeId> seeds = {0, 3, 7, 11};
+
+  engine.EstimateBatch(seeds);  // warm workspaces
+  const uint64_t baseline =
+      AllocationsDuring([&] { engine.EstimateBatch(seeds); });
+  const uint64_t repeat =
+      AllocationsDuring([&] { engine.EstimateBatch(seeds); });
+  EXPECT_LE(repeat, baseline);
+}
+
+}  // namespace
+}  // namespace hkpr
