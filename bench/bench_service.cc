@@ -1,0 +1,205 @@
+// Cache-fronted serving throughput of the async query service (extension).
+//
+// Closed-loop benchmark: C client threads each submit one query and wait
+// for its future before submitting the next, against an AsyncQueryService
+// with C workers. The workload is Zipfian-skewed (s = 1.0 over a hot set of
+// distinct seeds) — the skewed, repetitive traffic shape the result cache
+// is built for.
+//
+// Two passes per thread count:
+//   cold: fresh service, empty cache — misses dominate (hot repeats within
+//         the pass already hit or coalesce, which is realistic cold traffic)
+//   warm: same workload replayed on the same service — hits dominate
+//
+// Expected shape: warm-cache QPS several times cold QPS (acceptance: >= 3x
+// at 8 threads), with the gap growing as queries get more expensive, and a
+// hit rate near the workload's repeat rate.
+//
+// Extra flags: --json=PATH writes results as JSON (BENCH_service.json
+// trajectory); --queries=N overrides the per-pass query count.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "service/async_query_service.h"
+
+using namespace hkpr;
+using namespace hkpr::bench;
+
+namespace {
+
+struct ServiceRow {
+  uint32_t threads;
+  std::string phase;  // "cold" or "warm"
+  uint32_t queries;
+  double seconds;
+  uint64_t cache_hits;
+  uint64_t cache_misses;
+  uint64_t coalesced;
+  uint64_t computed;
+  double p50_ms;
+  double p99_ms;
+  double qps() const { return queries / (seconds + 1e-12); }
+};
+
+/// Runs one closed-loop pass: `clients` threads split `seeds` contiguously,
+/// each submitting its share one query at a time (submit -> wait -> next).
+/// Per-request latencies are recorded into `latencies` — a per-pass
+/// histogram, because the service's own histogram is cumulative over its
+/// lifetime and would smear the cold pass into the warm percentiles.
+double RunClosedLoop(AsyncQueryService& service, const std::vector<NodeId>& seeds,
+                     uint32_t clients, LatencyHistogram& latencies) {
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Same contiguous partition as ChunkBounds for determinism of the
+      // per-client workload split.
+      const size_t begin = seeds.size() * c / clients;
+      const size_t end = seeds.size() * (c + 1) / clients;
+      for (size_t i = begin; i < end; ++i) {
+        QueryHandle handle = service.Submit(seeds[i]);
+        const QueryResult result = handle.result.get();
+        if (result.status != QueryStatus::kOk) {
+          std::fprintf(stderr, "unexpected query status %d\n",
+                       static_cast<int>(result.status));
+          std::abort();
+        }
+        latencies.Record(result.latency_ms / 1000.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return timer.ElapsedSeconds();
+}
+
+ServiceRow MakeRow(uint32_t threads, const std::string& phase,
+                   uint32_t queries, double seconds,
+                   const ServiceStatsSnapshot& after,
+                   const ServiceStatsSnapshot& before,
+                   const LatencyHistogram& latencies) {
+  ServiceRow row;
+  row.threads = threads;
+  row.phase = phase;
+  row.queries = queries;
+  row.seconds = seconds;
+  row.cache_hits = after.cache_hits - before.cache_hits;
+  row.cache_misses = after.cache_misses - before.cache_misses;
+  row.coalesced = after.coalesced - before.coalesced;
+  row.computed = after.computed - before.computed;
+  row.p50_ms = latencies.PercentileMs(0.50);
+  row.p99_ms = latencies.PercentileMs(0.99);
+  return row;
+}
+
+void WriteServiceJson(const std::string& path, const Dataset& dataset,
+                      const std::vector<ServiceRow>& rows) {
+  std::FILE* f = path.empty() ? stdout : std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"async_service_throughput\",\n");
+  std::fprintf(f,
+               "  \"dataset\": \"%s\",\n  \"nodes\": %u,\n  \"edges\": %llu,\n",
+               dataset.name.c_str(), dataset.graph.NumNodes(),
+               static_cast<unsigned long long>(dataset.graph.NumEdges()));
+  std::fprintf(f, "  \"workload\": \"zipfian s=1.0\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ServiceRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %u, \"phase\": \"%s\", \"queries\": %u, "
+        "\"seconds\": %.6f, \"qps\": %.1f, \"cache_hits\": %llu, "
+        "\"cache_misses\": %llu, \"coalesced\": %llu, \"computed\": %llu, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+        r.threads, r.phase.c_str(), r.queries, r.seconds, r.qps(),
+        static_cast<unsigned long long>(r.cache_hits),
+        static_cast<unsigned long long>(r.cache_misses),
+        static_cast<unsigned long long>(r.coalesced),
+        static_cast<unsigned long long>(r.computed), r.p50_ms, r.p99_ms,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (f != stdout) std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::string json_path;
+  uint32_t num_queries = config.full ? 4000 : 1500;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      num_queries = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+    }
+  }
+
+  std::printf("== Async service throughput (cache-fronted serving) ==\n");
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+
+  Dataset dataset = MakeDataset("twitter", config.scale, config.rng_seed);
+  PrintDatasetBanner(dataset);
+  Rng rng(config.rng_seed);
+
+  // Serving-grade accuracy (coarse delta as in bench_parallel's serving
+  // section), walk phase forced so every computed query does real work.
+  ApproxParams params;
+  params.t = 5.0;
+  params.eps_r = 0.5;
+  params.delta = 20.0 * DefaultDelta(dataset.graph);
+  params.p_f = 1e-6;
+  ServiceOptions options;
+  options.tea_plus.c = 1.0;
+  options.cache_capacity = 8192;
+  options.max_queue_depth = 1u << 20;  // closed loop: no admission pressure
+
+  // One Zipfian workload shared by every thread count, so rows are
+  // comparable; 256 distinct hot seeds keeps the cold pass compute-bound.
+  const std::vector<NodeId> seeds =
+      ZipfianSeeds(dataset.graph, num_queries, 256, 1.0, rng);
+
+  const std::vector<uint32_t> thread_counts = {1, 4, 8};
+  std::vector<ServiceRow> rows;
+  TablePrinter table({"threads", "cold q/s", "warm q/s", "warm gain",
+                      "warm hit%", "p50 ms", "p99 ms"});
+  for (uint32_t threads : thread_counts) {
+    ServiceOptions opts = options;
+    opts.num_workers = threads;
+    AsyncQueryService service(dataset.graph, params, config.rng_seed, opts);
+
+    const ServiceStatsSnapshot at_start = service.Stats();
+    LatencyHistogram cold_latencies;
+    const double cold_s = RunClosedLoop(service, seeds, threads, cold_latencies);
+    const ServiceStatsSnapshot after_cold = service.Stats();
+    LatencyHistogram warm_latencies;
+    const double warm_s = RunClosedLoop(service, seeds, threads, warm_latencies);
+    const ServiceStatsSnapshot after_warm = service.Stats();
+
+    rows.push_back(MakeRow(threads, "cold", num_queries, cold_s, after_cold,
+                           at_start, cold_latencies));
+    rows.push_back(MakeRow(threads, "warm", num_queries, warm_s, after_warm,
+                           after_cold, warm_latencies));
+    const ServiceRow& warm = rows.back();
+    const double hit_rate =
+        100.0 * static_cast<double>(warm.cache_hits + warm.coalesced) /
+        static_cast<double>(num_queries);
+    table.AddRow({std::to_string(threads), FmtF(num_queries / cold_s, 0),
+                  FmtF(num_queries / warm_s, 0),
+                  FmtF(cold_s / (warm_s + 1e-12), 1) + "x",
+                  FmtF(hit_rate, 1), FmtF(warm.p50_ms, 2),
+                  FmtF(warm.p99_ms, 2)});
+  }
+  table.Print();
+  WriteServiceJson(json_path, dataset, rows);
+  return 0;
+}

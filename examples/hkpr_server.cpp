@@ -1,0 +1,151 @@
+// hkpr_server: an interactive HKPR serving frontend over stdin/stdout.
+//
+//   $ ./build/example_hkpr_server [--graph=PATH] [--nodes=N] [--workers=W]
+//                                 [--cache=CAP] [--seed=S] [--estimator=hkrelax]
+//
+// Loads a graph (a SNAP edge-list via --graph, otherwise a synthetic
+// powerlaw-cluster graph with --nodes nodes) and serves line-oriented
+// queries through an AsyncQueryService:
+//
+//   query <seed>          full HKPR estimate; prints nnz/sum and cache state
+//   topk <seed> <k>       top-k nodes by normalized HKPR
+//   stats                 service counters + latency percentiles
+//   invalidate            drop every cached estimate (graph-swap hook)
+//   quit                  exit
+//
+// Responses are single lines starting with "ok" or "err", so the server
+// can sit behind a pipe or a socat socket.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "service/async_query_service.h"
+
+using namespace hkpr;
+
+int main(int argc, char** argv) {
+  std::string graph_path;
+  uint32_t nodes = 20000;
+  uint32_t workers = 0;
+  size_t cache_capacity = 4096;
+  uint64_t seed = 42;
+  ServiceEstimator estimator = ServiceEstimator::kTeaPlus;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--graph=", 8) == 0) graph_path = arg + 8;
+    if (std::strncmp(arg, "--nodes=", 8) == 0)
+      nodes = static_cast<uint32_t>(std::atoi(arg + 8));
+    if (std::strncmp(arg, "--workers=", 10) == 0)
+      workers = static_cast<uint32_t>(std::atoi(arg + 10));
+    if (std::strncmp(arg, "--cache=", 8) == 0)
+      cache_capacity = static_cast<size_t>(std::atoll(arg + 8));
+    if (std::strncmp(arg, "--seed=", 7) == 0)
+      seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    if (std::strcmp(arg, "--estimator=hkrelax") == 0)
+      estimator = ServiceEstimator::kHkRelax;
+  }
+
+  Graph graph;
+  if (!graph_path.empty()) {
+    Result<Graph> loaded = LoadEdgeList(graph_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "err cannot load %s: %s\n", graph_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded).value();
+  } else {
+    graph = PowerlawCluster(nodes, 4, 0.3, seed);
+  }
+
+  ApproxParams params;
+  params.t = 5.0;
+  params.eps_r = 0.5;
+  params.delta = 1.0 / static_cast<double>(graph.NumNodes());
+  params.p_f = 1e-6;
+
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.cache_capacity = cache_capacity;
+  options.estimator = estimator;
+  AsyncQueryService service(graph, params, seed, options);
+
+  std::printf("ok hkpr_server nodes=%u edges=%llu workers=%u cache=%zu "
+              "estimator=%s\n",
+              graph.NumNodes(),
+              static_cast<unsigned long long>(graph.NumEdges()),
+              service.num_workers(), cache_capacity,
+              estimator == ServiceEstimator::kTeaPlus ? "tea+" : "hk-relax");
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+
+    if (command == "query" || command == "topk") {
+      long long seed_node = -1;
+      long long k = 10;
+      in >> seed_node;
+      if (command == "topk") in >> k;
+      if (seed_node < 0 || seed_node >= graph.NumNodes() || k <= 0) {
+        std::printf("err usage: %s <seed in [0,%u)>%s\n", command.c_str(),
+                    graph.NumNodes(), command == "topk" ? " <k >= 1>" : "");
+        std::fflush(stdout);
+        continue;
+      }
+      const NodeId node = static_cast<NodeId>(seed_node);
+      QueryHandle handle =
+          command == "query"
+              ? service.Submit(node)
+              : service.SubmitTopK(node, static_cast<size_t>(k));
+      const QueryResult result = handle.result.get();
+      if (result.status != QueryStatus::kOk) {
+        std::printf("err status=%d\n", static_cast<int>(result.status));
+      } else if (command == "query") {
+        std::printf("ok seed=%u nnz=%zu sum=%.6f cache=%s latency_ms=%.3f\n",
+                    node, result.estimate->nnz(), result.estimate->Sum(),
+                    result.from_cache ? "hit" : "miss", result.latency_ms);
+      } else {
+        std::printf("ok seed=%u k=%zu cache=%s", node, result.top_k.size(),
+                    result.from_cache ? "hit" : "miss");
+        for (const ScoredNode& s : result.top_k) {
+          std::printf(" %u:%.6g", s.node, s.score);
+        }
+        std::printf("\n");
+      }
+    } else if (command == "stats") {
+      const ServiceStatsSnapshot s = service.Stats();
+      std::printf(
+          "ok submitted=%llu completed=%llu rejected=%llu hits=%llu "
+          "misses=%llu coalesced=%llu computed=%llu queue=%zu "
+          "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f\n",
+          static_cast<unsigned long long>(s.submitted),
+          static_cast<unsigned long long>(s.completed),
+          static_cast<unsigned long long>(s.rejected),
+          static_cast<unsigned long long>(s.cache_hits),
+          static_cast<unsigned long long>(s.cache_misses),
+          static_cast<unsigned long long>(s.coalesced),
+          static_cast<unsigned long long>(s.computed), s.queue_depth,
+          s.latency_p50_ms, s.latency_p95_ms, s.latency_p99_ms);
+    } else if (command == "invalidate") {
+      service.InvalidateCache();
+      std::printf("ok cache invalidated\n");
+    } else {
+      std::printf("err unknown command \"%s\" "
+                  "(query/topk/stats/invalidate/quit)\n",
+                  command.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,7 +1,6 @@
 #include "baselines/hk_relax.h"
 
 #include <cmath>
-#include <deque>
 #include <utility>
 #include <vector>
 
@@ -37,17 +36,28 @@ HkRelaxEstimator::HkRelaxEstimator(const Graph& graph,
 }
 
 SparseVector HkRelaxEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
+  return EstimateWithFreshWorkspace(*this, seed, stats);
+}
+
+const SparseVector& HkRelaxEstimator::EstimateInto(NodeId seed,
+                                                   QueryWorkspace& ws,
+                                                   EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
   const uint32_t n_trunc = taylor_degree_;
   const double exp_t = std::exp(options_.t);
   const double exp_neg_t = std::exp(-options_.t);
 
-  // Per-level residuals of the Taylor blocks; x accumulates the unscaled
-  // solution (scaled by e^{-t} at the end).
-  std::vector<FlatMap<double>> residual(n_trunc + 1);
-  SparseVector x;
-  std::deque<std::pair<NodeId, uint32_t>> queue;
+  // Per-level residuals of the Taylor blocks live in the workspace's residue
+  // table (hop k = Taylor level k; the hop sums are not maintained);
+  // ws.result accumulates the unscaled solution (scaled by e^{-t} at the
+  // end). The push queue is FIFO over ws.starts with a moving head — the
+  // vector only grows within a query, so steady-state queries reuse its
+  // capacity instead of allocating a deque.
+  ws.PrepareQuery(n_trunc);
+  SparseVector& x = ws.result;
+  std::vector<std::pair<NodeId, uint32_t>>& queue = ws.starts;
+  size_t queue_head = 0;
 
   // Push threshold for an entry (v, j): r >= e^t * eps * d(v) / (2 N psis_j).
   const auto threshold = [&](uint32_t degree, uint32_t j) {
@@ -55,17 +65,16 @@ SparseVector HkRelaxEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
            (2.0 * static_cast<double>(n_trunc) * psis_[j]);
   };
 
-  residual[0][seed] = 1.0;
+  ws.residues.MutableHop(0)[seed] = 1.0;
   if (1.0 >= threshold(std::max(graph_.Degree(seed), 1u), 0)) {
     queue.emplace_back(seed, 0u);
   }
 
   uint64_t push_ops = 0;
   uint64_t entries = 0;
-  while (!queue.empty()) {
-    const auto [v, j] = queue.front();
-    queue.pop_front();
-    double& rv = residual[j][v];
+  while (queue_head < queue.size()) {
+    const auto [v, j] = queue[queue_head++];
+    double& rv = ws.residues.MutableHop(j)[v];
     const double mass_v = rv;
     if (mass_v <= 0.0) continue;  // already consumed by a re-queue
     rv = 0.0;
@@ -86,7 +95,7 @@ SparseVector HkRelaxEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
         x.Add(u, mass_v / static_cast<double>(d));
         continue;
       }
-      double& ru = residual[j + 1][u];
+      double& ru = ws.residues.MutableHop(j + 1)[u];
       const double before = ru;
       ru = before + mass;
       const double th = threshold(graph_.Degree(u), j + 1);
@@ -94,18 +103,16 @@ SparseVector HkRelaxEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
     }
   }
 
-  // Scale to the heat kernel: rho = e^{-t} * x.
-  SparseVector rho(x.nnz());
-  for (const auto& e : x.entries()) rho.Add(e.key, e.value * exp_neg_t);
+  // Scale to the heat kernel: rho = e^{-t} * x, in place.
+  x.Scale(exp_neg_t);
 
   if (stats != nullptr) {
     stats->push_operations = push_ops;
     stats->entries_processed = entries;
-    size_t residual_bytes = 0;
-    for (const auto& level : residual) residual_bytes += level.MemoryBytes();
-    stats->peak_bytes = residual_bytes + x.MemoryBytes() + rho.MemoryBytes();
+    stats->peak_bytes = ws.residues.MemoryBytes() + x.MemoryBytes() +
+                        queue.capacity() * sizeof(queue[0]);
   }
-  return rho;
+  return x;
 }
 
 }  // namespace hkpr

@@ -16,6 +16,7 @@
 
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
+#include "hkpr/workspace.h"
 
 namespace hkpr {
 
@@ -35,6 +36,15 @@ class HkRelaxEstimator : public HkprEstimator {
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
+
+  /// Workspace-aware variant: runs the query entirely inside `ws` (the
+  /// residue table holds the per-level Taylor residuals, `ws.starts` backs
+  /// the push queue) and returns a reference to `ws.result`, valid until the
+  /// next query on that workspace. Allocation-free once the workspace
+  /// capacities have warmed up, so serving frontends can offer HK-Relax
+  /// under the same reuse contract as TEA+.
+  const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                   EstimatorStats* stats = nullptr);
 
   std::string_view name() const override { return "HK-Relax"; }
 

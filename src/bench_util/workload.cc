@@ -1,6 +1,7 @@
 #include "bench_util/workload.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/flat_map.h"
 #include "common/logging.h"
@@ -20,6 +21,33 @@ std::vector<NodeId> UniformSeeds(const Graph& graph, uint32_t count,
     const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
     if (graph.Degree(v) == 0) continue;
     if (chosen.Insert(v)) seeds.push_back(v);
+  }
+  return seeds;
+}
+
+std::vector<NodeId> ZipfianSeeds(const Graph& graph, uint32_t count,
+                                 uint32_t universe, double s, Rng& rng) {
+  HKPR_CHECK(universe > 0);
+  HKPR_CHECK(s >= 0.0);
+  const std::vector<NodeId> hot = UniformSeeds(graph, universe, rng);
+  HKPR_CHECK(!hot.empty()) << "graph has no positive-degree nodes";
+
+  // Cumulative weights 1/r^s, r = 1..|hot|; draws invert the CDF by binary
+  // search.
+  std::vector<double> cdf(hot.size());
+  double total = 0.0;
+  for (size_t r = 0; r < hot.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = total;
+  }
+
+  std::vector<NodeId> seeds;
+  seeds.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const double u = rng.UniformDouble() * total;
+    const size_t r = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    seeds.push_back(hot[std::min(r, hot.size() - 1)]);
   }
   return seeds;
 }

@@ -16,6 +16,15 @@ namespace hkpr {
 /// positive degree (the paper's "50 seed nodes uniformly at random").
 std::vector<NodeId> UniformSeeds(const Graph& graph, uint32_t count, Rng& rng);
 
+/// `count` seed draws from a Zipfian popularity distribution over a hot set
+/// of `universe` distinct nodes: the rank-r hot seed is drawn with
+/// probability proportional to 1/r^s. The hot set itself is sampled
+/// uniformly among positive-degree nodes. Models the skewed, repetitive
+/// query traffic a serving frontend sees (s = 1.0 is the classic web-query
+/// skew); unlike UniformSeeds the result intentionally repeats seeds.
+std::vector<NodeId> ZipfianSeeds(const Graph& graph, uint32_t count,
+                                 uint32_t universe, double s, Rng& rng);
+
 /// A seed together with its ground-truth community (Table 8 protocol).
 struct CommunitySeed {
   NodeId seed;

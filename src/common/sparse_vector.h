@@ -55,6 +55,14 @@ class SparseVector {
     degree_offset_ = 0.0;
   }
 
+  /// Multiplies every stored entry and the degree offset by `factor`, in
+  /// place and allocation-free (final e^{-t} scaling of workspace-resident
+  /// results).
+  void Scale(double factor) {
+    for (auto& e : map_.mutable_entries()) e.value *= factor;
+    degree_offset_ *= factor;
+  }
+
   /// Sum of all stored entries (excluding the degree offset).
   double Sum() const {
     double s = 0.0;

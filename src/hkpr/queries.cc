@@ -70,10 +70,6 @@ SparseVector EstimateSeedSet(const Graph& graph, HkprEstimator& estimator,
   return combined;
 }
 
-namespace {
-
-/// Mixes the engine seed with a query's global index into an independent
-/// RNG stream (SplitMix64-style finalizer).
 uint64_t QueryRngSeed(uint64_t base_seed, uint64_t query_index) {
   uint64_t z = base_seed + (query_index + 1) * 0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -81,26 +77,51 @@ uint64_t QueryRngSeed(uint64_t base_seed, uint64_t query_index) {
   return z ^ (z >> 31);
 }
 
-}  // namespace
+QueryExecutor::QueryExecutor(const Graph& graph, const ApproxParams& params,
+                             uint64_t base_seed, const TeaPlusOptions& options,
+                             double pf_prime)
+    : graph_(graph),
+      base_seed_(base_seed),
+      // The constructor seed is irrelevant: every query re-seeds the
+      // estimator from (base_seed_, query index).
+      estimator_(graph, params, base_seed, options, pf_prime) {}
+
+const SparseVector& QueryExecutor::AnswerInto(NodeId seed,
+                                              uint64_t query_index) {
+  HKPR_CHECK(seed < graph_.NumNodes()) << "query seed out of range";
+  estimator_.Reseed(QueryRngSeed(base_seed_, query_index));
+  return estimator_.EstimateInto(seed, workspace_);
+}
+
+SparseVector QueryExecutor::Answer(NodeId seed, uint64_t query_index) {
+  // Compact: the returned vector must not inherit the workspace's warmed-up
+  // table capacity (one hub query would bloat every later small result
+  // answered by this executor).
+  return AnswerInto(seed, query_index).CompactCopy();
+}
+
+std::vector<ScoredNode> QueryExecutor::AnswerTopK(NodeId seed,
+                                                  uint64_t query_index,
+                                                  size_t k) {
+  return TopKNormalized(graph_, AnswerInto(seed, query_index), k);
+}
 
 BatchQueryEngine::BatchQueryEngine(const Graph& graph,
                                    const ApproxParams& params, uint64_t seed,
                                    uint32_t num_threads,
                                    const TeaPlusOptions& options)
-    : graph_(graph), pool_(num_threads), base_seed_(seed) {
-  estimators_.reserve(pool_.num_threads());
-  workspaces_.resize(pool_.num_threads());
+    : graph_(graph), pool_(num_threads) {
+  executors_.reserve(pool_.num_threads());
   // p'_f is an O(n) scan; compute it once for all per-thread estimators.
   const double pf_prime = ComputePfPrime(graph, params.p_f);
   for (uint32_t tid = 0; tid < pool_.num_threads(); ++tid) {
-    // The per-estimator constructor seed is irrelevant: every query
-    // re-seeds its estimator from (base_seed_, query index).
-    estimators_.emplace_back(graph, params, seed, options, pf_prime);
+    executors_.emplace_back(graph, params, seed, options, pf_prime);
   }
 }
 
 std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
     std::span<const NodeId> seeds) {
+  if (seeds.empty()) return {};
   for (NodeId seed : seeds) {
     HKPR_CHECK(seed < graph_.NumNodes()) << "batch seed out of range";
   }
@@ -108,14 +129,8 @@ std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
   const uint64_t batch_offset = queries_served_;
   queries_served_ += seeds.size();
   pool_.Chunks(seeds.size(), [&](uint32_t tid, uint64_t begin, uint64_t end) {
-    TeaPlusEstimator& estimator = estimators_[tid];
-    QueryWorkspace& ws = workspaces_[tid];
     for (uint64_t i = begin; i < end; ++i) {
-      estimator.Reseed(QueryRngSeed(base_seed_, batch_offset + i));
-      // Compact: the returned vector must not inherit the workspace's
-      // warmed-up table capacity (one hub query would bloat every later
-      // small result answered by this thread).
-      out[i] = estimator.EstimateInto(seeds[i], ws).CompactCopy();
+      out[i] = executors_[tid].Answer(seeds[i], batch_offset + i);
     }
   });
   return out;
@@ -123,6 +138,7 @@ std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
 
 std::vector<std::vector<ScoredNode>> BatchQueryEngine::TopKBatch(
     std::span<const NodeId> seeds, size_t k) {
+  if (seeds.empty()) return {};
   for (NodeId seed : seeds) {
     HKPR_CHECK(seed < graph_.NumNodes()) << "batch seed out of range";
   }
@@ -130,11 +146,8 @@ std::vector<std::vector<ScoredNode>> BatchQueryEngine::TopKBatch(
   const uint64_t batch_offset = queries_served_;
   queries_served_ += seeds.size();
   pool_.Chunks(seeds.size(), [&](uint32_t tid, uint64_t begin, uint64_t end) {
-    TeaPlusEstimator& estimator = estimators_[tid];
-    QueryWorkspace& ws = workspaces_[tid];
     for (uint64_t i = begin; i < end; ++i) {
-      estimator.Reseed(QueryRngSeed(base_seed_, batch_offset + i));
-      out[i] = TopKNormalized(graph_, estimator.EstimateInto(seeds[i], ws), k);
+      out[i] = executors_[tid].AnswerTopK(seeds[i], batch_offset + i, k);
     }
   });
   return out;

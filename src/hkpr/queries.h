@@ -44,8 +44,50 @@ SparseVector EstimateSeedSet(const Graph& graph, HkprEstimator& estimator,
                              std::span<const NodeId> seeds,
                              std::span<const double> weights = {});
 
-/// The serving-side query engine: a persistent ThreadPool plus one TEA+
-/// estimator and one QueryWorkspace per pool thread.
+/// Mixes an engine seed with a query's global index into an independent RNG
+/// stream (SplitMix64-style finalizer). Shared by every serving frontend
+/// (BatchQueryEngine, AsyncQueryService) so that the randomness a query
+/// draws is a function of (engine seed, query index) alone — two frontends
+/// answering "query #i" with the same engine seed produce bit-identical
+/// estimates.
+uint64_t QueryRngSeed(uint64_t base_seed, uint64_t query_index);
+
+/// One serving thread's worth of query state: a TEA+ estimator plus its
+/// reusable QueryWorkspace. Answer() re-seeds the estimator from
+/// (base_seed, query_index) and runs the query inside the workspace, so
+/// steady-state answers are allocation-free apart from the returned copy.
+///
+/// Factored out of BatchQueryEngine so other frontends (the async query
+/// service in src/service/) run the exact same computation per query and
+/// stay bit-identical to the batch path.
+class QueryExecutor {
+ public:
+  /// `pf_prime` is the precomputed Equation-(6) value for `params.p_f`
+  /// (an O(n) scan; compute once per graph and share across executors).
+  QueryExecutor(const Graph& graph, const ApproxParams& params,
+                uint64_t base_seed, const TeaPlusOptions& options,
+                double pf_prime);
+
+  /// Answers query number `query_index` inside the reusable workspace. The
+  /// returned reference is valid until the next Answer* call.
+  const SparseVector& AnswerInto(NodeId seed, uint64_t query_index);
+
+  /// AnswerInto() + CompactCopy(), for results that outlive the workspace.
+  SparseVector Answer(NodeId seed, uint64_t query_index);
+
+  /// AnswerInto() + TopKNormalized().
+  std::vector<ScoredNode> AnswerTopK(NodeId seed, uint64_t query_index,
+                                     size_t k);
+
+ private:
+  const Graph& graph_;
+  uint64_t base_seed_;
+  TeaPlusEstimator estimator_;
+  QueryWorkspace workspace_;
+};
+
+/// The serving-side query engine: a persistent ThreadPool plus one
+/// QueryExecutor (TEA+ estimator + QueryWorkspace) per pool thread.
 ///
 /// EstimateBatch() statically shards a batch of seed nodes across the pool;
 /// each worker answers its shard of queries sequentially, reusing its
@@ -64,11 +106,13 @@ class BatchQueryEngine {
                    const TeaPlusOptions& options = TeaPlusOptions());
 
   /// Answers one TEA+ query per entry of `seeds`; out[i] is the estimate for
-  /// seeds[i]. Every seed must be a valid node id.
+  /// seeds[i]. Every seed must be a valid node id. An empty span returns an
+  /// empty result without touching the pool.
   std::vector<SparseVector> EstimateBatch(std::span<const NodeId> seeds);
 
   /// Convenience: batch top-k — out[i] is TopKNormalized of seeds[i]'s
-  /// estimate.
+  /// estimate. An empty span returns an empty result without touching the
+  /// pool.
   std::vector<std::vector<ScoredNode>> TopKBatch(std::span<const NodeId> seeds,
                                                  size_t k);
 
@@ -82,9 +126,7 @@ class BatchQueryEngine {
  private:
   const Graph& graph_;
   ThreadPool pool_;
-  std::vector<TeaPlusEstimator> estimators_;  // one per pool thread
-  std::vector<QueryWorkspace> workspaces_;    // one per pool thread
-  uint64_t base_seed_;
+  std::vector<QueryExecutor> executors_;  // one per pool thread
   uint64_t queries_served_ = 0;
 };
 

@@ -1,0 +1,266 @@
+#include "service/async_query_service.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "baselines/hk_relax.h"
+#include "common/logging.h"
+
+namespace hkpr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
+
+/// One worker's private estimator state. Exactly one of the two estimators
+/// is constructed, per ServiceOptions::estimator; both reuse their
+/// workspaces across queries, so steady-state computations are
+/// allocation-free apart from the retained result copies.
+struct AsyncQueryService::WorkerState {
+  std::optional<QueryExecutor> tea_plus;
+  std::optional<HkRelaxEstimator> hk_relax;
+  QueryWorkspace hk_relax_ws;
+};
+
+AsyncQueryService::AsyncQueryService(const Graph& graph,
+                                     const ApproxParams& params, uint64_t seed,
+                                     const ServiceOptions& options)
+    : graph_(graph), params_(params), options_(options) {
+  uint32_t num_workers = options.num_workers;
+  if (num_workers == 0) {
+    num_workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options.cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options.cache_capacity,
+                                           options.cache_shards);
+  }
+
+  // p'_f is an O(n) scan; compute it once for all per-worker estimators.
+  const double pf_prime = options.estimator == ServiceEstimator::kTeaPlus
+                              ? ComputePfPrime(graph, params.p_f)
+                              : 0.0;
+  worker_states_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    auto state = std::make_unique<WorkerState>();
+    if (options.estimator == ServiceEstimator::kTeaPlus) {
+      state->tea_plus.emplace(graph, params, seed, options.tea_plus, pf_prime);
+    } else {
+      HkRelaxOptions relax;
+      relax.t = params.t;
+      // eps_a = eps_r * delta is the absolute target TEA+'s early-exit test
+      // uses, so the two estimator kinds answer to comparable accuracy.
+      relax.eps_a = params.eps_r * params.delta;
+      state->hk_relax.emplace(graph, relax);
+    }
+    worker_states_.push_back(std::move(state));
+  }
+  workers_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+AsyncQueryService::~AsyncQueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ResultCacheKey AsyncQueryService::MakeKey(NodeId seed) const {
+  ResultCacheKey key;
+  key.graph_version = cache_ ? cache_->version() : 0;
+  key.seed = seed;
+  key.estimator_kind = static_cast<uint32_t>(options_.estimator);
+  key.t = params_.t;
+  key.eps_r = params_.eps_r;
+  key.delta = params_.delta;
+  key.p_f = params_.p_f;
+  return key;
+}
+
+QueryHandle AsyncQueryService::Enqueue(NodeId seed, size_t k,
+                                       const SubmitOptions& submit) {
+  HKPR_CHECK(seed < graph_.NumNodes()) << "query seed out of range";
+  QueryHandle handle;
+  handle.cancel_ = std::make_shared<std::atomic<bool>>(false);
+  std::promise<QueryResult> promise;
+  handle.result = promise.get_future();
+  stats_.RecordSubmitted();
+
+  Request request;
+  request.seed = seed;
+  request.k = k;
+  request.submit_time = Clock::now();
+  request.deadline = submit.timeout == Clock::duration::zero()
+                         ? Clock::time_point::max()
+                         : request.submit_time + submit.timeout;
+  request.cancelled = handle.cancel_;
+  request.key = MakeKey(seed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= options_.max_queue_depth) {
+      stats_.RecordRejected();
+      promise.set_value(QueryResult{});  // kRejected
+      return handle;
+    }
+    request.query_index = next_query_index_++;
+    request.promise = std::move(promise);
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  return handle;
+}
+
+QueryHandle AsyncQueryService::Submit(NodeId seed,
+                                      const SubmitOptions& submit) {
+  return Enqueue(seed, 0, submit);
+}
+
+QueryHandle AsyncQueryService::SubmitTopK(NodeId seed, size_t k,
+                                          const SubmitOptions& submit) {
+  HKPR_CHECK(k > 0) << "top-k query needs k >= 1";
+  return Enqueue(seed, k, submit);
+}
+
+void AsyncQueryService::WorkerLoop(uint32_t worker_id) {
+  WorkerState& worker = *worker_states_[worker_id];
+  const uint32_t max_batch = std::max(1u, options_.max_batch);
+  std::vector<Request> batch;
+  std::vector<Deferred> deferred;
+  batch.reserve(max_batch);
+  for (;;) {
+    batch.clear();
+    deferred.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      // Opportunistic micro-batching: drain up to max_batch waiting
+      // requests in one wakeup so a loaded worker answers them in a tight
+      // loop on its warmed executor (the async analogue of the static
+      // batch shard).
+      const size_t take =
+          std::min<size_t>(max_batch, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    for (Request& request : batch) Process(worker, request, deferred);
+    // Requests coalesced onto another worker's in-flight computation are
+    // resolved last: the drained batch is this worker's private backlog,
+    // so blocking on a leader mid-batch would stall unrelated requests
+    // that no idle worker can steal back.
+    for (Deferred& wait : deferred) {
+      Fulfill(wait.request, wait.pending.get(), /*from_cache=*/true);
+    }
+  }
+}
+
+SparseVector AsyncQueryService::Compute(WorkerState& worker,
+                                        const Request& request) {
+  stats_.RecordComputed();
+  if (worker.tea_plus) {
+    return worker.tea_plus->Answer(request.seed, request.query_index);
+  }
+  // HK-Relax is deterministic — the query index plays no role.
+  return worker.hk_relax->EstimateInto(request.seed, worker.hk_relax_ws)
+      .CompactCopy();
+}
+
+void AsyncQueryService::Process(WorkerState& worker, Request& request,
+                                std::vector<Deferred>& deferred) {
+  if (request.cancelled->load(std::memory_order_relaxed)) {
+    QueryResult result;
+    result.status = QueryStatus::kCancelled;
+    stats_.RecordCancelled();
+    request.promise.set_value(std::move(result));
+    return;
+  }
+  if (request.deadline != Clock::time_point::max() &&
+      Clock::now() >= request.deadline) {
+    QueryResult result;
+    result.status = QueryStatus::kExpired;
+    stats_.RecordExpired();
+    request.promise.set_value(std::move(result));
+    return;
+  }
+
+  CachedEstimate estimate;
+  bool from_cache = false;
+  if (cache_) {
+    ResultCache::Lookup lookup = cache_->LookupOrStartCompute(request.key);
+    switch (lookup.outcome) {
+      case ResultCache::Outcome::kHit:
+        stats_.RecordCacheHit();
+        estimate = std::move(lookup.value);
+        from_cache = true;
+        break;
+      case ResultCache::Outcome::kInFlight:
+        // Single-flight: another worker is computing this key. Park the
+        // request for resolution after the rest of the batch; the leader
+        // never waits on this key, so the eventual get() cannot deadlock.
+        stats_.RecordCoalesced();
+        deferred.push_back(
+            Deferred{std::move(request), std::move(lookup.pending)});
+        return;
+      case ResultCache::Outcome::kMiss:
+        stats_.RecordCacheMiss();
+        estimate = std::make_shared<const SparseVector>(
+            Compute(worker, request));
+        cache_->Complete(request.key, lookup.leader, estimate);
+        break;
+    }
+  } else {
+    estimate = std::make_shared<const SparseVector>(Compute(worker, request));
+  }
+  Fulfill(request, std::move(estimate), from_cache);
+}
+
+void AsyncQueryService::Fulfill(Request& request, CachedEstimate estimate,
+                                bool from_cache) {
+  QueryResult result;
+  result.from_cache = from_cache;
+  if (request.k > 0) {
+    result.top_k = TopKNormalized(graph_, *estimate, request.k);
+  }
+  result.estimate = std::move(estimate);
+  result.status = QueryStatus::kOk;
+  const double latency_s = SecondsBetween(request.submit_time, Clock::now());
+  result.latency_ms = latency_s * 1000.0;
+  stats_.RecordCompleted(latency_s);
+  request.promise.set_value(std::move(result));
+}
+
+void AsyncQueryService::InvalidateCache() {
+  if (cache_) cache_->Invalidate();
+}
+
+ServiceStatsSnapshot AsyncQueryService::Stats() const {
+  ServiceStatsSnapshot snap = stats_.TakeSnapshot();
+  snap.queue_depth = queue_depth();
+  return snap;
+}
+
+size_t AsyncQueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t AsyncQueryService::queries_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_query_index_;
+}
+
+}  // namespace hkpr

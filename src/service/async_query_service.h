@@ -1,0 +1,205 @@
+// Asynchronous HKPR serving frontend.
+//
+// AsyncQueryService turns the synchronous query-engine building blocks
+// (per-thread TEA+ QueryExecutors, reusable workspaces — see
+// hkpr/queries.h) into a service: callers Submit() single-seed or top-k
+// queries into a bounded MPMC submission queue and get std::future-based
+// handles back; dedicated worker threads drain the queue in micro-batches
+// of up to `max_batch` requests per wakeup (so a loaded service amortizes
+// wakeups the same way the static-shard batch path amortizes dispatch) and
+// answer each request on their private executor.
+//
+// In front of the workers sits a sharded single-flight ResultCache: repeat
+// queries for a hot (seed, params) pair are served from the cache without
+// recomputing, and concurrent requests for the same cold key wait on one
+// in-flight computation. ServiceStats counts every stage; Stats() returns
+// a snapshot with p50/p95/p99 latencies.
+//
+// Determinism: every accepted request is assigned a global query index at
+// submission time, and the computation for index i draws its randomness
+// from QueryRngSeed(engine seed, i) — exactly the derivation
+// BatchQueryEngine uses. A cold service (or one with the cache disabled)
+// therefore returns bit-identical estimates to BatchQueryEngine for the
+// same (seed sequence, params, engine seed), regardless of how many
+// workers race over the queue. With the cache enabled, a repeat of an
+// *already answered* key returns the original computation's value instead
+// of drawing fresh randomness — that is the point of the cache.
+
+#ifndef HKPR_SERVICE_ASYNC_QUERY_SERVICE_H_
+#define HKPR_SERVICE_ASYNC_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "graph/graph.h"
+#include "hkpr/params.h"
+#include "hkpr/queries.h"
+#include "hkpr/tea_plus.h"
+#include "service/result_cache.h"
+#include "service/service_stats.h"
+
+namespace hkpr {
+
+/// Which estimator the service's workers run. The cache key includes the
+/// kind, so switching estimators never mixes results.
+enum class ServiceEstimator : uint32_t {
+  kTeaPlus = 0,  ///< randomized, (d, eps_r, delta)-approximate (the default)
+  kHkRelax = 1,  ///< deterministic baseline with eps_a = eps_r * delta
+};
+
+/// Serving configuration.
+struct ServiceOptions {
+  /// Worker threads; 0 uses all hardware threads.
+  uint32_t num_workers = 0;
+  /// Admission control: Submit() fails fast with QueryStatus::kRejected
+  /// once this many requests are waiting (0 rejects everything — useful to
+  /// drain a service without stopping it).
+  size_t max_queue_depth = 1024;
+  /// Micro-batch: requests drained per worker wakeup. Larger batches
+  /// amortize lock/wakeup costs under load at a small latency cost.
+  uint32_t max_batch = 8;
+  /// Completed estimates retained across queries; 0 disables the cache.
+  size_t cache_capacity = 4096;
+  uint32_t cache_shards = 8;
+  ServiceEstimator estimator = ServiceEstimator::kTeaPlus;
+  /// TEA+ tuning (used when estimator == kTeaPlus).
+  TeaPlusOptions tea_plus;
+};
+
+/// Terminal state of one submitted query.
+enum class QueryStatus : uint8_t {
+  kOk = 0,
+  kRejected,   ///< refused at admission (queue full or service stopping)
+  kCancelled,  ///< QueryHandle::Cancel() won the race with the worker
+  kExpired,    ///< the deadline passed before a worker picked it up
+};
+
+/// What the future resolves to.
+struct QueryResult {
+  QueryStatus status = QueryStatus::kRejected;
+  /// The (possibly cached) estimate; set when status == kOk.
+  std::shared_ptr<const SparseVector> estimate;
+  /// Top-k ranking; filled for SubmitTopK() requests.
+  std::vector<ScoredNode> top_k;
+  /// True when `estimate` was served from the cache (hit or coalesced).
+  bool from_cache = false;
+  /// Submit-to-completion wall time; 0 for non-kOk outcomes.
+  double latency_ms = 0.0;
+};
+
+/// Caller-side handle: the future plus a cancellation flag. Cancel() is
+/// advisory — it wins only if the request is still queued.
+class QueryHandle {
+ public:
+  std::future<QueryResult> result;
+
+  void Cancel() {
+    if (cancel_) cancel_->store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class AsyncQueryService;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+};
+
+/// Per-request submission options.
+struct SubmitOptions {
+  /// Relative deadline; the zero duration (default) means none. A request
+  /// whose deadline has passed when a worker dequeues it completes with
+  /// kExpired without being computed.
+  std::chrono::steady_clock::duration timeout{};
+};
+
+/// The async serving frontend. The graph must outlive the service. All
+/// public methods are thread-safe; the destructor stops admission, drains
+/// the queue and joins the workers.
+class AsyncQueryService {
+ public:
+  AsyncQueryService(const Graph& graph, const ApproxParams& params,
+                    uint64_t seed, const ServiceOptions& options = {});
+  ~AsyncQueryService();
+
+  AsyncQueryService(const AsyncQueryService&) = delete;
+  AsyncQueryService& operator=(const AsyncQueryService&) = delete;
+
+  /// Enqueues a full-vector HKPR query for `seed`.
+  QueryHandle Submit(NodeId seed, const SubmitOptions& submit = {});
+
+  /// Enqueues a top-k proximity query for `seed`. The result's `top_k` is
+  /// TopKNormalized of the estimate; the estimate itself is also attached.
+  QueryHandle SubmitTopK(NodeId seed, size_t k,
+                         const SubmitOptions& submit = {});
+
+  /// Drops every cached estimate and bumps the cache version (call after
+  /// swapping/mutating the graph the estimates were computed on). No-op
+  /// when the cache is disabled.
+  void InvalidateCache();
+
+  /// Counter snapshot including the current queue depth.
+  ServiceStatsSnapshot Stats() const;
+
+  size_t queue_depth() const;
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  /// Accepted queries so far (== the next query's RNG index).
+  uint64_t queries_accepted() const;
+
+ private:
+  struct Request {
+    NodeId seed = 0;
+    size_t k = 0;  // 0 = full-vector query
+    uint64_t query_index = 0;
+    std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+    std::shared_ptr<std::atomic<bool>> cancelled;
+    std::promise<QueryResult> promise;
+    ResultCacheKey key;
+  };
+
+  struct WorkerState;
+
+  /// A request parked on another worker's in-flight computation (resolved
+  /// after the rest of the micro-batch, so one hot-key wait never delays
+  /// unrelated drained requests).
+  struct Deferred {
+    Request request;
+    std::shared_future<CachedEstimate> pending;
+  };
+
+  QueryHandle Enqueue(NodeId seed, size_t k, const SubmitOptions& submit);
+  void WorkerLoop(uint32_t worker_id);
+  void Process(WorkerState& worker, Request& request,
+               std::vector<Deferred>& deferred);
+  void Fulfill(Request& request, CachedEstimate estimate, bool from_cache);
+  SparseVector Compute(WorkerState& worker, const Request& request);
+  ResultCacheKey MakeKey(NodeId seed) const;
+
+  const Graph& graph_;
+  ApproxParams params_;
+  ServiceOptions options_;
+  std::unique_ptr<ResultCache> cache_;  // null when disabled
+  ServiceStats stats_;
+
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  uint64_t next_query_index_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_SERVICE_ASYNC_QUERY_SERVICE_H_

@@ -1,0 +1,132 @@
+// Cross-query result cache with single-flight deduplication.
+//
+// Real local-clustering traffic is skewed and repetitive (hot seeds get
+// queried over and over), so a serving frontend wins far more throughput
+// from remembering completed estimates than from recomputing them faster.
+// ResultCache is a sharded LRU map from (graph version, seed, estimator,
+// heat-kernel/accuracy parameters) to a completed SparseVector estimate.
+//
+// Concurrent requests for the same key are deduplicated single-flight
+// style: the first requester becomes the *leader* and computes; everyone
+// else receives a shared_future tied to the leader's promise and waits for
+// that one computation instead of starting their own. A cache hit therefore
+// never recomputes, and N simultaneous requests for one cold key cost
+// exactly one computation.
+//
+// Invalidate() bumps the cache's version and drops every entry; serving
+// layers fold the version into the keys they build, so entries created
+// before a graph swap can never satisfy lookups issued after it.
+
+#ifndef HKPR_SERVICE_RESULT_CACHE_H_
+#define HKPR_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// Identity of one HKPR computation: the seed node, which estimator ran it,
+/// the heat-kernel/accuracy parameters, and the graph version at submission
+/// time. Two keys are equal only when every field matches bit-for-bit, so a
+/// cached value is only ever returned for the exact computation that
+/// produced it.
+struct ResultCacheKey {
+  uint64_t graph_version = 0;
+  NodeId seed = 0;
+  uint32_t estimator_kind = 0;
+  double t = 0.0;
+  double eps_r = 0.0;
+  double delta = 0.0;
+  double p_f = 0.0;
+
+  bool operator==(const ResultCacheKey&) const = default;
+};
+
+/// Completed estimates are shared immutably between the cache, in-flight
+/// responses, and callers that hold onto results.
+using CachedEstimate = std::shared_ptr<const SparseVector>;
+
+/// Sharded LRU cache of completed estimates with single-flight dedup.
+/// All methods are thread-safe; locking is per shard.
+class ResultCache {
+ public:
+  /// `capacity` bounds the total number of entries (split evenly across
+  /// `num_shards`, at least one per shard). Must be positive — a capacity
+  /// of zero means "no cache", which callers express by not constructing
+  /// one.
+  explicit ResultCache(size_t capacity, uint32_t num_shards = 8);
+  ~ResultCache();  // out-of-line: Shard is an incomplete type here
+
+  enum class Outcome {
+    kHit,       ///< completed value returned
+    kInFlight,  ///< another requester is computing; wait on `pending`
+    kMiss,      ///< caller became the leader; compute, then Complete()
+  };
+
+  struct Lookup {
+    Outcome outcome = Outcome::kMiss;
+    CachedEstimate value;                        // set when kHit
+    std::shared_future<CachedEstimate> pending;  // set when kInFlight
+    std::shared_ptr<std::promise<CachedEstimate>> leader;  // set when kMiss
+  };
+
+  /// Looks up `key`. On a miss the caller is registered as the in-flight
+  /// leader and MUST eventually call Complete() with the returned `leader`
+  /// promise — followers block on it.
+  Lookup LookupOrStartCompute(const ResultCacheKey& key);
+
+  /// Publishes the leader's computed value: fulfills the promise (waking
+  /// any coalesced followers) and marks the entry completed in LRU order.
+  /// Safe to call after an Invalidate() raced away the entry — followers
+  /// still receive the value through their futures.
+  void Complete(const ResultCacheKey& key,
+                const std::shared_ptr<std::promise<CachedEstimate>>& leader,
+                CachedEstimate value);
+
+  /// Current cache version (folded into keys by the serving layer).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Drops every entry and bumps the version (graph swap / parameter
+  /// migration). Returns the new version.
+  uint64_t Invalidate();
+
+  /// Completed + in-flight entries across all shards.
+  size_t size() const;
+
+  size_t capacity() const { return shard_capacity_ * shards_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const ResultCacheKey& key) const;
+  };
+
+  struct Entry {
+    std::shared_future<CachedEstimate> future;
+    std::shared_ptr<std::promise<CachedEstimate>> promise;  // null once ready
+    CachedEstimate value;  // set once ready
+    bool ready = false;
+    std::list<ResultCacheKey>::iterator lru_it;
+  };
+
+  struct Shard;
+
+  Shard& ShardFor(const ResultCacheKey& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_capacity_;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_SERVICE_RESULT_CACHE_H_

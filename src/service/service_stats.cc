@@ -1,0 +1,65 @@
+#include "service/service_stats.h"
+
+#include <bit>
+#include <cmath>
+
+namespace hkpr {
+
+void LatencyHistogram::Record(double seconds) {
+  uint64_t us = 0;
+  if (seconds > 0.0) {
+    us = static_cast<uint64_t>(std::llround(seconds * 1e6));
+  }
+  size_t bucket = std::bit_width(us);  // 0 -> 0, [2^(i-1), 2^i) -> i
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileMs(double q) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target && target > 0) {
+      // Upper bound of bucket i in microseconds: 2^i - 1 (bucket 0: < 1us).
+      const double upper_us =
+          i == 0 ? 1.0 : static_cast<double>((uint64_t{1} << i) - 1);
+      return upper_us / 1000.0;
+    }
+  }
+  return 0.0;
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+ServiceStatsSnapshot ServiceStats::TakeSnapshot() const {
+  ServiceStatsSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.cancelled = cancelled_.load(std::memory_order_relaxed);
+  snap.expired = expired_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.coalesced = coalesced_.load(std::memory_order_relaxed);
+  snap.computed = computed_.load(std::memory_order_relaxed);
+  snap.latency_count = latency_.TotalCount();
+  snap.latency_p50_ms = latency_.PercentileMs(0.50);
+  snap.latency_p95_ms = latency_.PercentileMs(0.95);
+  snap.latency_p99_ms = latency_.PercentileMs(0.99);
+  return snap;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,104 @@
+// Serving-side observability: per-stage counters and a latency histogram.
+//
+// Every stage of the async query pipeline (admission, cache lookup,
+// single-flight coalescing, computation, completion) bumps a lock-free
+// counter here, and completed queries record their submit-to-completion
+// latency into a log2-bucketed histogram. TakeSnapshot() folds everything
+// into a plain struct with approximate p50/p95/p99 figures, so monitoring
+// never blocks the serving path.
+
+#ifndef HKPR_SERVICE_SERVICE_STATS_H_
+#define HKPR_SERVICE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hkpr {
+
+/// Point-in-time copy of the service counters. Counters are monotone over
+/// the service's lifetime; `queue_depth` is the only gauge (filled by
+/// AsyncQueryService::Stats(), not by ServiceStats itself).
+struct ServiceStatsSnapshot {
+  uint64_t submitted = 0;    ///< Submit/SubmitTopK calls (including rejected)
+  uint64_t rejected = 0;     ///< refused by admission control (queue full)
+  uint64_t completed = 0;    ///< queries finished with QueryStatus::kOk
+  uint64_t cancelled = 0;    ///< cancelled before computation started
+  uint64_t expired = 0;      ///< deadline passed before computation started
+  uint64_t cache_hits = 0;   ///< served from a completed cache entry
+  uint64_t cache_misses = 0; ///< cache lookups that became the leader
+  uint64_t coalesced = 0;    ///< single-flight waits on an in-flight leader
+  uint64_t computed = 0;     ///< estimator invocations (never > misses when
+                             ///< the cache is enabled)
+  size_t queue_depth = 0;    ///< requests waiting at snapshot time
+
+  uint64_t latency_count = 0;  ///< completed queries in the histogram
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
+/// Log2-bucketed latency histogram over microseconds. Bucket i counts
+/// latencies in [2^(i-1), 2^i) us (bucket 0: < 1us), which gives <= 2x
+/// relative error on the reported percentiles — plenty for serving
+/// dashboards — with wait-free recording.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;  // 2^39 us ~ 6.4 days
+
+  void Record(double seconds);
+
+  /// Approximate latency (in ms) below which a `q` fraction (0 < q <= 1) of
+  /// recorded queries fall: the upper bound of the first bucket whose
+  /// cumulative count reaches q * total. Returns 0 when empty.
+  double PercentileMs(double q) const;
+
+  uint64_t TotalCount() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// The service's counter block. All methods are thread-safe and wait-free.
+class ServiceStats {
+ public:
+  void RecordSubmitted() { Bump(submitted_); }
+  void RecordRejected() { Bump(rejected_); }
+  void RecordCancelled() { Bump(cancelled_); }
+  void RecordExpired() { Bump(expired_); }
+  void RecordCacheHit() { Bump(cache_hits_); }
+  void RecordCacheMiss() { Bump(cache_misses_); }
+  void RecordCoalesced() { Bump(coalesced_); }
+  void RecordComputed() { Bump(computed_); }
+
+  /// One query finished with kOk after `latency_seconds` in the pipeline.
+  void RecordCompleted(double latency_seconds) {
+    Bump(completed_);
+    latency_.Record(latency_seconds);
+  }
+
+  /// Folds the counters and histogram percentiles into a snapshot.
+  /// `queue_depth` is left at 0 (the service fills it).
+  ServiceStatsSnapshot TakeSnapshot() const;
+
+ private:
+  static void Bump(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> computed_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_SERVICE_SERVICE_STATS_H_

@@ -1,8 +1,13 @@
-// Tests for the benchmark utilities (formatting and table layout).
+// Tests for the benchmark utilities (formatting, table layout, workloads).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "bench_util/table.h"
+#include "bench_util/workload.h"
+#include "graph/generators.h"
 
 namespace hkpr {
 namespace {
@@ -30,6 +35,45 @@ TEST(FormatTest, FmtCountGroupsThousands) {
   EXPECT_EQ(FmtCount(1000), "1,000");
   EXPECT_EQ(FmtCount(1234567), "1,234,567");
   EXPECT_EQ(FmtCount(1000000000ull), "1,000,000,000");
+}
+
+TEST(WorkloadTest, ZipfianSeedsAreSkewedOverAHotSet) {
+  Graph g = PowerlawCluster(2000, 4, 0.3, 3);
+  Rng rng(7);
+  const uint32_t kDraws = 2000;
+  const uint32_t kUniverse = 8;
+  const std::vector<NodeId> seeds = ZipfianSeeds(g, kDraws, kUniverse, 1.2, rng);
+  ASSERT_EQ(seeds.size(), kDraws);
+
+  std::map<NodeId, uint32_t> freq;
+  for (NodeId seed : seeds) {
+    EXPECT_GT(g.Degree(seed), 0u);
+    ++freq[seed];
+  }
+  // Draws come from at most `universe` distinct hot seeds, and the skew is
+  // strong: the hottest seed must clearly dominate the coldest.
+  EXPECT_LE(freq.size(), kUniverse);
+  EXPECT_GE(freq.size(), 2u);
+  uint32_t hottest = 0, coldest = kDraws;
+  for (const auto& [seed, count] : freq) {
+    hottest = std::max(hottest, count);
+    coldest = std::min(coldest, count);
+  }
+  EXPECT_GE(hottest, 3u * coldest);
+}
+
+TEST(WorkloadTest, ZipfianExponentZeroIsUniformish) {
+  // s = 0 degenerates to uniform draws over the hot set — every hot seed
+  // should appear with roughly equal frequency.
+  Graph g = PowerlawCluster(500, 4, 0.3, 4);
+  Rng rng(11);
+  const std::vector<NodeId> seeds = ZipfianSeeds(g, 4000, 4, 0.0, rng);
+  std::map<NodeId, uint32_t> freq;
+  for (NodeId seed : seeds) ++freq[seed];
+  ASSERT_EQ(freq.size(), 4u);
+  for (const auto& [seed, count] : freq) {
+    EXPECT_NEAR(count, 1000.0, 150.0);
+  }
 }
 
 TEST(TablePrinterTest, HandlesRaggedRows) {

@@ -80,6 +80,29 @@ TEST(HkRelaxTest, MassNeverExceedsOne) {
   EXPECT_GT(est.Sum(), 0.5);  // most mass recovered at this accuracy
 }
 
+TEST(HkRelaxTest, ReusedWorkspaceMatchesFreshEstimate) {
+  // The workspace-aware port must be bit-identical to the by-value path,
+  // including when the workspace is dirty from an unrelated earlier query.
+  Graph g = PowerlawCluster(300, 3, 0.3, 6);
+  HkRelaxOptions options;
+  options.eps_a = 1e-4;
+  HkRelaxEstimator estimator(g, options);
+  const SparseVector expected_a = estimator.Estimate(8);
+  const SparseVector expected_b = estimator.Estimate(100);
+
+  QueryWorkspace ws;
+  HkRelaxEstimator reused(g, options);
+  for (const auto& [seed, expected] :
+       {std::pair<NodeId, const SparseVector*>{8, &expected_a},
+        {100, &expected_b}}) {
+    const SparseVector& got = reused.EstimateInto(seed, ws);
+    ASSERT_EQ(got.nnz(), expected->nnz()) << "seed " << seed;
+    for (const auto& e : expected->entries()) {
+      EXPECT_DOUBLE_EQ(got.Get(e.key), e.value) << "seed " << seed;
+    }
+  }
+}
+
 TEST(HkRelaxTest, DeterministicAlgorithm) {
   Graph g = PowerlawCluster(300, 3, 0.3, 6);
   HkRelaxOptions options;

@@ -98,6 +98,55 @@ TEST(SeedSetTest, SingleSeedMatchesPlainEstimate) {
   EXPECT_GT(combined.Sum(), 0.5);
 }
 
+TEST(SeedSetTest, SingleSeedIsBitIdenticalToPlainEstimate) {
+  // A one-element seed set is the degenerate mixture: weight 1 exactly, so
+  // every combined entry equals the plain estimate's entry bit-for-bit
+  // (same estimator seed => same randomness).
+  Graph g = PowerlawCluster(300, 3, 0.3, 6);
+  const ApproxParams params = TightParams(g);
+  TeaPlusEstimator plain(g, params, 21);
+  const SparseVector expected = plain.Estimate(13);
+
+  TeaPlusEstimator mixed(g, params, 21);
+  std::vector<NodeId> seeds = {13};
+  const SparseVector combined = EstimateSeedSet(g, mixed, seeds);
+  ASSERT_EQ(combined.nnz(), expected.nnz());
+  EXPECT_DOUBLE_EQ(combined.degree_offset(), expected.degree_offset());
+  for (const auto& e : expected.entries()) {
+    EXPECT_DOUBLE_EQ(combined.Get(e.key), e.value);
+  }
+}
+
+TEST(SeedSetTest, ZeroWeightSeedsAreSkippedEntirely) {
+  // A zero-weight seed must not be estimated at all: it contributes no
+  // entries AND consumes no randomness, so the result is bit-identical to
+  // dropping it from the seed list.
+  Graph g = PowerlawCluster(300, 3, 0.3, 6);
+  const ApproxParams params = TightParams(g);
+  TeaPlusEstimator plain(g, params, 22);
+  const SparseVector expected = plain.Estimate(13);
+
+  TeaPlusEstimator mixed(g, params, 22);
+  std::vector<NodeId> seeds = {13, 5, 40};
+  std::vector<double> weights = {2.0, 0.0, 0.0};
+  const SparseVector combined = EstimateSeedSet(g, mixed, seeds, weights);
+  ASSERT_EQ(combined.nnz(), expected.nnz());
+  for (const auto& e : expected.entries()) {
+    EXPECT_DOUBLE_EQ(combined.Get(e.key), e.value);
+  }
+}
+
+TEST(SeedSetTest, RejectsWeightsLongerThanSeeds) {
+  Graph g = testing::MakeCycle(6);
+  ApproxParams params;
+  params.delta = 1e-2;
+  params.p_f = 1e-2;
+  TeaPlusEstimator est(g, params, 5);
+  std::vector<NodeId> seeds = {0, 1};
+  std::vector<double> weights = {0.5, 0.25, 0.25};
+  EXPECT_DEATH(EstimateSeedSet(g, est, seeds, weights), "weights");
+}
+
 TEST(SeedSetTest, UniformAverageOfDisjointSeeds) {
   // Two seeds in different components: the combined vector is exactly the
   // average (each component keeps its own mass = 0.5).

@@ -1,0 +1,430 @@
+// Tests for the async serving subsystem: AsyncQueryService determinism
+// against the synchronous batch path, the result cache (hits never
+// recompute, single-flight dedup, LRU bounds, invalidation), admission
+// control, deadlines, cancellation, and the stats/latency plumbing.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "baselines/hk_relax.h"
+#include "graph/generators.h"
+#include "hkpr/queries.h"
+#include "service/async_query_service.h"
+#include "service/result_cache.h"
+#include "service/service_stats.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+ApproxParams TestParams(double delta) {
+  ApproxParams p;
+  p.t = 5.0;
+  p.eps_r = 0.5;
+  p.delta = delta;
+  p.p_f = 1e-4;
+  return p;
+}
+
+void ExpectSameVector(const SparseVector& a, const SparseVector& b) {
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_DOUBLE_EQ(a.degree_offset(), b.degree_offset());
+  for (const auto& e : a.entries()) EXPECT_DOUBLE_EQ(b.Get(e.key), e.value);
+}
+
+std::vector<QueryResult> SubmitAllAndWait(AsyncQueryService& service,
+                                          const std::vector<NodeId>& seeds) {
+  std::vector<QueryHandle> handles;
+  handles.reserve(seeds.size());
+  for (NodeId seed : seeds) handles.push_back(service.Submit(seed));
+  std::vector<QueryResult> results;
+  results.reserve(handles.size());
+  for (QueryHandle& handle : handles) results.push_back(handle.result.get());
+  return results;
+}
+
+TEST(AsyncQueryServiceTest, BitIdenticalToBatchQueryEngine) {
+  // The acceptance-criterion test: the async path must return bit-identical
+  // estimates to the synchronous BatchQueryEngine for the same (seed
+  // sequence, params, engine seed) — the query index assigned at submission
+  // drives the RNG in both. Includes a duplicate seed: with the cache
+  // disabled it is recomputed at its own index, exactly like the engine.
+  Graph g = PowerlawCluster(400, 3, 0.3, 7);
+  const ApproxParams params = TestParams(1e-5);
+  const std::vector<NodeId> seeds = {1, 5, 9, 5, 22, 60, 120, 350};
+
+  BatchQueryEngine engine(g, params, 77, 2);
+  const auto expected = engine.EstimateBatch(seeds);
+
+  for (uint32_t workers : {1u, 3u}) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    options.cache_capacity = 0;  // determinism across duplicates
+    AsyncQueryService service(g, params, 77, options);
+    const auto results = SubmitAllAndWait(service, seeds);
+    ASSERT_EQ(results.size(), expected.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].status, QueryStatus::kOk) << "query " << i;
+      ExpectSameVector(*results[i].estimate, expected[i]);
+    }
+  }
+}
+
+TEST(AsyncQueryServiceTest, ColdCachedPassMatchesBatchOnDistinctSeeds) {
+  // With the cache enabled, a cold pass over distinct seeds still computes
+  // each query at its submission index — same bits as the batch engine.
+  Graph g = PowerlawCluster(300, 3, 0.3, 8);
+  const ApproxParams params = TestParams(1e-4);
+  const std::vector<NodeId> seeds = {2, 8, 31, 100};
+
+  BatchQueryEngine engine(g, params, 55, 2);
+  const auto expected = engine.EstimateBatch(seeds);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  AsyncQueryService service(g, params, 55, options);
+  const auto results = SubmitAllAndWait(service, seeds);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].status, QueryStatus::kOk);
+    ExpectSameVector(*results[i].estimate, expected[i]);
+  }
+}
+
+TEST(AsyncQueryServiceTest, TopKMatchesBatchTopK) {
+  Graph g = PowerlawCluster(400, 4, 0.3, 10);
+  const ApproxParams params = TestParams(1e-5);
+  const std::vector<NodeId> seeds = {3, 17, 200};
+
+  BatchQueryEngine engine(g, params, 33, 2);
+  const auto expected = engine.TopKBatch(seeds, 10);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.cache_capacity = 0;
+  AsyncQueryService service(g, params, 33, options);
+  std::vector<QueryHandle> handles;
+  for (NodeId seed : seeds) handles.push_back(service.SubmitTopK(seed, 10));
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const QueryResult result = handles[i].result.get();
+    ASSERT_EQ(result.status, QueryStatus::kOk);
+    ASSERT_EQ(result.top_k.size(), expected[i].size());
+    for (size_t j = 0; j < expected[i].size(); ++j) {
+      EXPECT_EQ(result.top_k[j].node, expected[i][j].node);
+      EXPECT_DOUBLE_EQ(result.top_k[j].score, expected[i][j].score);
+    }
+  }
+}
+
+TEST(AsyncQueryServiceTest, CacheHitsNeverRecompute) {
+  Graph g = testing::MakeComplete(16);
+  const ApproxParams params = TestParams(1e-3);
+  ServiceOptions options;
+  options.num_workers = 2;
+  AsyncQueryService service(g, params, 13, options);
+
+  const QueryResult first = service.Submit(5).result.get();
+  ASSERT_EQ(first.status, QueryStatus::kOk);
+  EXPECT_FALSE(first.from_cache);
+
+  for (int i = 0; i < 9; ++i) {
+    const QueryResult repeat = service.Submit(5).result.get();
+    ASSERT_EQ(repeat.status, QueryStatus::kOk);
+    EXPECT_TRUE(repeat.from_cache);
+    // Pointer identity: the very same cached object, not a recomputation.
+    EXPECT_EQ(repeat.estimate.get(), first.estimate.get());
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.coalesced, 9u);
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.latency_count, 10u);
+}
+
+TEST(AsyncQueryServiceTest, SingleFlightCoalescesConcurrentDuplicates) {
+  // A burst of identical queries must cost exactly one computation: the
+  // first processed request leads, everyone else hits or waits on it.
+  Graph g = PowerlawCluster(500, 4, 0.3, 3);
+  const ApproxParams params = TestParams(1e-5);
+  ServiceOptions options;
+  options.num_workers = 4;
+  AsyncQueryService service(g, params, 17, options);
+
+  constexpr int kBurst = 32;
+  const auto results =
+      SubmitAllAndWait(service, std::vector<NodeId>(kBurst, 9));
+  for (const QueryResult& result : results) {
+    ASSERT_EQ(result.status, QueryStatus::kOk);
+    EXPECT_EQ(result.estimate.get(), results[0].estimate.get());
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.coalesced, kBurst - 1u);
+}
+
+TEST(AsyncQueryServiceTest, AdmissionControlRejectsWhenQueueFull) {
+  // max_queue_depth = 0 degenerates admission to "reject everything" —
+  // a deterministic stand-in for a saturated queue.
+  Graph g = testing::MakeComplete(8);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 0;
+  AsyncQueryService service(g, TestParams(1e-2), 5, options);
+
+  for (int i = 0; i < 5; ++i) {
+    QueryResult result = service.Submit(1).result.get();
+    EXPECT_EQ(result.status, QueryStatus::kRejected);
+    EXPECT_EQ(result.estimate, nullptr);
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.rejected, 5u);
+  EXPECT_EQ(stats.computed, 0u);
+}
+
+TEST(AsyncQueryServiceTest, ExpiredDeadlineSkipsComputation) {
+  Graph g = PowerlawCluster(2000, 4, 0.3, 6);
+  const ApproxParams params = TestParams(1e-6);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;
+  AsyncQueryService service(g, params, 7, options);
+
+  // Keep the single worker busy so the deadline of the second request has
+  // certainly passed by the time it is dequeued.
+  QueryHandle blocker = service.Submit(3);
+  SubmitOptions expired;
+  expired.timeout = std::chrono::nanoseconds(1);
+  QueryHandle doomed = service.Submit(4, expired);
+
+  EXPECT_EQ(blocker.result.get().status, QueryStatus::kOk);
+  EXPECT_EQ(doomed.result.get().status, QueryStatus::kExpired);
+  EXPECT_EQ(service.Stats().expired, 1u);
+}
+
+TEST(AsyncQueryServiceTest, CancelWinsWhileQueued) {
+  Graph g = PowerlawCluster(2000, 4, 0.3, 9);
+  const ApproxParams params = TestParams(1e-6);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;
+  AsyncQueryService service(g, params, 11, options);
+
+  QueryHandle blocker = service.Submit(3);
+  QueryHandle cancelled = service.Submit(4);
+  cancelled.Cancel();
+
+  EXPECT_EQ(blocker.result.get().status, QueryStatus::kOk);
+  EXPECT_EQ(cancelled.result.get().status, QueryStatus::kCancelled);
+  EXPECT_EQ(service.Stats().cancelled, 1u);
+}
+
+TEST(AsyncQueryServiceTest, InvalidateCacheForcesRecompute) {
+  Graph g = testing::MakeComplete(16);
+  ServiceOptions options;
+  options.num_workers = 1;
+  AsyncQueryService service(g, TestParams(1e-3), 19, options);
+
+  const QueryResult before = service.Submit(2).result.get();
+  ASSERT_EQ(before.status, QueryStatus::kOk);
+  service.InvalidateCache();
+  const QueryResult after = service.Submit(2).result.get();
+  ASSERT_EQ(after.status, QueryStatus::kOk);
+  EXPECT_FALSE(after.from_cache);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.computed, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+}
+
+TEST(AsyncQueryServiceTest, HkRelaxBackendMatchesDirectEstimator) {
+  // The estimator choice is a service option, not a hard-wired TEA+ path;
+  // HK-Relax is deterministic, so the service must reproduce the direct
+  // estimator's bits exactly (eps_a = eps_r * delta by construction).
+  Graph g = PowerlawCluster(400, 3, 0.3, 12);
+  const ApproxParams params = TestParams(1e-4);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.estimator = ServiceEstimator::kHkRelax;
+  AsyncQueryService service(g, params, 23, options);
+
+  HkRelaxOptions relax;
+  relax.t = params.t;
+  relax.eps_a = params.eps_r * params.delta;
+  HkRelaxEstimator direct(g, relax);
+  const SparseVector expected = direct.Estimate(31);
+
+  const QueryResult computed = service.Submit(31).result.get();
+  ASSERT_EQ(computed.status, QueryStatus::kOk);
+  ExpectSameVector(*computed.estimate, expected);
+
+  const QueryResult cached = service.Submit(31).result.get();
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(cached.estimate.get(), computed.estimate.get());
+}
+
+TEST(AsyncQueryServiceTest, DestructorDrainsPendingQueries) {
+  Graph g = PowerlawCluster(500, 3, 0.3, 4);
+  const ApproxParams params = TestParams(1e-5);
+  std::vector<QueryHandle> handles;
+  {
+    ServiceOptions options;
+    options.num_workers = 2;
+    AsyncQueryService service(g, params, 29, options);
+    for (NodeId seed = 0; seed < 20; ++seed) {
+      handles.push_back(service.Submit(seed));
+    }
+    // Destructor runs here with most queries still queued.
+  }
+  for (QueryHandle& handle : handles) {
+    EXPECT_EQ(handle.result.get().status, QueryStatus::kOk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache unit tests.
+
+ResultCacheKey MakeKey(NodeId seed, uint64_t version = 0) {
+  ResultCacheKey key;
+  key.graph_version = version;
+  key.seed = seed;
+  key.t = 5.0;
+  key.eps_r = 0.5;
+  key.delta = 1e-5;
+  key.p_f = 1e-6;
+  return key;
+}
+
+CachedEstimate MakeValue(NodeId seed, double value) {
+  SparseVector v;
+  v.Add(seed, value);
+  return std::make_shared<const SparseVector>(std::move(v));
+}
+
+TEST(ResultCacheTest, MissComputeHitRoundTrip) {
+  ResultCache cache(64, 4);
+  auto miss = cache.LookupOrStartCompute(MakeKey(7));
+  ASSERT_EQ(miss.outcome, ResultCache::Outcome::kMiss);
+  cache.Complete(MakeKey(7), miss.leader, MakeValue(7, 0.5));
+
+  auto hit = cache.LookupOrStartCompute(MakeKey(7));
+  ASSERT_EQ(hit.outcome, ResultCache::Outcome::kHit);
+  EXPECT_DOUBLE_EQ(hit.value->Get(7), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, DifferentParamsAreDifferentKeys) {
+  ResultCache cache(64, 4);
+  auto a = cache.LookupOrStartCompute(MakeKey(7));
+  cache.Complete(MakeKey(7), a.leader, MakeValue(7, 0.5));
+
+  ResultCacheKey other = MakeKey(7);
+  other.delta = 1e-4;
+  EXPECT_EQ(cache.LookupOrStartCompute(other).outcome,
+            ResultCache::Outcome::kMiss);
+}
+
+TEST(ResultCacheTest, SecondRequesterCoalescesOnInFlightLeader) {
+  ResultCache cache(64, 4);
+  auto leader = cache.LookupOrStartCompute(MakeKey(3));
+  ASSERT_EQ(leader.outcome, ResultCache::Outcome::kMiss);
+
+  auto follower = cache.LookupOrStartCompute(MakeKey(3));
+  ASSERT_EQ(follower.outcome, ResultCache::Outcome::kInFlight);
+
+  // Follower blocks until the leader publishes.
+  std::thread completer([&] {
+    cache.Complete(MakeKey(3), leader.leader, MakeValue(3, 0.25));
+  });
+  const CachedEstimate value = follower.pending.get();
+  completer.join();
+  EXPECT_DOUBLE_EQ(value->Get(3), 0.25);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedCompletedEntry) {
+  ResultCache cache(2, 1);  // one shard, two entries
+  for (NodeId seed : {1u, 2u}) {
+    auto miss = cache.LookupOrStartCompute(MakeKey(seed));
+    cache.Complete(MakeKey(seed), miss.leader, MakeValue(seed, 1.0));
+  }
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_EQ(cache.LookupOrStartCompute(MakeKey(1)).outcome,
+            ResultCache::Outcome::kHit);
+  auto miss = cache.LookupOrStartCompute(MakeKey(3));
+  ASSERT_EQ(miss.outcome, ResultCache::Outcome::kMiss);
+  cache.Complete(MakeKey(3), miss.leader, MakeValue(3, 1.0));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.LookupOrStartCompute(MakeKey(1)).outcome,
+            ResultCache::Outcome::kHit);
+  EXPECT_EQ(cache.LookupOrStartCompute(MakeKey(2)).outcome,
+            ResultCache::Outcome::kMiss);
+}
+
+TEST(ResultCacheTest, InvalidateDropsEntriesAndBumpsVersion) {
+  ResultCache cache(64, 4);
+  auto miss = cache.LookupOrStartCompute(MakeKey(9));
+  cache.Complete(MakeKey(9), miss.leader, MakeValue(9, 1.0));
+  ASSERT_EQ(cache.size(), 1u);
+
+  const uint64_t v1 = cache.Invalidate();
+  EXPECT_EQ(v1, cache.version());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.LookupOrStartCompute(MakeKey(9)).outcome,
+            ResultCache::Outcome::kMiss);
+}
+
+TEST(ResultCacheTest, CompleteAfterInvalidateStillWakesFollowers) {
+  ResultCache cache(64, 4);
+  auto leader = cache.LookupOrStartCompute(MakeKey(5));
+  auto follower = cache.LookupOrStartCompute(MakeKey(5));
+  ASSERT_EQ(follower.outcome, ResultCache::Outcome::kInFlight);
+
+  cache.Invalidate();  // entry is gone, promise is not
+  cache.Complete(MakeKey(5), leader.leader, MakeValue(5, 2.0));
+  EXPECT_DOUBLE_EQ(follower.pending.get()->Get(5), 2.0);
+  // The stale completion must not resurrect a cache entry.
+  EXPECT_EQ(cache.LookupOrStartCompute(MakeKey(5)).outcome,
+            ResultCache::Outcome::kMiss);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceStats / latency histogram.
+
+TEST(ServiceStatsTest, HistogramPercentilesAreOrderedAndBucketed) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.Record(1e-3);  // 1ms
+  histogram.Record(1.0);                                // one 1s outlier
+  EXPECT_EQ(histogram.TotalCount(), 100u);
+
+  const double p50 = histogram.PercentileMs(0.50);
+  const double p99 = histogram.PercentileMs(0.99);
+  const double p100 = histogram.PercentileMs(1.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LT(p99, p100);
+  // 1ms lands in the [512us, 1024us) bucket; its upper bound is ~1.023ms.
+  EXPECT_NEAR(p50, 1.023, 0.001);
+  EXPECT_GT(p100, 500.0);  // the outlier dominates the last percentile
+}
+
+TEST(ServiceStatsTest, SnapshotFoldsCounters) {
+  ServiceStats stats;
+  stats.RecordSubmitted();
+  stats.RecordSubmitted();
+  stats.RecordCacheHit();
+  stats.RecordCompleted(2e-3);
+  const ServiceStatsSnapshot snap = stats.TakeSnapshot();
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.cache_hits, 1u);
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.latency_count, 1u);
+  EXPECT_GT(snap.latency_p50_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace hkpr

@@ -12,6 +12,7 @@
 #include <new>
 #include <vector>
 
+#include "baselines/hk_relax.h"
 #include "common/mem_tracker.h"
 #include "graph/generators.h"
 #include "hkpr/queries.h"
@@ -245,6 +246,25 @@ TEST(WorkspaceTest, PoolBackedMonteCarloSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocs, 0u);
 }
 
+TEST(WorkspaceTest, HkRelaxSteadyStateIsAllocationFree) {
+  // The workspace-aware HK-Relax port must honor the same reuse contract as
+  // the TEA+ estimators: once the residual levels, result vector and queue
+  // have warmed up, repeating a query touches the heap zero times.
+  Graph g = PowerlawCluster(400, 3, 0.3, 6);
+  HkRelaxOptions options;
+  options.t = 5.0;
+  options.eps_a = 1e-4;
+  HkRelaxEstimator estimator(g, options);
+  QueryWorkspace ws;
+
+  for (int i = 0; i < 3; ++i) estimator.EstimateInto(21, ws);
+  EstimatorStats stats;
+  const uint64_t allocs =
+      AllocationsDuring([&] { estimator.EstimateInto(21, ws, &stats); });
+  EXPECT_GT(stats.push_operations, 0u);
+  EXPECT_EQ(allocs, 0u);
+}
+
 TEST(BatchQueryEngineTest, BatchIsIndependentOfThreadCount) {
   Graph g = PowerlawCluster(400, 3, 0.3, 7);
   const ApproxParams params = TestParams(1e-5);
@@ -311,6 +331,17 @@ TEST(BatchQueryEngineTest, TopKBatchMatchesPerQueryTopK) {
       EXPECT_DOUBLE_EQ(rankings[i][j].score, expected[j].score);
     }
   }
+}
+
+TEST(BatchQueryEngineTest, EmptyBatchReturnsEmptyWithoutTouchingThePool) {
+  Graph g = testing::MakeComplete(8);
+  BatchQueryEngine engine(g, TestParams(1e-2), 3, 2);
+  EXPECT_EQ(engine.num_threads(), 2u);
+  EXPECT_TRUE(engine.EstimateBatch({}).empty());
+  EXPECT_TRUE(engine.TopKBatch({}, 5).empty());
+  // An empty batch serves no queries, so it must not advance the RNG
+  // derivation for later batches.
+  EXPECT_EQ(engine.queries_served(), 0u);
 }
 
 TEST(BatchQueryEngineTest, BatchWorkspacesStopAllocatingAtSteadyState) {
