@@ -15,8 +15,14 @@
 // at 8 threads), with the gap growing as queries get more expensive, and a
 // hit rate near the workload's repeat rate.
 //
+// The serving backend is selectable by registry name: by default the
+// benchmark sweeps TEA+, HK-Relax, and Monte-Carlo (the paper's central
+// comparison, now through the production query path); --backend=NAME
+// restricts the run to one backend.
+//
 // Extra flags: --json=PATH writes results as JSON (BENCH_service.json
-// trajectory); --queries=N overrides the per-pass query count.
+// trajectory); --queries=N overrides the per-pass query count;
+// --backend=NAME benchmarks one registry backend instead of the sweep.
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +32,8 @@
 
 #include "bench_common.h"
 #include "common/timer.h"
+#include "hkpr/backend.h"
+#include "parallel/parallel_for.h"
 #include "service/async_query_service.h"
 
 using namespace hkpr;
@@ -34,6 +42,7 @@ using namespace hkpr::bench;
 namespace {
 
 struct ServiceRow {
+  std::string backend;
   uint32_t threads;
   std::string phase;  // "cold" or "warm"
   uint32_t queries;
@@ -59,11 +68,10 @@ double RunClosedLoop(AsyncQueryService& service, const std::vector<NodeId>& seed
   threads.reserve(clients);
   for (uint32_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      // Same contiguous partition as ChunkBounds for determinism of the
+      // Same contiguous partition as the pool's, for determinism of the
       // per-client workload split.
-      const size_t begin = seeds.size() * c / clients;
-      const size_t end = seeds.size() * (c + 1) / clients;
-      for (size_t i = begin; i < end; ++i) {
+      const ChunkRange range = ChunkBounds(seeds.size(), clients, c);
+      for (size_t i = range.begin; i < range.end; ++i) {
         QueryHandle handle = service.Submit(seeds[i]);
         const QueryResult result = handle.result.get();
         if (result.status != QueryStatus::kOk) {
@@ -79,12 +87,13 @@ double RunClosedLoop(AsyncQueryService& service, const std::vector<NodeId>& seed
   return timer.ElapsedSeconds();
 }
 
-ServiceRow MakeRow(uint32_t threads, const std::string& phase,
-                   uint32_t queries, double seconds,
+ServiceRow MakeRow(const std::string& backend, uint32_t threads,
+                   const std::string& phase, uint32_t queries, double seconds,
                    const ServiceStatsSnapshot& after,
                    const ServiceStatsSnapshot& before,
                    const LatencyHistogram& latencies) {
   ServiceRow row;
+  row.backend = backend;
   row.threads = threads;
   row.phase = phase;
   row.queries = queries;
@@ -115,11 +124,13 @@ void WriteServiceJson(const std::string& path, const Dataset& dataset,
     const ServiceRow& r = rows[i];
     std::fprintf(
         f,
-        "    {\"threads\": %u, \"phase\": \"%s\", \"queries\": %u, "
+        "    {\"backend\": \"%s\", \"threads\": %u, \"phase\": \"%s\", "
+        "\"queries\": %u, "
         "\"seconds\": %.6f, \"qps\": %.1f, \"cache_hits\": %llu, "
         "\"cache_misses\": %llu, \"coalesced\": %llu, \"computed\": %llu, "
         "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
-        r.threads, r.phase.c_str(), r.queries, r.seconds, r.qps(),
+        r.backend.c_str(), r.threads, r.phase.c_str(), r.queries, r.seconds,
+        r.qps(),
         static_cast<unsigned long long>(r.cache_hits),
         static_cast<unsigned long long>(r.cache_misses),
         static_cast<unsigned long long>(r.coalesced),
@@ -135,11 +146,27 @@ void WriteServiceJson(const std::string& path, const Dataset& dataset,
 int main(int argc, char** argv) {
   const BenchConfig config = BenchConfig::FromArgs(argc, argv);
   std::string json_path;
+  std::string backend_flag;
   uint32_t num_queries = config.full ? 4000 : 1500;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
     if (std::strncmp(argv[i], "--queries=", 10) == 0) {
       num_queries = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+    }
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_flag = argv[i] + 10;
+    }
+  }
+
+  // Default sweep: the paper's central comparison through the serving path.
+  std::vector<std::string> backends = {"tea+", "hk-relax", "monte-carlo"};
+  if (!backend_flag.empty()) backends = {backend_flag};
+  for (const std::string& name : backends) {
+    if (!EstimatorRegistry::Global().Contains(name)) {
+      std::fprintf(stderr, "unknown backend \"%s\" (available: %s)\n",
+                   name.c_str(),
+                   EstimatorRegistry::Global().JoinedNames(", ").c_str());
+      return 1;
     }
   }
 
@@ -159,45 +186,50 @@ int main(int argc, char** argv) {
   params.delta = 20.0 * DefaultDelta(dataset.graph);
   params.p_f = 1e-6;
   ServiceOptions options;
-  options.tea_plus.c = 1.0;
+  options.backend.context.tea_plus.c = 1.0;
   options.cache_capacity = 8192;
   options.max_queue_depth = 1u << 20;  // closed loop: no admission pressure
 
-  // One Zipfian workload shared by every thread count, so rows are
-  // comparable; 256 distinct hot seeds keeps the cold pass compute-bound.
+  // One Zipfian workload shared by every backend and thread count, so rows
+  // are comparable; 256 distinct hot seeds keeps cold passes compute-bound.
   const std::vector<NodeId> seeds =
       ZipfianSeeds(dataset.graph, num_queries, 256, 1.0, rng);
 
   const std::vector<uint32_t> thread_counts = {1, 4, 8};
   std::vector<ServiceRow> rows;
-  TablePrinter table({"threads", "cold q/s", "warm q/s", "warm gain",
-                      "warm hit%", "p50 ms", "p99 ms"});
-  for (uint32_t threads : thread_counts) {
-    ServiceOptions opts = options;
-    opts.num_workers = threads;
-    AsyncQueryService service(dataset.graph, params, config.rng_seed, opts);
+  TablePrinter table({"backend", "threads", "cold q/s", "warm q/s",
+                      "warm gain", "warm hit%", "p50 ms", "p99 ms"});
+  for (const std::string& backend : backends) {
+    for (uint32_t threads : thread_counts) {
+      ServiceOptions opts = options;
+      opts.backend.name = backend;
+      opts.num_workers = threads;
+      AsyncQueryService service(dataset.graph, params, config.rng_seed, opts);
 
-    const ServiceStatsSnapshot at_start = service.Stats();
-    LatencyHistogram cold_latencies;
-    const double cold_s = RunClosedLoop(service, seeds, threads, cold_latencies);
-    const ServiceStatsSnapshot after_cold = service.Stats();
-    LatencyHistogram warm_latencies;
-    const double warm_s = RunClosedLoop(service, seeds, threads, warm_latencies);
-    const ServiceStatsSnapshot after_warm = service.Stats();
+      const ServiceStatsSnapshot at_start = service.Stats();
+      LatencyHistogram cold_latencies;
+      const double cold_s =
+          RunClosedLoop(service, seeds, threads, cold_latencies);
+      const ServiceStatsSnapshot after_cold = service.Stats();
+      LatencyHistogram warm_latencies;
+      const double warm_s =
+          RunClosedLoop(service, seeds, threads, warm_latencies);
+      const ServiceStatsSnapshot after_warm = service.Stats();
 
-    rows.push_back(MakeRow(threads, "cold", num_queries, cold_s, after_cold,
-                           at_start, cold_latencies));
-    rows.push_back(MakeRow(threads, "warm", num_queries, warm_s, after_warm,
-                           after_cold, warm_latencies));
-    const ServiceRow& warm = rows.back();
-    const double hit_rate =
-        100.0 * static_cast<double>(warm.cache_hits + warm.coalesced) /
-        static_cast<double>(num_queries);
-    table.AddRow({std::to_string(threads), FmtF(num_queries / cold_s, 0),
-                  FmtF(num_queries / warm_s, 0),
-                  FmtF(cold_s / (warm_s + 1e-12), 1) + "x",
-                  FmtF(hit_rate, 1), FmtF(warm.p50_ms, 2),
-                  FmtF(warm.p99_ms, 2)});
+      rows.push_back(MakeRow(backend, threads, "cold", num_queries, cold_s,
+                             after_cold, at_start, cold_latencies));
+      rows.push_back(MakeRow(backend, threads, "warm", num_queries, warm_s,
+                             after_warm, after_cold, warm_latencies));
+      const ServiceRow& warm = rows.back();
+      const double hit_rate =
+          100.0 * static_cast<double>(warm.cache_hits + warm.coalesced) /
+          static_cast<double>(num_queries);
+      table.AddRow({backend, std::to_string(threads),
+                    FmtF(num_queries / cold_s, 0), FmtF(num_queries / warm_s, 0),
+                    FmtF(cold_s / (warm_s + 1e-12), 1) + "x",
+                    FmtF(hit_rate, 1), FmtF(warm.p50_ms, 2),
+                    FmtF(warm.p99_ms, 2)});
+    }
   }
   table.Print();
   WriteServiceJson(json_path, dataset, rows);

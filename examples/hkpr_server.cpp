@@ -1,7 +1,7 @@
 // hkpr_server: an interactive HKPR serving frontend over stdin/stdout.
 //
 //   $ ./build/example_hkpr_server [--graph=PATH] [--nodes=N] [--workers=W]
-//                                 [--cache=CAP] [--seed=S] [--estimator=hkrelax]
+//                                 [--cache=CAP] [--seed=S] [--backend=NAME]
 //
 // Loads a graph (a SNAP edge-list via --graph, otherwise a synthetic
 // powerlaw-cluster graph with --nodes nodes) and serves line-oriented
@@ -9,25 +9,40 @@
 //
 //   query <seed>          full HKPR estimate; prints nnz/sum and cache state
 //   topk <seed> <k>       top-k nodes by normalized HKPR
+//   backend [<name>]      show / switch the serving backend (registry name)
 //   stats                 service counters + latency percentiles
 //   invalidate            drop every cached estimate (graph-swap hook)
 //   quit                  exit
 //
 // Responses are single lines starting with "ok" or "err", so the server
-// can sit behind a pipe or a socat socket.
+// can sit behind a pipe or a socat socket. Backends are EstimatorRegistry
+// names ("tea+", "tea", "hk-relax", "monte-carlo", ...); switching rebuilds
+// the service (draining in-flight queries first) with a fresh cache — cache
+// keys embed the backend's stable id anyway, so even a shared cache could
+// never mix backends' results.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "graph/generators.h"
 #include "graph/graph_io.h"
+#include "hkpr/backend.h"
 #include "service/async_query_service.h"
 
 using namespace hkpr;
+
+namespace {
+
+std::string AvailableBackends() {
+  return EstimatorRegistry::Global().JoinedNames();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string graph_path;
@@ -35,7 +50,7 @@ int main(int argc, char** argv) {
   uint32_t workers = 0;
   size_t cache_capacity = 4096;
   uint64_t seed = 42;
-  ServiceEstimator estimator = ServiceEstimator::kTeaPlus;
+  std::string backend = "tea+";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--graph=", 8) == 0) graph_path = arg + 8;
@@ -47,8 +62,25 @@ int main(int argc, char** argv) {
       cache_capacity = static_cast<size_t>(std::atoll(arg + 8));
     if (std::strncmp(arg, "--seed=", 7) == 0)
       seed = static_cast<uint64_t>(std::atoll(arg + 7));
-    if (std::strcmp(arg, "--estimator=hkrelax") == 0)
-      estimator = ServiceEstimator::kHkRelax;
+    if (std::strncmp(arg, "--backend=", 10) == 0) backend = arg + 10;
+    if (std::strncmp(arg, "--estimator=", 12) == 0) {
+      // Pre-registry spelling; fail loudly on anything but its one value
+      // rather than silently serving the default backend.
+      if (std::strcmp(arg + 12, "hkrelax") == 0) {
+        backend = "hk-relax";
+      } else {
+        std::fprintf(stderr,
+                     "err --estimator is superseded by --backend=NAME "
+                     "(available: %s)\n",
+                     AvailableBackends().c_str());
+        return 1;
+      }
+    }
+  }
+  if (!EstimatorRegistry::Global().Contains(backend)) {
+    std::fprintf(stderr, "err unknown backend \"%s\" (available: %s)\n",
+                 backend.c_str(), AvailableBackends().c_str());
+    return 1;
   }
 
   Graph graph;
@@ -73,15 +105,16 @@ int main(int argc, char** argv) {
   ServiceOptions options;
   options.num_workers = workers;
   options.cache_capacity = cache_capacity;
-  options.estimator = estimator;
-  AsyncQueryService service(graph, params, seed, options);
+  options.backend.name = backend;
+  std::optional<AsyncQueryService> service;
+  service.emplace(graph, params, seed, options);
 
   std::printf("ok hkpr_server nodes=%u edges=%llu workers=%u cache=%zu "
-              "estimator=%s\n",
+              "backend=%s\n",
               graph.NumNodes(),
               static_cast<unsigned long long>(graph.NumEdges()),
-              service.num_workers(), cache_capacity,
-              estimator == ServiceEstimator::kTeaPlus ? "tea+" : "hk-relax");
+              service->num_workers(), cache_capacity,
+              options.backend.name.c_str());
   std::fflush(stdout);
 
   std::string line;
@@ -95,8 +128,10 @@ int main(int argc, char** argv) {
     if (command == "query" || command == "topk") {
       long long seed_node = -1;
       long long k = 10;
-      in >> seed_node;
-      if (command == "topk") in >> k;
+      // A failed extraction writes 0 (C++11), which is a valid node id —
+      // restore the sentinel so "query" with no/garbage argument errs.
+      if (!(in >> seed_node)) seed_node = -1;
+      if (command == "topk" && !(in >> k)) k = -1;
       if (seed_node < 0 || seed_node >= graph.NumNodes() || k <= 0) {
         std::printf("err usage: %s <seed in [0,%u)>%s\n", command.c_str(),
                     graph.NumNodes(), command == "topk" ? " <k >= 1>" : "");
@@ -106,8 +141,8 @@ int main(int argc, char** argv) {
       const NodeId node = static_cast<NodeId>(seed_node);
       QueryHandle handle =
           command == "query"
-              ? service.Submit(node)
-              : service.SubmitTopK(node, static_cast<size_t>(k));
+              ? service->Submit(node)
+              : service->SubmitTopK(node, static_cast<size_t>(k));
       const QueryResult result = handle.result.get();
       if (result.status != QueryStatus::kOk) {
         std::printf("err status=%d\n", static_cast<int>(result.status));
@@ -123,8 +158,26 @@ int main(int argc, char** argv) {
         }
         std::printf("\n");
       }
+    } else if (command == "backend") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        std::printf("ok backend=%s available=%s\n",
+                    options.backend.name.c_str(), AvailableBackends().c_str());
+      } else if (!EstimatorRegistry::Global().Contains(name)) {
+        std::printf("err unknown backend \"%s\" (available: %s)\n",
+                    name.c_str(), AvailableBackends().c_str());
+      } else {
+        // Rebuild the service on the new backend: the destructor drains
+        // queued queries first, so nothing in flight is dropped.
+        options.backend.name = name;
+        service.reset();
+        service.emplace(graph, params, seed, options);
+        std::printf("ok backend=%s workers=%u\n", name.c_str(),
+                    service->num_workers());
+      }
     } else if (command == "stats") {
-      const ServiceStatsSnapshot s = service.Stats();
+      const ServiceStatsSnapshot s = service->Stats();
       std::printf(
           "ok submitted=%llu completed=%llu rejected=%llu hits=%llu "
           "misses=%llu coalesced=%llu computed=%llu queue=%zu "
@@ -138,11 +191,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.computed), s.queue_depth,
           s.latency_p50_ms, s.latency_p95_ms, s.latency_p99_ms);
     } else if (command == "invalidate") {
-      service.InvalidateCache();
+      service->InvalidateCache();
       std::printf("ok cache invalidated\n");
     } else {
       std::printf("err unknown command \"%s\" "
-                  "(query/topk/stats/invalidate/quit)\n",
+                  "(query/topk/backend/stats/invalidate/quit)\n",
                   command.c_str());
     }
     std::fflush(stdout);

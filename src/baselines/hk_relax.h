@@ -30,7 +30,7 @@ struct HkRelaxOptions {
 
 /// Deterministic push-based HKPR approximation with an absolute
 /// degree-normalized error guarantee.
-class HkRelaxEstimator : public HkprEstimator {
+class HkRelaxEstimator : public HkprEstimator, public WorkspaceEstimator {
  public:
   HkRelaxEstimator(const Graph& graph, const HkRelaxOptions& options);
 
@@ -44,7 +44,10 @@ class HkRelaxEstimator : public HkprEstimator {
   /// capacities have warmed up, so serving frontends can offer HK-Relax
   /// under the same reuse contract as TEA+.
   const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
-                                   EstimatorStats* stats = nullptr);
+                                   EstimatorStats* stats = nullptr) override;
+
+  /// HK-Relax is deterministic; re-seeding is a no-op.
+  void Reseed(uint64_t /*seed*/) override {}
 
   std::string_view name() const override { return "HK-Relax"; }
 

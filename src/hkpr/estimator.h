@@ -52,6 +52,39 @@ class HkprEstimator {
   virtual std::string_view name() const = 0;
 };
 
+class QueryWorkspace;
+
+/// The serving-backend contract: an estimator that runs queries inside a
+/// caller-provided reusable QueryWorkspace and whose randomness can be
+/// re-seeded between queries. Every estimator that implements this can be
+/// registered as a named backend (hkpr/backend.h) and served through
+/// QueryExecutor / BatchQueryEngine / AsyncQueryService interchangeably.
+///
+/// Contract:
+///  - EstimateInto() runs the query entirely inside `ws` and returns a
+///    reference to `ws.result`, valid until the next query on that
+///    workspace. Once the workspace capacities have warmed up, repeated
+///    queries perform zero heap allocations.
+///  - Reseed(s) makes subsequent queries replay the randomness of a freshly
+///    constructed estimator with seed `s`. Deterministic estimators
+///    implement it as a no-op, which preserves the serving layers'
+///    bit-identical-per-(engine seed, query index) guarantee trivially.
+class WorkspaceEstimator {
+ public:
+  virtual ~WorkspaceEstimator() = default;
+
+  /// Runs the query inside `ws`; the returned reference points at
+  /// `ws.result`. When `stats` is non-null it is reset and filled.
+  virtual const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                           EstimatorStats* stats = nullptr) = 0;
+
+  /// Re-seeds the estimator's RNG stream (no-op when deterministic).
+  virtual void Reseed(uint64_t seed) = 0;
+
+  /// Short algorithm name for reports ("TEA+", "HK-Relax", ...).
+  virtual std::string_view name() const = 0;
+};
+
 }  // namespace hkpr
 
 #endif  // HKPR_HKPR_ESTIMATOR_H_

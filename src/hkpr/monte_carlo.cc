@@ -9,17 +9,24 @@ namespace hkpr {
 
 MonteCarloEstimator::MonteCarloEstimator(const Graph& graph,
                                          const ApproxParams& params,
-                                         uint64_t seed)
+                                         uint64_t seed, double pf_prime)
     : graph_(graph), params_(params), kernel_(params.t), rng_(seed) {
-  const double pf_prime = ComputePfPrime(graph, params.p_f);
+  if (pf_prime < 0.0) pf_prime = ComputePfPrime(graph, params.p_f);
   num_walks_ = static_cast<uint64_t>(std::ceil(OmegaTea(params, pf_prime)));
   HKPR_CHECK(num_walks_ > 0);
 }
 
 SparseVector MonteCarloEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
+  return EstimateWithFreshWorkspace(*this, seed, stats);
+}
+
+const SparseVector& MonteCarloEstimator::EstimateInto(NodeId seed,
+                                                      QueryWorkspace& ws,
+                                                      EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
-  SparseVector rho;
+  ws.result.Clear();
+  SparseVector& rho = ws.result;
   const double weight = 1.0 / static_cast<double>(num_walks_);
   uint64_t steps = 0;
   for (uint64_t i = 0; i < num_walks_; ++i) {

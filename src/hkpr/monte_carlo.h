@@ -9,21 +9,35 @@
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
+#include "hkpr/workspace.h"
 
 namespace hkpr {
 
 /// Estimates rho_s by running omega = 2(1+eps_r/3) ln(1/p'_f) / (eps_r^2
 /// delta) heat-kernel walks from the seed and recording end-point
 /// frequencies. This is the baseline whose walk count TEA/TEA+ reduce.
-class MonteCarloEstimator : public HkprEstimator {
+class MonteCarloEstimator : public HkprEstimator, public WorkspaceEstimator {
  public:
-  /// `graph` must outlive the estimator. p'_f is precomputed here (the paper
-  /// notes it is computed at graph load time).
+  /// `graph` must outlive the estimator. `pf_prime` is the precomputed
+  /// Equation-(6) value for `params.p_f`; negative (the default) computes
+  /// it here — pass it so callers building many estimators over one graph
+  /// scan it once (cf. TeaPlusEstimator).
   MonteCarloEstimator(const Graph& graph, const ApproxParams& params,
-                      uint64_t seed);
+                      uint64_t seed, double pf_prime = -1.0);
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
+
+  /// Runs the query entirely inside `ws` (end-point counts accumulate into
+  /// `ws.result`) and returns a reference to `ws.result`, valid until the
+  /// next query on that workspace. Allocation-free once the workspace
+  /// capacities have warmed up.
+  const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                   EstimatorStats* stats = nullptr) override;
+
+  /// Re-seeds the walk RNG; queries after a Reseed(s) replay the same
+  /// randomness as a freshly constructed estimator with seed `s`.
+  void Reseed(uint64_t seed) override { rng_.Reseed(seed); }
 
   std::string_view name() const override { return "Monte-Carlo"; }
 

@@ -1,7 +1,6 @@
 #include "hkpr/push_estimator.h"
 
 #include <limits>
-#include <utility>
 
 #include "common/logging.h"
 #include "hkpr/push.h"
@@ -13,6 +12,12 @@ PushOnlyEstimator::PushOnlyEstimator(const Graph& graph,
     : graph_(graph), params_(params), kernel_(params.t) {}
 
 SparseVector PushOnlyEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
+  return EstimateWithFreshWorkspace(*this, seed, stats);
+}
+
+const SparseVector& PushOnlyEstimator::EstimateInto(NodeId seed,
+                                                    QueryWorkspace& ws,
+                                                    EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
 
@@ -24,16 +29,16 @@ SparseVector PushOnlyEstimator::Estimate(NodeId seed, EstimatorStats* stats) {
   options.hop_cap = kernel_.MaxHop();
   options.push_budget = std::numeric_limits<uint64_t>::max();
   options.enable_early_exit = true;
-  PushResult push = HkPushPlus(graph_, kernel_, seed, options);
+  const PushCounters push =
+      HkPushPlusInto(graph_, kernel_, seed, options, ws);
 
   if (stats != nullptr) {
     stats->push_operations = push.push_operations;
     stats->entries_processed = push.entries_processed;
     stats->early_exit = push.hit_absolute_target;
-    stats->peak_bytes =
-        push.residues.MemoryBytes() + push.reserve.MemoryBytes();
+    stats->peak_bytes = ws.residues.MemoryBytes() + ws.result.MemoryBytes();
   }
-  return std::move(push.reserve);
+  return ws.result;
 }
 
 }  // namespace hkpr

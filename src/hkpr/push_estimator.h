@@ -16,16 +16,27 @@
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
+#include "hkpr/workspace.h"
 
 namespace hkpr {
 
 /// Deterministic estimator: push until the absolute-error certificate holds.
-class PushOnlyEstimator : public HkprEstimator {
+class PushOnlyEstimator : public HkprEstimator, public WorkspaceEstimator {
  public:
   PushOnlyEstimator(const Graph& graph, const ApproxParams& params);
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
+
+  /// Runs the query entirely inside `ws` (reserve in `ws.result`, residues
+  /// in `ws.residues`) and returns a reference to `ws.result`, valid until
+  /// the next query on that workspace. Allocation-free once the workspace
+  /// capacities have warmed up.
+  const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                   EstimatorStats* stats = nullptr) override;
+
+  /// Push-only is deterministic; re-seeding is a no-op.
+  void Reseed(uint64_t /*seed*/) override {}
 
   std::string_view name() const override { return "Push-only"; }
 

@@ -78,19 +78,23 @@ uint64_t QueryRngSeed(uint64_t base_seed, uint64_t query_index) {
 }
 
 QueryExecutor::QueryExecutor(const Graph& graph, const ApproxParams& params,
-                             uint64_t base_seed, const TeaPlusOptions& options,
-                             double pf_prime)
-    : graph_(graph),
-      base_seed_(base_seed),
-      // The constructor seed is irrelevant: every query re-seeds the
-      // estimator from (base_seed_, query index).
-      estimator_(graph, params, base_seed, options, pf_prime) {}
+                             uint64_t base_seed, const BackendSpec& spec)
+    : graph_(graph), base_seed_(base_seed) {
+  const BackendInfo* info = EstimatorRegistry::Global().Find(spec.name);
+  HKPR_CHECK(info != nullptr) << "unknown estimator backend \"" << spec.name
+                              << "\" (see EstimatorRegistry::Names())";
+  // The constructor seed is irrelevant for randomized backends: every
+  // query re-seeds the estimator from (base_seed_, query index).
+  estimator_ = info->factory(graph, params, base_seed, spec.context);
+  // The registry's collision-checked id, not a local re-hash of the name.
+  backend_id_ = info->stable_id;
+}
 
 const SparseVector& QueryExecutor::AnswerInto(NodeId seed,
                                               uint64_t query_index) {
   HKPR_CHECK(seed < graph_.NumNodes()) << "query seed out of range";
-  estimator_.Reseed(QueryRngSeed(base_seed_, query_index));
-  return estimator_.EstimateInto(seed, workspace_);
+  estimator_->Reseed(QueryRngSeed(base_seed_, query_index));
+  return estimator_->EstimateInto(seed, workspace_);
 }
 
 SparseVector QueryExecutor::Answer(NodeId seed, uint64_t query_index) {
@@ -106,18 +110,37 @@ std::vector<ScoredNode> QueryExecutor::AnswerTopK(NodeId seed,
   return TopKNormalized(graph_, AnswerInto(seed, query_index), k);
 }
 
+namespace {
+
+BackendSpec TeaPlusSpec(const TeaPlusOptions& options) {
+  BackendSpec spec;
+  spec.context.tea_plus = options;
+  return spec;
+}
+
+}  // namespace
+
+BatchQueryEngine::BatchQueryEngine(const Graph& graph,
+                                   const ApproxParams& params, uint64_t seed,
+                                   uint32_t num_threads,
+                                   const BackendSpec& backend)
+    : graph_(graph), pool_(num_threads) {
+  // Resolve shared precomputations (p'_f, an O(n) scan) once for all
+  // per-thread estimators.
+  const BackendSpec spec = ResolvedSpec(backend, graph, params);
+  CheckPoolUnsharedAcrossWorkers(spec, pool_.num_threads());
+  executors_.reserve(pool_.num_threads());
+  for (uint32_t tid = 0; tid < pool_.num_threads(); ++tid) {
+    executors_.emplace_back(graph, params, seed, spec);
+  }
+}
+
 BatchQueryEngine::BatchQueryEngine(const Graph& graph,
                                    const ApproxParams& params, uint64_t seed,
                                    uint32_t num_threads,
                                    const TeaPlusOptions& options)
-    : graph_(graph), pool_(num_threads) {
-  executors_.reserve(pool_.num_threads());
-  // p'_f is an O(n) scan; compute it once for all per-thread estimators.
-  const double pf_prime = ComputePfPrime(graph, params.p_f);
-  for (uint32_t tid = 0; tid < pool_.num_threads(); ++tid) {
-    executors_.emplace_back(graph, params, seed, options, pf_prime);
-  }
-}
+    : BatchQueryEngine(graph, params, seed, num_threads,
+                       TeaPlusSpec(options)) {}
 
 std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
     std::span<const NodeId> seeds) {

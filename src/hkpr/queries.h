@@ -9,10 +9,12 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "common/sparse_vector.h"
 #include "graph/graph.h"
+#include "hkpr/backend.h"
 #include "hkpr/estimator.h"
-#include "hkpr/tea_plus.h"
 #include "hkpr/workspace.h"
 #include "parallel/thread_pool.h"
 
@@ -52,21 +54,24 @@ SparseVector EstimateSeedSet(const Graph& graph, HkprEstimator& estimator,
 /// estimates.
 uint64_t QueryRngSeed(uint64_t base_seed, uint64_t query_index);
 
-/// One serving thread's worth of query state: a TEA+ estimator plus its
-/// reusable QueryWorkspace. Answer() re-seeds the estimator from
-/// (base_seed, query_index) and runs the query inside the workspace, so
-/// steady-state answers are allocation-free apart from the returned copy.
+/// One serving thread's worth of query state: a registry-built backend
+/// estimator plus its reusable QueryWorkspace. Answer() re-seeds the
+/// estimator from (base_seed, query_index) and runs the query inside the
+/// workspace, so steady-state answers are allocation-free apart from the
+/// returned copy. For deterministic backends the re-seed is a no-op and
+/// answers are exactly the direct estimator's.
 ///
 /// Factored out of BatchQueryEngine so other frontends (the async query
 /// service in src/service/) run the exact same computation per query and
-/// stay bit-identical to the batch path.
+/// stay bit-identical to the batch path — per backend.
 class QueryExecutor {
  public:
-  /// `pf_prime` is the precomputed Equation-(6) value for `params.p_f`
-  /// (an O(n) scan; compute once per graph and share across executors).
+  /// Builds `spec`'s backend over `graph` via the global EstimatorRegistry
+  /// (check-fails on unknown names; Find() first for a graceful path). When
+  /// constructing many executors over one graph, resolve the spec once with
+  /// ResolvedSpec() so shared precomputations (p'_f) are not re-scanned.
   QueryExecutor(const Graph& graph, const ApproxParams& params,
-                uint64_t base_seed, const TeaPlusOptions& options,
-                double pf_prime);
+                uint64_t base_seed, const BackendSpec& spec = {});
 
   /// Answers query number `query_index` inside the reusable workspace. The
   /// returned reference is valid until the next Answer* call.
@@ -79,15 +84,24 @@ class QueryExecutor {
   std::vector<ScoredNode> AnswerTopK(NodeId seed, uint64_t query_index,
                                      size_t k);
 
+  /// The backend's algorithm name ("TEA+", "HK-Relax", ...).
+  std::string_view backend_name() const { return estimator_->name(); }
+
+  /// The registry's stable id for the backend (cache-key material).
+  uint32_t backend_id() const { return backend_id_; }
+
  private:
   const Graph& graph_;
   uint64_t base_seed_;
-  TeaPlusEstimator estimator_;
+  std::unique_ptr<WorkspaceEstimator> estimator_;
+  uint32_t backend_id_;
   QueryWorkspace workspace_;
 };
 
 /// The serving-side query engine: a persistent ThreadPool plus one
-/// QueryExecutor (TEA+ estimator + QueryWorkspace) per pool thread.
+/// QueryExecutor (backend estimator + QueryWorkspace) per pool thread. The
+/// backend is any name registered in the EstimatorRegistry; the default
+/// spec serves TEA+.
 ///
 /// EstimateBatch() statically shards a batch of seed nodes across the pool;
 /// each worker answers its shard of queries sequentially, reusing its
@@ -100,14 +114,19 @@ class QueryExecutor {
 class BatchQueryEngine {
  public:
   /// `num_threads == 0` uses all hardware threads. The graph must outlive
-  /// the engine.
+  /// the engine. Check-fails on unknown backend names.
   BatchQueryEngine(const Graph& graph, const ApproxParams& params,
                    uint64_t seed, uint32_t num_threads = 0,
-                   const TeaPlusOptions& options = TeaPlusOptions());
+                   const BackendSpec& backend = {});
 
-  /// Answers one TEA+ query per entry of `seeds`; out[i] is the estimate for
-  /// seeds[i]. Every seed must be a valid node id. An empty span returns an
-  /// empty result without touching the pool.
+  /// Convenience: TEA+ with explicit tuning (the pre-registry signature).
+  BatchQueryEngine(const Graph& graph, const ApproxParams& params,
+                   uint64_t seed, uint32_t num_threads,
+                   const TeaPlusOptions& options);
+
+  /// Answers one backend query per entry of `seeds`; out[i] is the estimate
+  /// for seeds[i]. Every seed must be a valid node id. An empty span returns
+  /// an empty result without touching the pool.
   std::vector<SparseVector> EstimateBatch(std::span<const NodeId> seeds);
 
   /// Convenience: batch top-k — out[i] is TopKNormalized of seeds[i]'s
@@ -118,6 +137,11 @@ class BatchQueryEngine {
 
   uint32_t num_threads() const { return pool_.num_threads(); }
   ThreadPool& pool() { return pool_; }
+
+  /// The backend's algorithm name ("TEA+", "HK-Relax", ...).
+  std::string_view backend_name() const {
+    return executors_.front().backend_name();
+  }
 
   /// Queries answered since construction (advances the per-query RNG
   /// derivation, so repeated identical batches draw fresh randomness).

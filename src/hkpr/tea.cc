@@ -9,9 +9,10 @@
 namespace hkpr {
 
 TeaEstimator::TeaEstimator(const Graph& graph, const ApproxParams& params,
-                           uint64_t seed, const TeaOptions& options)
+                           uint64_t seed, const TeaOptions& options,
+                           double pf_prime)
     : graph_(graph), params_(params), kernel_(params.t), rng_(seed) {
-  const double pf_prime = ComputePfPrime(graph, params.p_f);
+  if (pf_prime < 0.0) pf_prime = ComputePfPrime(graph, params.p_f);
   omega_ = OmegaTea(params, pf_prime);
   HKPR_CHECK(options.r_max_scale > 0.0);
   r_max_ = options.r_max_scale / (omega_ * params.t);

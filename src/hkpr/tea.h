@@ -28,10 +28,14 @@ struct TeaOptions {
 /// sampled from the residues through an alias structure, adding alpha/n_r
 /// per walk end-point (Theorem 1 guarantees (d,eps_r,delta)-approximation
 /// with probability >= 1 - p_f).
-class TeaEstimator : public HkprEstimator {
+class TeaEstimator : public HkprEstimator, public WorkspaceEstimator {
  public:
+  /// `pf_prime` is the precomputed Equation-(6) value for `params.p_f`;
+  /// negative (the default) computes it here — pass it so callers building
+  /// many estimators over one graph scan it once (cf. TeaPlusEstimator).
   TeaEstimator(const Graph& graph, const ApproxParams& params, uint64_t seed,
-               const TeaOptions& options = TeaOptions());
+               const TeaOptions& options = TeaOptions(),
+               double pf_prime = -1.0);
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
@@ -40,11 +44,11 @@ class TeaEstimator : public HkprEstimator {
   /// `ws.result` (valid until the next query on that workspace).
   /// Allocation-free once the workspace capacities have warmed up.
   const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
-                                   EstimatorStats* stats = nullptr);
+                                   EstimatorStats* stats = nullptr) override;
 
   /// Re-seeds the walk-phase RNG; queries after a Reseed(s) replay the same
   /// randomness as a freshly constructed estimator with seed `s`.
-  void Reseed(uint64_t seed) { rng_.Reseed(seed); }
+  void Reseed(uint64_t seed) override { rng_.Reseed(seed); }
 
   std::string_view name() const override { return "TEA"; }
 

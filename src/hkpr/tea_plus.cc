@@ -30,12 +30,6 @@ void ReduceResidues(const Graph& graph, const TeaPlusOptions& options,
 
 TeaPlusEstimator::TeaPlusEstimator(const Graph& graph,
                                    const ApproxParams& params, uint64_t seed,
-                                   const TeaPlusOptions& options)
-    : TeaPlusEstimator(graph, params, seed, options,
-                       ComputePfPrime(graph, params.p_f)) {}
-
-TeaPlusEstimator::TeaPlusEstimator(const Graph& graph,
-                                   const ApproxParams& params, uint64_t seed,
                                    const TeaPlusOptions& options,
                                    double pf_prime)
     : graph_(graph),
@@ -43,6 +37,7 @@ TeaPlusEstimator::TeaPlusEstimator(const Graph& graph,
       options_(options),
       kernel_(params.t),
       rng_(seed) {
+  if (pf_prime < 0.0) pf_prime = ComputePfPrime(graph, params.p_f);
   omega_ = OmegaTeaPlus(params, pf_prime);
   push_budget_ = static_cast<uint64_t>(std::ceil(omega_ * params.t / 2.0));
   hop_cap_ = ChooseHopCap(options.c, params, graph.AverageDegree(),

@@ -44,19 +44,17 @@ struct TeaPlusOptions {
 /// returned immediately, otherwise residues are reduced by
 /// beta_k * eps_r * delta * d(u) before the walk phase and the final vector
 /// gets a +eps_r*delta/2 * d(v) offset (stored as a scalar, O(1)).
-class TeaPlusEstimator : public HkprEstimator {
+class TeaPlusEstimator : public HkprEstimator, public WorkspaceEstimator {
  public:
+  /// `pf_prime` is the precomputed Equation-(6) value for `params.p_f`;
+  /// negative (the default) computes it here. ComputePfPrime is an O(n)
+  /// scan the paper notes is done once when the graph is loaded; pass it to
+  /// avoid re-scanning when constructing many estimators over one graph
+  /// (e.g. one per pool thread in BatchQueryEngine).
   TeaPlusEstimator(const Graph& graph, const ApproxParams& params,
                    uint64_t seed,
-                   const TeaPlusOptions& options = TeaPlusOptions());
-
-  /// Variant taking a precomputed p'_f (Equation 6). ComputePfPrime is an
-  /// O(n) scan the paper notes is done once when the graph is loaded; pass
-  /// it here to avoid re-scanning when constructing many estimators over
-  /// one graph (e.g. one per pool thread in BatchQueryEngine).
-  TeaPlusEstimator(const Graph& graph, const ApproxParams& params,
-                   uint64_t seed, const TeaPlusOptions& options,
-                   double pf_prime);
+                   const TeaPlusOptions& options = TeaPlusOptions(),
+                   double pf_prime = -1.0);
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
@@ -65,11 +63,11 @@ class TeaPlusEstimator : public HkprEstimator {
   /// `ws.result` (valid until the next query on that workspace).
   /// Allocation-free once the workspace capacities have warmed up.
   const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
-                                   EstimatorStats* stats = nullptr);
+                                   EstimatorStats* stats = nullptr) override;
 
   /// Re-seeds the walk-phase RNG; queries after a Reseed(s) replay the same
   /// randomness as a freshly constructed estimator with seed `s`.
-  void Reseed(uint64_t seed) { rng_.Reseed(seed); }
+  void Reseed(uint64_t seed) override { rng_.Reseed(seed); }
 
   std::string_view name() const override { return "TEA+"; }
 

@@ -11,14 +11,14 @@ namespace hkpr {
 
 ParallelMonteCarloEstimator::ParallelMonteCarloEstimator(
     const Graph& graph, const ApproxParams& params, uint64_t seed,
-    uint32_t num_threads, ThreadPool* pool)
+    uint32_t num_threads, ThreadPool* pool, double pf_prime)
     : graph_(graph),
       params_(params),
       kernel_(params.t),
       base_seed_(seed),
       num_threads_(num_threads == 0 ? HardwareThreads() : num_threads),
       pool_(pool) {
-  const double pf_prime = ComputePfPrime(graph, params.p_f);
+  if (pf_prime < 0.0) pf_prime = ComputePfPrime(graph, params.p_f);
   num_walks_ = static_cast<uint64_t>(std::ceil(OmegaTea(params, pf_prime)));
   HKPR_CHECK(num_walks_ > 0);
 }

@@ -22,14 +22,18 @@ namespace hkpr {
 /// With a ThreadPool attached, walk shards run on the pool's parked workers
 /// (the chunk partition — and therefore the result — is identical to the
 /// spawn-per-call path); without one, threads are spawned per call.
-class ParallelMonteCarloEstimator : public HkprEstimator {
+class ParallelMonteCarloEstimator : public HkprEstimator,
+                                    public WorkspaceEstimator {
  public:
   /// `num_threads == 0` uses all hardware threads. `pool`, when non-null,
   /// must outlive the estimator and have at least 1 thread; shards beyond
-  /// the pool size run inline.
+  /// the pool size run inline. `pf_prime` is the precomputed Equation-(6)
+  /// value for `params.p_f`; negative (the default) computes it here
+  /// (cf. TeaPlusEstimator).
   ParallelMonteCarloEstimator(const Graph& graph, const ApproxParams& params,
                               uint64_t seed, uint32_t num_threads = 0,
-                              ThreadPool* pool = nullptr);
+                              ThreadPool* pool = nullptr,
+                              double pf_prime = -1.0);
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
@@ -37,7 +41,15 @@ class ParallelMonteCarloEstimator : public HkprEstimator {
   /// Runs the query inside `ws` and returns a reference to `ws.result`.
   /// Allocation-free at steady state when a ThreadPool is attached.
   const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
-                                   EstimatorStats* stats = nullptr);
+                                   EstimatorStats* stats = nullptr) override;
+
+  /// Resets the walk RNG derivation: queries after a Reseed(s) replay the
+  /// same randomness as a freshly constructed estimator with seed `s`
+  /// (per-thread streams are re-derived from (s, epoch, thread id)).
+  void Reseed(uint64_t seed) override {
+    base_seed_ = seed;
+    epoch_ = 0;
+  }
 
   std::string_view name() const override { return "Monte-Carlo(par)"; }
 

@@ -12,7 +12,8 @@ namespace hkpr {
 
 ParallelTeaPlusEstimator::ParallelTeaPlusEstimator(
     const Graph& graph, const ApproxParams& params, uint64_t seed,
-    uint32_t num_threads, const TeaPlusOptions& options, ThreadPool* pool)
+    uint32_t num_threads, const TeaPlusOptions& options, ThreadPool* pool,
+    double pf_prime)
     : graph_(graph),
       params_(params),
       options_(options),
@@ -20,7 +21,7 @@ ParallelTeaPlusEstimator::ParallelTeaPlusEstimator(
       base_seed_(seed),
       num_threads_(num_threads == 0 ? HardwareThreads() : num_threads),
       pool_(pool) {
-  const double pf_prime = ComputePfPrime(graph, params.p_f);
+  if (pf_prime < 0.0) pf_prime = ComputePfPrime(graph, params.p_f);
   omega_ = OmegaTeaPlus(params, pf_prime);
   push_budget_ = static_cast<uint64_t>(std::ceil(omega_ * params.t / 2.0));
   hop_cap_ = ChooseHopCap(options.c, params, graph.AverageDegree(),

@@ -1,10 +1,8 @@
 #include "service/async_query_service.h"
 
 #include <algorithm>
-#include <optional>
 #include <utility>
 
-#include "baselines/hk_relax.h"
 #include "common/logging.h"
 
 namespace hkpr {
@@ -19,16 +17,6 @@ double SecondsBetween(Clock::time_point begin, Clock::time_point end) {
 
 }  // namespace
 
-/// One worker's private estimator state. Exactly one of the two estimators
-/// is constructed, per ServiceOptions::estimator; both reuse their
-/// workspaces across queries, so steady-state computations are
-/// allocation-free apart from the retained result copies.
-struct AsyncQueryService::WorkerState {
-  std::optional<QueryExecutor> tea_plus;
-  std::optional<HkRelaxEstimator> hk_relax;
-  QueryWorkspace hk_relax_ws;
-};
-
 AsyncQueryService::AsyncQueryService(const Graph& graph,
                                      const ApproxParams& params, uint64_t seed,
                                      const ServiceOptions& options)
@@ -42,25 +30,19 @@ AsyncQueryService::AsyncQueryService(const Graph& graph,
                                            options.cache_shards);
   }
 
-  // p'_f is an O(n) scan; compute it once for all per-worker estimators.
-  const double pf_prime = options.estimator == ServiceEstimator::kTeaPlus
-                              ? ComputePfPrime(graph, params.p_f)
-                              : 0.0;
-  worker_states_.reserve(num_workers);
+  // Resolve shared precomputations (p'_f, an O(n) scan) once for all
+  // per-worker executors; ResolvedSpec check-fails on unknown backend
+  // names, so a misconfigured service dies loudly at construction.
+  const BackendSpec spec = ResolvedSpec(options.backend, graph, params);
+  CheckPoolUnsharedAcrossWorkers(spec, num_workers);
+  executors_.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
-    auto state = std::make_unique<WorkerState>();
-    if (options.estimator == ServiceEstimator::kTeaPlus) {
-      state->tea_plus.emplace(graph, params, seed, options.tea_plus, pf_prime);
-    } else {
-      HkRelaxOptions relax;
-      relax.t = params.t;
-      // eps_a = eps_r * delta is the absolute target TEA+'s early-exit test
-      // uses, so the two estimator kinds answer to comparable accuracy.
-      relax.eps_a = params.eps_r * params.delta;
-      state->hk_relax.emplace(graph, relax);
-    }
-    worker_states_.push_back(std::move(state));
+    executors_.push_back(
+        std::make_unique<QueryExecutor>(graph, params, seed, spec));
   }
+  // The registry's collision-checked id (as resolved by the executors),
+  // folded into every cache key.
+  backend_id_ = executors_.front()->backend_id();
   workers_.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
@@ -80,7 +62,7 @@ ResultCacheKey AsyncQueryService::MakeKey(NodeId seed) const {
   ResultCacheKey key;
   key.graph_version = cache_ ? cache_->version() : 0;
   key.seed = seed;
-  key.estimator_kind = static_cast<uint32_t>(options_.estimator);
+  key.backend_id = backend_id_;
   key.t = params_.t;
   key.eps_r = params_.eps_r;
   key.delta = params_.delta;
@@ -134,7 +116,7 @@ QueryHandle AsyncQueryService::SubmitTopK(NodeId seed, size_t k,
 }
 
 void AsyncQueryService::WorkerLoop(uint32_t worker_id) {
-  WorkerState& worker = *worker_states_[worker_id];
+  QueryExecutor& executor = *executors_[worker_id];
   const uint32_t max_batch = std::max(1u, options_.max_batch);
   std::vector<Request> batch;
   std::vector<Deferred> deferred;
@@ -157,7 +139,7 @@ void AsyncQueryService::WorkerLoop(uint32_t worker_id) {
         queue_.pop_front();
       }
     }
-    for (Request& request : batch) Process(worker, request, deferred);
+    for (Request& request : batch) Process(executor, request, deferred);
     // Requests coalesced onto another worker's in-flight computation are
     // resolved last: the drained batch is this worker's private backlog,
     // so blocking on a leader mid-batch would stall unrelated requests
@@ -168,18 +150,17 @@ void AsyncQueryService::WorkerLoop(uint32_t worker_id) {
   }
 }
 
-SparseVector AsyncQueryService::Compute(WorkerState& worker,
+SparseVector AsyncQueryService::Compute(QueryExecutor& executor,
                                         const Request& request) {
   stats_.RecordComputed();
-  if (worker.tea_plus) {
-    return worker.tea_plus->Answer(request.seed, request.query_index);
-  }
-  // HK-Relax is deterministic — the query index plays no role.
-  return worker.hk_relax->EstimateInto(request.seed, worker.hk_relax_ws)
-      .CompactCopy();
+  // The executor re-seeds its backend from (engine seed, query index) —
+  // the exact BatchQueryEngine derivation — so the async and batch paths
+  // are bit-identical per backend. Deterministic backends ignore the
+  // re-seed and the index plays no role.
+  return executor.Answer(request.seed, request.query_index);
 }
 
-void AsyncQueryService::Process(WorkerState& worker, Request& request,
+void AsyncQueryService::Process(QueryExecutor& executor, Request& request,
                                 std::vector<Deferred>& deferred) {
   if (request.cancelled->load(std::memory_order_relaxed)) {
     QueryResult result;
@@ -218,12 +199,13 @@ void AsyncQueryService::Process(WorkerState& worker, Request& request,
       case ResultCache::Outcome::kMiss:
         stats_.RecordCacheMiss();
         estimate = std::make_shared<const SparseVector>(
-            Compute(worker, request));
+            Compute(executor, request));
         cache_->Complete(request.key, lookup.leader, estimate);
         break;
     }
   } else {
-    estimate = std::make_shared<const SparseVector>(Compute(worker, request));
+    estimate =
+        std::make_shared<const SparseVector>(Compute(executor, request));
   }
   Fulfill(request, std::move(estimate), from_cache);
 }

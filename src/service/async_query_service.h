@@ -1,13 +1,15 @@
 // Asynchronous HKPR serving frontend.
 //
 // AsyncQueryService turns the synchronous query-engine building blocks
-// (per-thread TEA+ QueryExecutors, reusable workspaces — see
+// (per-thread backend QueryExecutors, reusable workspaces — see
 // hkpr/queries.h) into a service: callers Submit() single-seed or top-k
 // queries into a bounded MPMC submission queue and get std::future-based
 // handles back; dedicated worker threads drain the queue in micro-batches
 // of up to `max_batch` requests per wakeup (so a loaded service amortizes
 // wakeups the same way the static-shard batch path amortizes dispatch) and
-// answer each request on their private executor.
+// answer each request on their private executor. The estimator the workers
+// run is any backend registered in the EstimatorRegistry (hkpr/backend.h),
+// selected by name via ServiceOptions::backend.
 //
 // In front of the workers sits a sharded single-flight ResultCache: repeat
 // queries for a hot (seed, params) pair are served from the cache without
@@ -20,8 +22,8 @@
 // from QueryRngSeed(engine seed, i) — exactly the derivation
 // BatchQueryEngine uses. A cold service (or one with the cache disabled)
 // therefore returns bit-identical estimates to BatchQueryEngine for the
-// same (seed sequence, params, engine seed), regardless of how many
-// workers race over the queue. With the cache enabled, a repeat of an
+// same (backend, seed sequence, params, engine seed), regardless of how
+// many workers race over the queue. With the cache enabled, a repeat of an
 // *already answered* key returns the original computation's value instead
 // of drawing fresh randomness — that is the point of the cache.
 
@@ -41,20 +43,13 @@
 
 #include "common/sparse_vector.h"
 #include "graph/graph.h"
+#include "hkpr/backend.h"
 #include "hkpr/params.h"
 #include "hkpr/queries.h"
-#include "hkpr/tea_plus.h"
 #include "service/result_cache.h"
 #include "service/service_stats.h"
 
 namespace hkpr {
-
-/// Which estimator the service's workers run. The cache key includes the
-/// kind, so switching estimators never mixes results.
-enum class ServiceEstimator : uint32_t {
-  kTeaPlus = 0,  ///< randomized, (d, eps_r, delta)-approximate (the default)
-  kHkRelax = 1,  ///< deterministic baseline with eps_a = eps_r * delta
-};
 
 /// Serving configuration.
 struct ServiceOptions {
@@ -70,9 +65,10 @@ struct ServiceOptions {
   /// Completed estimates retained across queries; 0 disables the cache.
   size_t cache_capacity = 4096;
   uint32_t cache_shards = 8;
-  ServiceEstimator estimator = ServiceEstimator::kTeaPlus;
-  /// TEA+ tuning (used when estimator == kTeaPlus).
-  TeaPlusOptions tea_plus;
+  /// Which estimator backend the workers run — any EstimatorRegistry name
+  /// (default "tea+"). The registry's stable backend id is folded into
+  /// every cache key, so distinct backends never share a cache entry.
+  BackendSpec backend;
 };
 
 /// Terminal state of one submitted query.
@@ -151,6 +147,12 @@ class AsyncQueryService {
   uint32_t num_workers() const {
     return static_cast<uint32_t>(workers_.size());
   }
+  /// The backend's algorithm name ("TEA+", "HK-Relax", ...).
+  std::string_view backend_name() const {
+    return executors_.front()->backend_name();
+  }
+  /// The registry's stable id of the serving backend (cache-key material).
+  uint32_t backend_id() const { return backend_id_; }
   /// Accepted queries so far (== the next query's RNG index).
   uint64_t queries_accepted() const;
 
@@ -166,8 +168,6 @@ class AsyncQueryService {
     ResultCacheKey key;
   };
 
-  struct WorkerState;
-
   /// A request parked on another worker's in-flight computation (resolved
   /// after the rest of the micro-batch, so one hot-key wait never delays
   /// unrelated drained requests).
@@ -178,19 +178,21 @@ class AsyncQueryService {
 
   QueryHandle Enqueue(NodeId seed, size_t k, const SubmitOptions& submit);
   void WorkerLoop(uint32_t worker_id);
-  void Process(WorkerState& worker, Request& request,
+  void Process(QueryExecutor& executor, Request& request,
                std::vector<Deferred>& deferred);
   void Fulfill(Request& request, CachedEstimate estimate, bool from_cache);
-  SparseVector Compute(WorkerState& worker, const Request& request);
+  SparseVector Compute(QueryExecutor& executor, const Request& request);
   ResultCacheKey MakeKey(NodeId seed) const;
 
   const Graph& graph_;
   ApproxParams params_;
   ServiceOptions options_;
+  uint32_t backend_id_ = 0;
   std::unique_ptr<ResultCache> cache_;  // null when disabled
   ServiceStats stats_;
 
-  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+  /// One backend executor (estimator + workspace) per worker thread.
+  std::vector<std::unique_ptr<QueryExecutor>> executors_;
   std::vector<std::thread> workers_;
 
   mutable std::mutex mu_;

@@ -21,7 +21,7 @@ uint64_t Mix(uint64_t z) {
 
 uint64_t HashKey(const ResultCacheKey& key) {
   uint64_t h = Mix(key.graph_version + 0x9E3779B97F4A7C15ULL);
-  h = Mix(h ^ ((static_cast<uint64_t>(key.seed) << 32) | key.estimator_kind));
+  h = Mix(h ^ ((static_cast<uint64_t>(key.seed) << 32) | key.backend_id));
   h = Mix(h ^ std::bit_cast<uint64_t>(key.t));
   h = Mix(h ^ std::bit_cast<uint64_t>(key.eps_r));
   h = Mix(h ^ std::bit_cast<uint64_t>(key.delta));

@@ -21,6 +21,7 @@
 #define HKPR_SERVICE_RESULT_CACHE_H_
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <future>
 #include <list>
@@ -33,7 +34,7 @@
 
 namespace hkpr {
 
-/// Identity of one HKPR computation: the seed node, which estimator ran it,
+/// Identity of one HKPR computation: the seed node, which backend ran it,
 /// the heat-kernel/accuracy parameters, and the graph version at submission
 /// time. Two keys are equal only when every field matches bit-for-bit, so a
 /// cached value is only ever returned for the exact computation that
@@ -41,13 +42,31 @@ namespace hkpr {
 struct ResultCacheKey {
   uint64_t graph_version = 0;
   NodeId seed = 0;
-  uint32_t estimator_kind = 0;
+  /// The EstimatorRegistry's stable id for the backend that computes this
+  /// key (StableBackendId(name) in hkpr/backend.h — a pure function of the
+  /// backend name, collision-checked at registration). Distinct backends
+  /// therefore can never share a cache entry, even with identical
+  /// parameters.
+  uint32_t backend_id = 0;
   double t = 0.0;
   double eps_r = 0.0;
   double delta = 0.0;
   double p_f = 0.0;
 
-  bool operator==(const ResultCacheKey&) const = default;
+  /// Bitwise equality on the doubles, matching KeyHash (which hashes bit
+  /// patterns) and the exact-computation contract: value equality would
+  /// conflate 0.0 with -0.0 (equal values, different hashes — breaking the
+  /// map's Hash/KeyEqual requirement) and make a NaN key unequal to itself.
+  bool operator==(const ResultCacheKey& other) const {
+    return graph_version == other.graph_version && seed == other.seed &&
+           backend_id == other.backend_id &&
+           std::bit_cast<uint64_t>(t) == std::bit_cast<uint64_t>(other.t) &&
+           std::bit_cast<uint64_t>(eps_r) ==
+               std::bit_cast<uint64_t>(other.eps_r) &&
+           std::bit_cast<uint64_t>(delta) ==
+               std::bit_cast<uint64_t>(other.delta) &&
+           std::bit_cast<uint64_t>(p_f) == std::bit_cast<uint64_t>(other.p_f);
+  }
 };
 
 /// Completed estimates are shared immutably between the cache, in-flight

@@ -12,6 +12,7 @@
 
 #include "baselines/hk_relax.h"
 #include "graph/generators.h"
+#include "hkpr/backend.h"
 #include "hkpr/queries.h"
 #include "service/async_query_service.h"
 #include "service/result_cache.h"
@@ -250,8 +251,10 @@ TEST(AsyncQueryServiceTest, HkRelaxBackendMatchesDirectEstimator) {
   const ApproxParams params = TestParams(1e-4);
   ServiceOptions options;
   options.num_workers = 2;
-  options.estimator = ServiceEstimator::kHkRelax;
+  options.backend.name = "hk-relax";
   AsyncQueryService service(g, params, 23, options);
+  EXPECT_EQ(service.backend_name(), "HK-Relax");
+  EXPECT_EQ(service.backend_id(), StableBackendId("hk-relax"));
 
   HkRelaxOptions relax;
   relax.t = params.t;
@@ -266,6 +269,38 @@ TEST(AsyncQueryServiceTest, HkRelaxBackendMatchesDirectEstimator) {
   const QueryResult cached = service.Submit(31).result.get();
   EXPECT_TRUE(cached.from_cache);
   EXPECT_EQ(cached.estimate.get(), computed.estimate.get());
+}
+
+TEST(AsyncQueryServiceTest, FourBackendsBitIdenticalToBatchEngine) {
+  // The acceptance criterion of the pluggable-backend refactor: the async
+  // and batch paths answer through the same four registry backends — the
+  // paper's central comparison (TEA+, TEA, HK-Relax, Monte-Carlo) — and per
+  // backend every query is bit-identical between the two frontends for the
+  // same (engine seed, query index), regardless of worker count.
+  Graph g = PowerlawCluster(400, 3, 0.3, 7);
+  const ApproxParams params = TestParams(1e-3);
+  const std::vector<NodeId> seeds = {1, 5, 9, 22, 120, 350};
+
+  for (const char* name : {"tea+", "tea", "hk-relax", "monte-carlo"}) {
+    BackendSpec spec;
+    spec.name = name;
+    BatchQueryEngine engine(g, params, 77, 2, spec);
+    const auto expected = engine.EstimateBatch(seeds);
+
+    ServiceOptions options;
+    options.num_workers = 3;
+    options.cache_capacity = 0;  // determinism: every query computes
+    options.backend = spec;
+    AsyncQueryService service(g, params, 77, options);
+    const auto results = SubmitAllAndWait(service, seeds);
+    ASSERT_EQ(results.size(), expected.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].status, QueryStatus::kOk)
+          << name << " query " << i;
+      SCOPED_TRACE(std::string(name) + " query " + std::to_string(i));
+      ExpectSameVector(*results[i].estimate, expected[i]);
+    }
+  }
 }
 
 TEST(AsyncQueryServiceTest, DestructorDrainsPendingQueries) {
@@ -316,6 +351,28 @@ TEST(ResultCacheTest, MissComputeHitRoundTrip) {
   ASSERT_EQ(hit.outcome, ResultCache::Outcome::kHit);
   EXPECT_DOUBLE_EQ(hit.value->Get(7), 0.5);
   EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, DistinctBackendsNeverShareAnEntry) {
+  // Two backends with bit-identical parameters must key separately: the
+  // backend_id field carries the registry's stable id, which is unique per
+  // registered name (collision-checked at registration).
+  ResultCache cache(64, 4);
+  ResultCacheKey tea_plus = MakeKey(7);
+  tea_plus.backend_id = StableBackendId("tea+");
+  ResultCacheKey relax = MakeKey(7);  // every other field identical
+  relax.backend_id = StableBackendId("hk-relax");
+  ASSERT_NE(tea_plus.backend_id, relax.backend_id);
+
+  auto miss = cache.LookupOrStartCompute(tea_plus);
+  ASSERT_EQ(miss.outcome, ResultCache::Outcome::kMiss);
+  cache.Complete(tea_plus, miss.leader, MakeValue(7, 0.5));
+
+  // The completed TEA+ entry must not satisfy the HK-Relax lookup.
+  EXPECT_EQ(cache.LookupOrStartCompute(relax).outcome,
+            ResultCache::Outcome::kMiss);
+  EXPECT_EQ(cache.LookupOrStartCompute(tea_plus).outcome,
+            ResultCache::Outcome::kHit);
 }
 
 TEST(ResultCacheTest, DifferentParamsAreDifferentKeys) {

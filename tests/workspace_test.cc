@@ -15,6 +15,8 @@
 #include "baselines/hk_relax.h"
 #include "common/mem_tracker.h"
 #include "graph/generators.h"
+#include "hkpr/monte_carlo.h"
+#include "hkpr/push_estimator.h"
 #include "hkpr/queries.h"
 #include "hkpr/tea.h"
 #include "hkpr/tea_plus.h"
@@ -133,6 +135,71 @@ TEST(WorkspaceTest, TeaReusedWorkspaceMatchesFreshEstimators) {
   ExpectSameVector(reused.EstimateInto(9, ws), expected_a);
   reused.Reseed(5);
   ExpectSameVector(reused.EstimateInto(2, ws), expected_b);
+}
+
+TEST(WorkspaceTest, MonteCarloReusedWorkspaceMatchesFreshEstimators) {
+  // The workspace-aware Monte-Carlo port: two sequential queries on one
+  // estimator + one workspace, re-seeded so each query replays a fresh
+  // estimator's randomness bit for bit.
+  Graph g = PowerlawCluster(300, 3, 0.3, 2);
+  const ApproxParams params = TestParams(1e-3);
+
+  MonteCarloEstimator fresh_a(g, params, 5);
+  const SparseVector expected_a = fresh_a.Estimate(9);
+  MonteCarloEstimator fresh_b(g, params, 5);
+  const SparseVector expected_b = fresh_b.Estimate(2);
+
+  MonteCarloEstimator reused(g, params, 5);
+  QueryWorkspace ws;
+  ExpectSameVector(reused.EstimateInto(9, ws), expected_a);
+  reused.Reseed(5);
+  ExpectSameVector(reused.EstimateInto(2, ws), expected_b);
+}
+
+TEST(WorkspaceTest, MonteCarloSteadyStateIsAllocationFree) {
+  Graph g = testing::MakeComplete(16);
+  const ApproxParams params = TestParams(1e-3);
+  MonteCarloEstimator estimator(g, params, 31);
+  QueryWorkspace ws;
+
+  for (int i = 0; i < 3; ++i) estimator.EstimateInto(2, ws);
+  EstimatorStats stats;
+  const uint64_t allocs =
+      AllocationsDuring([&] { estimator.EstimateInto(2, ws, &stats); });
+  EXPECT_GT(stats.num_walks, 0u);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(WorkspaceTest, PushOnlyEstimateIntoIsBitIdenticalToEstimate) {
+  // Push-only is deterministic, so the workspace port must agree with the
+  // by-value path exactly — including on a reused (warmed) workspace.
+  Graph g = PowerlawCluster(300, 3, 0.3, 4);
+  ApproxParams params = TestParams(1e-3);
+  PushOnlyEstimator estimator(g, params);
+  QueryWorkspace ws;
+  for (NodeId seed : {NodeId{9}, NodeId{2}, NodeId{9}}) {
+    EstimatorStats into_stats;
+    const SparseVector& got = estimator.EstimateInto(seed, ws, &into_stats);
+    EstimatorStats stats;
+    const SparseVector expected = estimator.Estimate(seed, &stats);
+    ExpectSameVector(got, expected);
+    EXPECT_EQ(into_stats.push_operations, stats.push_operations);
+    EXPECT_EQ(into_stats.early_exit, stats.early_exit);
+  }
+}
+
+TEST(WorkspaceTest, PushOnlySteadyStateIsAllocationFree) {
+  Graph g = PowerlawCluster(400, 3, 0.3, 6);
+  ApproxParams params = TestParams(1e-3);
+  PushOnlyEstimator estimator(g, params);
+  QueryWorkspace ws;
+
+  for (int i = 0; i < 3; ++i) estimator.EstimateInto(21, ws);
+  EstimatorStats stats;
+  const uint64_t allocs =
+      AllocationsDuring([&] { estimator.EstimateInto(21, ws, &stats); });
+  EXPECT_GT(stats.push_operations, 0u);
+  EXPECT_EQ(allocs, 0u);
 }
 
 TEST(WorkspaceTest, PoolBackedTeaPlusMatchesSpawnPerCall) {
