@@ -20,21 +20,31 @@
 // comparison, now through the production query path); --backend=NAME
 // restricts the run to one backend.
 //
+// Multi-graph mode (--graphs=N): N registry datasets are published into a
+// GraphStore and served through one MultiGraphService whose per-graph
+// services split the worker budget; the workload interleaves per-graph
+// Zipfian streams round-robin, and the emitted rows are per graph (the
+// "graph" JSON field), with per-graph cache counters from StatsFor().
+//
 // Extra flags: --json=PATH writes results as JSON (BENCH_service.json
 // trajectory); --queries=N overrides the per-pass query count;
-// --backend=NAME benchmarks one registry backend instead of the sweep.
+// --backend=NAME benchmarks one registry backend instead of the sweep;
+// --graphs=N switches to the multi-graph sweep over N datasets.
 
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/timer.h"
 #include "hkpr/backend.h"
 #include "parallel/parallel_for.h"
-#include "service/async_query_service.h"
+#include "service/multi_graph_service.h"
 
 using namespace hkpr;
 using namespace hkpr::bench;
@@ -43,6 +53,7 @@ namespace {
 
 struct ServiceRow {
   std::string backend;
+  std::string graph;
   uint32_t threads;
   std::string phase;  // "cold" or "warm"
   uint32_t queries;
@@ -75,8 +86,8 @@ double RunClosedLoop(AsyncQueryService& service, const std::vector<NodeId>& seed
         QueryHandle handle = service.Submit(seeds[i]);
         const QueryResult result = handle.result.get();
         if (result.status != QueryStatus::kOk) {
-          std::fprintf(stderr, "unexpected query status %d\n",
-                       static_cast<int>(result.status));
+          std::fprintf(stderr, "unexpected query status %s\n",
+                       QueryStatusName(result.status));
           std::abort();
         }
         latencies.Record(result.latency_ms / 1000.0);
@@ -87,13 +98,44 @@ double RunClosedLoop(AsyncQueryService& service, const std::vector<NodeId>& seed
   return timer.ElapsedSeconds();
 }
 
-ServiceRow MakeRow(const std::string& backend, uint32_t threads,
-                   const std::string& phase, uint32_t queries, double seconds,
+/// Multi-graph closed-loop pass over an interleaved (graph, seed) stream;
+/// latencies are recorded into the submitting graph's histogram.
+double RunMultiClosedLoop(
+    MultiGraphService& service,
+    const std::vector<std::pair<std::string, NodeId>>& items, uint32_t clients,
+    std::map<std::string, std::unique_ptr<LatencyHistogram>>& latencies) {
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const ChunkRange range = ChunkBounds(items.size(), clients, c);
+      for (size_t i = range.begin; i < range.end; ++i) {
+        QueryHandle handle = service.Submit(items[i].first, items[i].second);
+        const QueryResult result = handle.result.get();
+        if (result.status != QueryStatus::kOk) {
+          std::fprintf(stderr, "unexpected query status %s on graph %s\n",
+                       QueryStatusName(result.status),
+                       items[i].first.c_str());
+          std::abort();
+        }
+        latencies.at(items[i].first)->Record(result.latency_ms / 1000.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return timer.ElapsedSeconds();
+}
+
+ServiceRow MakeRow(const std::string& backend, const std::string& graph,
+                   uint32_t threads, const std::string& phase,
+                   uint32_t queries, double seconds,
                    const ServiceStatsSnapshot& after,
                    const ServiceStatsSnapshot& before,
                    const LatencyHistogram& latencies) {
   ServiceRow row;
   row.backend = backend;
+  row.graph = graph;
   row.threads = threads;
   row.phase = phase;
   row.queries = queries;
@@ -107,30 +149,32 @@ ServiceRow MakeRow(const std::string& backend, uint32_t threads,
   return row;
 }
 
-void WriteServiceJson(const std::string& path, const Dataset& dataset,
+void WriteServiceJson(const std::string& path, const std::string& benchmark,
+                      const std::string& dataset_label, uint32_t nodes,
+                      uint64_t edges, const std::string& workload,
                       const std::vector<ServiceRow>& rows) {
   std::FILE* f = path.empty() ? stdout : std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"async_service_throughput\",\n");
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n", benchmark.c_str());
   std::fprintf(f,
                "  \"dataset\": \"%s\",\n  \"nodes\": %u,\n  \"edges\": %llu,\n",
-               dataset.name.c_str(), dataset.graph.NumNodes(),
-               static_cast<unsigned long long>(dataset.graph.NumEdges()));
-  std::fprintf(f, "  \"workload\": \"zipfian s=1.0\",\n  \"rows\": [\n");
+               dataset_label.c_str(), nodes,
+               static_cast<unsigned long long>(edges));
+  std::fprintf(f, "  \"workload\": \"%s\",\n  \"rows\": [\n", workload.c_str());
   for (size_t i = 0; i < rows.size(); ++i) {
     const ServiceRow& r = rows[i];
     std::fprintf(
         f,
-        "    {\"backend\": \"%s\", \"threads\": %u, \"phase\": \"%s\", "
-        "\"queries\": %u, "
+        "    {\"backend\": \"%s\", \"graph\": \"%s\", \"threads\": %u, "
+        "\"phase\": \"%s\", \"queries\": %u, "
         "\"seconds\": %.6f, \"qps\": %.1f, \"cache_hits\": %llu, "
         "\"cache_misses\": %llu, \"coalesced\": %llu, \"computed\": %llu, "
         "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
-        r.backend.c_str(), r.threads, r.phase.c_str(), r.queries, r.seconds,
-        r.qps(),
+        r.backend.c_str(), r.graph.c_str(), r.threads, r.phase.c_str(),
+        r.queries, r.seconds, r.qps(),
         static_cast<unsigned long long>(r.cache_hits),
         static_cast<unsigned long long>(r.cache_misses),
         static_cast<unsigned long long>(r.coalesced),
@@ -141,12 +185,127 @@ void WriteServiceJson(const std::string& path, const Dataset& dataset,
   if (f != stdout) std::fclose(f);
 }
 
+/// The multi-graph sweep: N datasets behind one MultiGraphService, the
+/// worker budget split across their per-graph services, per-graph rows.
+int RunMultiGraphSweep(const BenchConfig& config, const std::string& json_path,
+                       const std::string& backend, uint32_t num_graphs,
+                       uint32_t num_queries) {
+  const std::vector<std::string>& all_names = DatasetNames();
+  if (num_graphs > all_names.size()) {
+    std::printf("clamping --graphs=%u to the %zu registry datasets\n",
+                num_graphs, all_names.size());
+    num_graphs = static_cast<uint32_t>(all_names.size());
+  }
+  Rng rng(config.rng_seed);
+
+  GraphStore store;
+  std::vector<std::string> names;
+  std::string joined_names;
+  uint32_t total_nodes = 0;
+  uint64_t total_edges = 0;
+  for (uint32_t i = 0; i < num_graphs; ++i) {
+    Dataset dataset =
+        MakeDataset(all_names[i], config.scale, config.rng_seed + i);
+    total_nodes += dataset.graph.NumNodes();
+    total_edges += dataset.graph.NumEdges();
+    names.push_back(dataset.name);
+    if (!joined_names.empty()) joined_names += ",";
+    joined_names += dataset.name;
+    store.Publish(dataset.name, std::move(dataset.graph));
+  }
+  std::printf("serving %u graphs (%s), %u nodes / %llu edges total\n",
+              num_graphs, joined_names.c_str(), total_nodes,
+              static_cast<unsigned long long>(total_edges));
+
+  // One parameter set for every graph, scaled to the first (see the
+  // single-graph sweep for the serving-grade accuracy rationale).
+  ApproxParams params;
+  params.t = 5.0;
+  params.eps_r = 0.5;
+  params.delta = 20.0 * DefaultDelta(*store.Get(names.front()).graph);
+  params.p_f = 1e-6;
+
+  // Interleave per-graph Zipfian streams round-robin: every graph gets
+  // num_queries / N queries, and each client's contiguous share mixes
+  // graphs — the sharding path is exercised on every submission.
+  const uint32_t per_graph = std::max(1u, num_queries / num_graphs);
+  std::vector<std::vector<NodeId>> streams;
+  for (const std::string& name : names) {
+    streams.push_back(
+        ZipfianSeeds(*store.Get(name).graph, per_graph, 256, 1.0, rng));
+  }
+  std::vector<std::pair<std::string, NodeId>> items;
+  items.reserve(static_cast<size_t>(per_graph) * num_graphs);
+  for (uint32_t q = 0; q < per_graph; ++q) {
+    for (uint32_t g = 0; g < num_graphs; ++g) {
+      items.emplace_back(names[g], streams[g][q]);
+    }
+  }
+
+  const std::vector<uint32_t> thread_counts = {1, 4, 8};
+  std::vector<ServiceRow> rows;
+  TablePrinter table({"graph", "threads", "cold q/s", "warm q/s", "warm gain",
+                      "warm hit%", "p50 ms", "p99 ms"});
+  for (uint32_t threads : thread_counts) {
+    MultiGraphOptions options;
+    options.worker_budget = threads;
+    options.service.backend.name = backend;
+    options.service.backend.context.tea_plus.c = 1.0;
+    options.service.cache_capacity = 8192;
+    options.service.max_queue_depth = 1u << 20;
+    MultiGraphService service(store, params, config.rng_seed, options);
+    // Pre-build every per-graph service so the cold pass measures query
+    // cost, not one-time estimator/worker construction (the single-graph
+    // sweep likewise constructs its service before the timer).
+    for (const std::string& name : names) service.ServiceFor(name);
+
+    std::map<std::string, ServiceStatsSnapshot> at_start;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> cold_lat,
+        warm_lat;
+    for (const std::string& name : names) {
+      at_start[name] = service.StatsFor(name);
+      cold_lat[name] = std::make_unique<LatencyHistogram>();
+      warm_lat[name] = std::make_unique<LatencyHistogram>();
+    }
+    const double cold_s = RunMultiClosedLoop(service, items, threads, cold_lat);
+    std::map<std::string, ServiceStatsSnapshot> after_cold;
+    for (const std::string& name : names) {
+      after_cold[name] = service.StatsFor(name);
+    }
+    const double warm_s = RunMultiClosedLoop(service, items, threads, warm_lat);
+    for (const std::string& name : names) {
+      const ServiceStatsSnapshot after_warm = service.StatsFor(name);
+      rows.push_back(MakeRow(backend, name, threads, "cold", per_graph, cold_s,
+                             after_cold[name], at_start[name],
+                             *cold_lat[name]));
+      rows.push_back(MakeRow(backend, name, threads, "warm", per_graph, warm_s,
+                             after_warm, after_cold[name], *warm_lat[name]));
+      const ServiceRow& warm = rows.back();
+      const double hit_rate =
+          100.0 * static_cast<double>(warm.cache_hits + warm.coalesced) /
+          static_cast<double>(per_graph);
+      table.AddRow({name, std::to_string(threads), FmtF(per_graph / cold_s, 0),
+                    FmtF(per_graph / warm_s, 0),
+                    FmtF(cold_s / (warm_s + 1e-12), 1) + "x",
+                    FmtF(hit_rate, 1), FmtF(warm.p50_ms, 2),
+                    FmtF(warm.p99_ms, 2)});
+    }
+  }
+  table.Print();
+  WriteServiceJson(json_path, "multi_graph_service_throughput",
+                   "multi(" + std::to_string(num_graphs) + " registry graphs)",
+                   total_nodes, total_edges,
+                   "zipfian s=1.0, round-robin across graphs", rows);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchConfig config = BenchConfig::FromArgs(argc, argv);
   std::string json_path;
   std::string backend_flag;
+  uint32_t num_graphs = 0;
   uint32_t num_queries = config.full ? 4000 : 1500;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
@@ -155,6 +314,9 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend_flag = argv[i] + 10;
+    }
+    if (std::strncmp(argv[i], "--graphs=", 9) == 0) {
+      num_graphs = static_cast<uint32_t>(std::atoi(argv[i] + 9));
     }
   }
 
@@ -173,6 +335,15 @@ int main(int argc, char** argv) {
   std::printf("== Async service throughput (cache-fronted serving) ==\n");
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
+
+  if (num_graphs >= 1) {
+    // Any --graphs=N (including 1) selects the multi-graph sweep, and it
+    // runs one backend — a sweep across backends x graphs x threads would
+    // conflate the two axes.
+    return RunMultiGraphSweep(config, json_path,
+                              backend_flag.empty() ? "tea+" : backend_flag,
+                              num_graphs, num_queries);
+  }
 
   Dataset dataset = MakeDataset("twitter", config.scale, config.rng_seed);
   PrintDatasetBanner(dataset);
@@ -216,10 +387,12 @@ int main(int argc, char** argv) {
           RunClosedLoop(service, seeds, threads, warm_latencies);
       const ServiceStatsSnapshot after_warm = service.Stats();
 
-      rows.push_back(MakeRow(backend, threads, "cold", num_queries, cold_s,
-                             after_cold, at_start, cold_latencies));
-      rows.push_back(MakeRow(backend, threads, "warm", num_queries, warm_s,
-                             after_warm, after_cold, warm_latencies));
+      rows.push_back(MakeRow(backend, dataset.name, threads, "cold",
+                             num_queries, cold_s, after_cold, at_start,
+                             cold_latencies));
+      rows.push_back(MakeRow(backend, dataset.name, threads, "warm",
+                             num_queries, warm_s, after_warm, after_cold,
+                             warm_latencies));
       const ServiceRow& warm = rows.back();
       const double hit_rate =
           100.0 * static_cast<double>(warm.cache_hits + warm.coalesced) /
@@ -232,6 +405,8 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
-  WriteServiceJson(json_path, dataset, rows);
+  WriteServiceJson(json_path, "async_service_throughput", dataset.name,
+                   dataset.graph.NumNodes(), dataset.graph.NumEdges(),
+                   "zipfian s=1.0", rows);
   return 0;
 }

@@ -1,25 +1,34 @@
-// hkpr_server: an interactive HKPR serving frontend over stdin/stdout.
+// hkpr_server: an interactive multi-graph HKPR serving frontend over
+// stdin/stdout.
 //
-//   $ ./build/example_hkpr_server [--graph=PATH] [--nodes=N] [--workers=W]
-//                                 [--cache=CAP] [--seed=S] [--backend=NAME]
+//   $ ./build/example_hkpr_server [--graphs=name=path,...] [--graph=PATH]
+//                                 [--nodes=N] [--workers=W] [--cache=CAP]
+//                                 [--seed=S] [--backend=NAME]
 //
-// Loads a graph (a SNAP edge-list via --graph, otherwise a synthetic
-// powerlaw-cluster graph with --nodes nodes) and serves line-oriented
-// queries through an AsyncQueryService:
+// Loads one or more named graphs into a GraphStore (--graphs takes a
+// comma-separated name=path list of SNAP edge-lists; --graph=PATH loads a
+// single graph named "default"; with neither, a synthetic powerlaw-cluster
+// graph with --nodes nodes is published as "default") and serves
+// line-oriented queries through a MultiGraphService — per-graph async
+// services sharing a worker budget of --workers threads:
 //
-//   query <seed>          full HKPR estimate; prints nnz/sum and cache state
-//   topk <seed> <k>       top-k nodes by normalized HKPR
-//   backend [<name>]      show / switch the serving backend (registry name)
-//   stats                 service counters + latency percentiles
-//   invalidate            drop every cached estimate (graph-swap hook)
-//   quit                  exit
+//   query <seed>            full HKPR estimate on the current graph
+//   topk <seed> <k>         top-k nodes by normalized HKPR
+//   graph load <name> <path>  load/replace (hot-swap) a graph from disk
+//   graph use <name>        switch the current graph (err if not loaded)
+//   graph drop <name>       remove a graph; its service drains gracefully
+//   graph list              loaded graphs with version/size
+//   backend [<name>]        show / switch the serving backend (drains all)
+//   stats [<name>]          aggregate (or one graph's) counters/latency
+//   invalidate              drop every graph's cached estimates
+//   quit                    exit
 //
 // Responses are single lines starting with "ok" or "err", so the server
-// can sit behind a pipe or a socat socket. Backends are EstimatorRegistry
-// names ("tea+", "tea", "hk-relax", "monte-carlo", ...); switching rebuilds
-// the service (draining in-flight queries first) with a fresh cache — cache
-// keys embed the backend's stable id anyway, so even a shared cache could
-// never mix backends' results.
+// can sit behind a pipe or a socat socket. Re-`load`ing a name hot-swaps
+// it: in-flight queries finish on the old snapshot, later queries see the
+// new one, and the version bump makes pre-swap cache entries unreachable.
+// Queries against a dropped/unknown current graph report an error — the
+// server never silently falls back to another graph.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,11 +37,13 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "hkpr/backend.h"
-#include "service/async_query_service.h"
+#include "service/multi_graph_service.h"
 
 using namespace hkpr;
 
@@ -42,9 +53,35 @@ std::string AvailableBackends() {
   return EstimatorRegistry::Global().JoinedNames();
 }
 
+/// Parses "name=path,name=path,..." into pairs; returns false on syntax
+/// errors (missing '=' or empty name/path).
+bool ParseGraphList(const std::string& spec,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      return false;
+    }
+    out->emplace_back(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return !out->empty();
+}
+
+std::string JoinNames(const std::vector<GraphInfo>& infos) {
+  std::string joined;
+  for (const GraphInfo& info : infos) {
+    if (!joined.empty()) joined += ",";
+    joined += info.name;
+  }
+  return joined.empty() ? "(none)" : joined;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string graphs_flag;
   std::string graph_path;
   uint32_t nodes = 20000;
   uint32_t workers = 0;
@@ -53,6 +90,7 @@ int main(int argc, char** argv) {
   std::string backend = "tea+";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strncmp(arg, "--graphs=", 9) == 0) graphs_flag = arg + 9;
     if (std::strncmp(arg, "--graph=", 8) == 0) graph_path = arg + 8;
     if (std::strncmp(arg, "--nodes=", 8) == 0)
       nodes = static_cast<uint32_t>(std::atoi(arg + 8));
@@ -83,39 +121,59 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Graph graph;
-  if (!graph_path.empty()) {
-    Result<Graph> loaded = LoadEdgeList(graph_path);
+  // Assemble the initial store: --graphs list, --graph single, or a
+  // synthetic default.
+  GraphStore store;
+  std::string current;
+  std::vector<std::pair<std::string, std::string>> to_load;
+  if (!graphs_flag.empty()) {
+    if (!ParseGraphList(graphs_flag, &to_load)) {
+      std::fprintf(stderr, "err --graphs expects name=path[,name=path...]\n");
+      return 1;
+    }
+  } else if (!graph_path.empty()) {
+    to_load.emplace_back("default", graph_path);
+  }
+  for (const auto& [name, path] : to_load) {
+    Result<Graph> loaded = LoadEdgeList(path);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "err cannot load %s: %s\n", graph_path.c_str(),
+      std::fprintf(stderr, "err cannot load %s: %s\n", path.c_str(),
                    loaded.status().ToString().c_str());
       return 1;
     }
-    graph = std::move(loaded).value();
-  } else {
-    graph = PowerlawCluster(nodes, 4, 0.3, seed);
+    store.Publish(name, std::move(loaded).value());
+    if (current.empty()) current = name;
+  }
+  if (store.Size() == 0) {
+    store.Publish("default", PowerlawCluster(nodes, 4, 0.3, seed));
+    current = "default";
   }
 
+  // One parameter set serves every graph (cache keys carry the parameters,
+  // so this is a policy choice, not a correctness one): delta scales with
+  // the first graph's size, as in the single-graph server.
   ApproxParams params;
   params.t = 5.0;
   params.eps_r = 0.5;
-  params.delta = 1.0 / static_cast<double>(graph.NumNodes());
+  params.delta = 1.0 / static_cast<double>(store.Get(current).graph->NumNodes());
   params.p_f = 1e-6;
 
-  ServiceOptions options;
-  options.num_workers = workers;
-  options.cache_capacity = cache_capacity;
-  options.backend.name = backend;
-  std::optional<AsyncQueryService> service;
-  service.emplace(graph, params, seed, options);
+  MultiGraphOptions options;
+  options.worker_budget = workers;
+  options.service.cache_capacity = cache_capacity;
+  options.service.backend.name = backend;
+  std::optional<MultiGraphService> service;
+  service.emplace(store, params, seed, options);
 
-  std::printf("ok hkpr_server nodes=%u edges=%llu workers=%u cache=%zu "
-              "backend=%s\n",
-              graph.NumNodes(),
-              static_cast<unsigned long long>(graph.NumEdges()),
-              service->num_workers(), cache_capacity,
-              options.backend.name.c_str());
-  std::fflush(stdout);
+  {
+    const std::vector<GraphInfo> infos = store.List();
+    std::printf("ok hkpr_server graphs=%zu(%s) current=%s workers=%u "
+                "cache=%zu backend=%s\n",
+                infos.size(), JoinNames(infos).c_str(), current.c_str(),
+                service->resolved_worker_budget(), cache_capacity,
+                options.service.backend.name.c_str());
+    std::fflush(stdout);
+  }
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -126,76 +184,190 @@ int main(int argc, char** argv) {
     if (command == "quit" || command == "exit") break;
 
     if (command == "query" || command == "topk") {
+      const GraphSnapshot snapshot = store.Get(current);
+      if (!snapshot) {
+        std::printf("err unknown graph \"%s\" (graph load/use first)\n",
+                    current.c_str());
+        std::fflush(stdout);
+        continue;
+      }
       long long seed_node = -1;
       long long k = 10;
       // A failed extraction writes 0 (C++11), which is a valid node id —
       // restore the sentinel so "query" with no/garbage argument errs.
       if (!(in >> seed_node)) seed_node = -1;
       if (command == "topk" && !(in >> k)) k = -1;
-      if (seed_node < 0 || seed_node >= graph.NumNodes() || k <= 0) {
+      if (seed_node < 0 || seed_node >= snapshot.graph->NumNodes() || k <= 0) {
         std::printf("err usage: %s <seed in [0,%u)>%s\n", command.c_str(),
-                    graph.NumNodes(), command == "topk" ? " <k >= 1>" : "");
+                    snapshot.graph->NumNodes(),
+                    command == "topk" ? " <k >= 1>" : "");
         std::fflush(stdout);
         continue;
       }
       const NodeId node = static_cast<NodeId>(seed_node);
       QueryHandle handle =
           command == "query"
-              ? service->Submit(node)
-              : service->SubmitTopK(node, static_cast<size_t>(k));
+              ? service->Submit(current, node)
+              : service->SubmitTopK(current, node, static_cast<size_t>(k));
       const QueryResult result = handle.result.get();
       if (result.status != QueryStatus::kOk) {
-        std::printf("err status=%d\n", static_cast<int>(result.status));
+        if (result.status == QueryStatus::kUnknownGraph) {
+          std::printf("err unknown graph \"%s\" (dropped concurrently?)\n",
+                      current.c_str());
+        } else {
+          std::printf("err status=%s\n", QueryStatusName(result.status));
+        }
       } else if (command == "query") {
-        std::printf("ok seed=%u nnz=%zu sum=%.6f cache=%s latency_ms=%.3f\n",
+        std::printf("ok graph=%s version=%llu seed=%u nnz=%zu sum=%.6f "
+                    "cache=%s latency_ms=%.3f\n",
+                    current.c_str(),
+                    static_cast<unsigned long long>(result.graph_version),
                     node, result.estimate->nnz(), result.estimate->Sum(),
                     result.from_cache ? "hit" : "miss", result.latency_ms);
       } else {
-        std::printf("ok seed=%u k=%zu cache=%s", node, result.top_k.size(),
+        std::printf("ok graph=%s version=%llu seed=%u k=%zu cache=%s",
+                    current.c_str(),
+                    static_cast<unsigned long long>(result.graph_version),
+                    node, result.top_k.size(),
                     result.from_cache ? "hit" : "miss");
         for (const ScoredNode& s : result.top_k) {
           std::printf(" %u:%.6g", s.node, s.score);
         }
         std::printf("\n");
       }
+    } else if (command == "graph") {
+      std::string sub;
+      in >> sub;
+      if (sub == "load") {
+        std::string name, path;
+        in >> name >> path;
+        if (name.empty() || path.empty()) {
+          std::printf("err usage: graph load <name> <path>\n");
+        } else {
+          Result<Graph> loaded = LoadEdgeList(path);
+          if (!loaded.ok()) {
+            std::printf("err cannot load %s: %s\n", path.c_str(),
+                        loaded.status().ToString().c_str());
+          } else {
+            Graph graph = std::move(loaded).value();
+            const uint32_t n = graph.NumNodes();
+            const uint64_t m = graph.NumEdges();
+            const uint64_t version = service->Publish(name, std::move(graph));
+            // Adopt the loaded graph when the current one is gone (e.g.
+            // dropped), so load restores queryability without a `use`.
+            if (current.empty() || !store.Contains(current)) current = name;
+            std::printf("ok graph=%s version=%llu nodes=%u edges=%llu\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(version), n,
+                        static_cast<unsigned long long>(m));
+          }
+        }
+      } else if (sub == "use") {
+        std::string name;
+        in >> name;
+        if (name.empty()) {
+          std::printf("err usage: graph use <name>\n");
+        } else if (!store.Contains(name)) {
+          // An unknown (e.g. dropped) name is an error, never a silent
+          // fallback to the previous graph.
+          std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
+                      JoinNames(store.List()).c_str());
+        } else {
+          current = name;
+          const GraphSnapshot snapshot = store.Get(name);
+          std::printf("ok graph=%s version=%llu nodes=%u\n", name.c_str(),
+                      static_cast<unsigned long long>(snapshot.version),
+                      snapshot.graph->NumNodes());
+        }
+      } else if (sub == "drop") {
+        std::string name;
+        in >> name;
+        if (name.empty()) {
+          std::printf("err usage: graph drop <name>\n");
+        } else if (!service->Drop(name)) {
+          std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
+                      JoinNames(store.List()).c_str());
+        } else {
+          // `current` intentionally keeps pointing at the dropped name:
+          // later queries err until `graph use` (or a `graph load`, which
+          // adopts its graph when the current one is gone).
+          std::printf("ok dropped=%s\n", name.c_str());
+        }
+      } else if (sub == "list") {
+        const std::vector<GraphInfo> infos = store.List();
+        std::printf("ok graphs=%zu", infos.size());
+        for (const GraphInfo& info : infos) {
+          std::printf(" %s:v%llu:n%u:m%llu%s", info.name.c_str(),
+                      static_cast<unsigned long long>(info.version),
+                      info.nodes, static_cast<unsigned long long>(info.edges),
+                      info.name == current ? ":current" : "");
+        }
+        std::printf("\n");
+      } else {
+        std::printf("err usage: graph load|use|drop|list\n");
+      }
     } else if (command == "backend") {
       std::string name;
       in >> name;
       if (name.empty()) {
         std::printf("ok backend=%s available=%s\n",
-                    options.backend.name.c_str(), AvailableBackends().c_str());
+                    options.service.backend.name.c_str(),
+                    AvailableBackends().c_str());
       } else if (!EstimatorRegistry::Global().Contains(name)) {
         std::printf("err unknown backend \"%s\" (available: %s)\n",
                     name.c_str(), AvailableBackends().c_str());
       } else {
-        // Rebuild the service on the new backend: the destructor drains
-        // queued queries first, so nothing in flight is dropped.
-        options.backend.name = name;
+        // Rebuild the multi-graph service on the new backend: the
+        // destructor drains every per-graph queue first, so nothing in
+        // flight is dropped, and the store (the loaded graphs) carries
+        // over untouched.
+        options.service.backend.name = name;
         service.reset();
-        service.emplace(graph, params, seed, options);
-        std::printf("ok backend=%s workers=%u\n", name.c_str(),
-                    service->num_workers());
+        service.emplace(store, params, seed, options);
+        std::printf("ok backend=%s graphs=%zu\n", name.c_str(), store.Size());
       }
     } else if (command == "stats") {
-      const ServiceStatsSnapshot s = service->Stats();
+      std::string name;
+      in >> name;
+      const ServiceStatsSnapshot s =
+          name.empty() ? service->AggregateStats() : service->StatsFor(name);
+      // A named scope is valid while the graph is loaded AND after it was
+      // dropped (StatsFor keeps the retired cumulative counters); only a
+      // name that never served anything is an error.
+      if (!name.empty() && !store.Contains(name) && s.submitted == 0 &&
+          s.completed == 0) {
+        std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
+                    JoinNames(store.List()).c_str());
+        std::fflush(stdout);
+        continue;
+      }
       std::printf(
-          "ok submitted=%llu completed=%llu rejected=%llu hits=%llu "
-          "misses=%llu coalesced=%llu computed=%llu queue=%zu "
-          "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f\n",
+          "ok scope=%s submitted=%llu completed=%llu rejected=%llu "
+          "hits=%llu misses=%llu coalesced=%llu computed=%llu queue=%zu",
+          name.empty() ? "all" : name.c_str(),
           static_cast<unsigned long long>(s.submitted),
           static_cast<unsigned long long>(s.completed),
           static_cast<unsigned long long>(s.rejected),
           static_cast<unsigned long long>(s.cache_hits),
           static_cast<unsigned long long>(s.cache_misses),
           static_cast<unsigned long long>(s.coalesced),
-          static_cast<unsigned long long>(s.computed), s.queue_depth,
-          s.latency_p50_ms, s.latency_p95_ms, s.latency_p99_ms);
+          static_cast<unsigned long long>(s.computed), s.queue_depth);
+      if (name.empty()) {
+        // Service-wide, not attributable to any one graph.
+        std::printf(" unknown_graph=%llu invalid_argument=%llu",
+                    static_cast<unsigned long long>(
+                        service->unknown_graph_rejects()),
+                    static_cast<unsigned long long>(
+                        service->invalid_argument_rejects()));
+      }
+      std::printf(" p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f\n", s.latency_p50_ms,
+                  s.latency_p95_ms, s.latency_p99_ms);
     } else if (command == "invalidate") {
-      service->InvalidateCache();
-      std::printf("ok cache invalidated\n");
+      service->InvalidateCaches();
+      std::printf("ok caches invalidated\n");
     } else {
       std::printf("err unknown command \"%s\" "
-                  "(query/topk/backend/stats/invalidate/quit)\n",
+                  "(query/topk/graph/backend/stats/invalidate/quit)\n",
                   command.c_str());
     }
     std::fflush(stdout);

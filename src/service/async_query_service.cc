@@ -17,10 +17,30 @@ double SecondsBetween(Clock::time_point begin, Clock::time_point end) {
 
 }  // namespace
 
-AsyncQueryService::AsyncQueryService(const Graph& graph,
+const char* QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kRejected:
+      return "rejected";
+    case QueryStatus::kCancelled:
+      return "cancelled";
+    case QueryStatus::kExpired:
+      return "expired";
+    case QueryStatus::kUnknownGraph:
+      return "unknown-graph";
+    case QueryStatus::kInvalidArgument:
+      return "invalid-argument";
+  }
+  return "invalid";
+}
+
+AsyncQueryService::AsyncQueryService(GraphSnapshot snapshot,
                                      const ApproxParams& params, uint64_t seed,
                                      const ServiceOptions& options)
-    : graph_(graph), params_(params), options_(options) {
+    : snapshot_(std::move(snapshot)), params_(params), options_(options) {
+  HKPR_CHECK(snapshot_.graph != nullptr) << "service needs a graph snapshot";
+  const Graph& graph = *snapshot_.graph;
   uint32_t num_workers = options.num_workers;
   if (num_workers == 0) {
     num_workers = std::max(1u, std::thread::hardware_concurrency());
@@ -49,18 +69,33 @@ AsyncQueryService::AsyncQueryService(const Graph& graph,
   }
 }
 
-AsyncQueryService::~AsyncQueryService() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+AsyncQueryService::AsyncQueryService(const Graph& graph,
+                                     const ApproxParams& params, uint64_t seed,
+                                     const ServiceOptions& options)
+    : AsyncQueryService(GraphSnapshot::Borrowed(graph), params, seed,
+                        options) {}
+
+void AsyncQueryService::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  });
 }
+
+AsyncQueryService::~AsyncQueryService() { Shutdown(); }
 
 ResultCacheKey AsyncQueryService::MakeKey(NodeId seed) const {
   ResultCacheKey key;
-  key.graph_version = cache_ ? cache_->version() : 0;
+  // The snapshot version is fixed for this service's lifetime and the
+  // cache version is bumped by InvalidateCache(), so within one cache the
+  // sum is strictly monotone across invalidations — no two key epochs can
+  // collide. Across hot-swaps the store's version alone separates epochs.
+  key.graph_version =
+      snapshot_.version + (cache_ ? cache_->version() : 0);
   key.seed = seed;
   key.backend_id = backend_id_;
   key.t = params_.t;
@@ -70,14 +105,14 @@ ResultCacheKey AsyncQueryService::MakeKey(NodeId seed) const {
   return key;
 }
 
-QueryHandle AsyncQueryService::Enqueue(NodeId seed, size_t k,
-                                       const SubmitOptions& submit) {
-  HKPR_CHECK(seed < graph_.NumNodes()) << "query seed out of range";
+std::optional<QueryHandle> AsyncQueryService::Enqueue(
+    NodeId seed, size_t k, const SubmitOptions& submit,
+    bool stale_if_stopping) {
+  HKPR_CHECK(seed < snapshot_.graph->NumNodes()) << "query seed out of range";
   QueryHandle handle;
   handle.cancel_ = std::make_shared<std::atomic<bool>>(false);
   std::promise<QueryResult> promise;
   handle.result = promise.get_future();
-  stats_.RecordSubmitted();
 
   Request request;
   request.seed = seed;
@@ -91,6 +126,8 @@ QueryHandle AsyncQueryService::Enqueue(NodeId seed, size_t k,
 
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && stale_if_stopping) return std::nullopt;
+    stats_.RecordSubmitted();
     if (stopping_ || queue_.size() >= options_.max_queue_depth) {
       stats_.RecordRejected();
       promise.set_value(QueryResult{});  // kRejected
@@ -106,13 +143,24 @@ QueryHandle AsyncQueryService::Enqueue(NodeId seed, size_t k,
 
 QueryHandle AsyncQueryService::Submit(NodeId seed,
                                       const SubmitOptions& submit) {
-  return Enqueue(seed, 0, submit);
+  return *Enqueue(seed, 0, submit, /*stale_if_stopping=*/false);
 }
 
 QueryHandle AsyncQueryService::SubmitTopK(NodeId seed, size_t k,
                                           const SubmitOptions& submit) {
   HKPR_CHECK(k > 0) << "top-k query needs k >= 1";
-  return Enqueue(seed, k, submit);
+  return *Enqueue(seed, k, submit, /*stale_if_stopping=*/false);
+}
+
+std::optional<QueryHandle> AsyncQueryService::TrySubmit(
+    NodeId seed, const SubmitOptions& submit) {
+  return Enqueue(seed, 0, submit, /*stale_if_stopping=*/true);
+}
+
+std::optional<QueryHandle> AsyncQueryService::TrySubmitTopK(
+    NodeId seed, size_t k, const SubmitOptions& submit) {
+  HKPR_CHECK(k > 0) << "top-k query needs k >= 1";
+  return Enqueue(seed, k, submit, /*stale_if_stopping=*/true);
 }
 
 void AsyncQueryService::WorkerLoop(uint32_t worker_id) {
@@ -214,8 +262,9 @@ void AsyncQueryService::Fulfill(Request& request, CachedEstimate estimate,
                                 bool from_cache) {
   QueryResult result;
   result.from_cache = from_cache;
+  result.graph_version = snapshot_.version;
   if (request.k > 0) {
-    result.top_k = TopKNormalized(graph_, *estimate, request.k);
+    result.top_k = TopKNormalized(*snapshot_.graph, *estimate, request.k);
   }
   result.estimate = std::move(estimate);
   result.status = QueryStatus::kOk;

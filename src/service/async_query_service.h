@@ -17,6 +17,14 @@
 // in-flight computation. ServiceStats counts every stage; Stats() returns
 // a snapshot with p50/p95/p99 latencies.
 //
+// The service answers on one immutable GraphSnapshot (service/graph_store.h)
+// which it co-owns for its whole lifetime: hot-swapping a graph means
+// standing up a new service on the new snapshot (MultiGraphService does
+// exactly that) while this one drains and finishes its in-flight queries
+// on the old graph. The snapshot's version is folded into every cache key
+// and stamped on every result, so estimates computed on a replaced
+// snapshot can never serve post-swap lookups.
+//
 // Determinism: every accepted request is assigned a global query index at
 // submission time, and the computation for index i draws its randomness
 // from QueryRngSeed(engine seed, i) — exactly the derivation
@@ -38,6 +46,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -46,6 +55,7 @@
 #include "hkpr/backend.h"
 #include "hkpr/params.h"
 #include "hkpr/queries.h"
+#include "service/graph_store.h"
 #include "service/result_cache.h"
 #include "service/service_stats.h"
 
@@ -77,7 +87,19 @@ enum class QueryStatus : uint8_t {
   kRejected,   ///< refused at admission (queue full or service stopping)
   kCancelled,  ///< QueryHandle::Cancel() won the race with the worker
   kExpired,    ///< the deadline passed before a worker picked it up
+  kUnknownGraph,  ///< the named graph is not in the GraphStore
+                  ///< (MultiGraphService sharding; never set by a
+                  ///< single-graph AsyncQueryService)
+  kInvalidArgument,  ///< malformed request on the multi-graph path: seed
+                     ///< >= NumNodes() of the resolved snapshot (a racy
+                     ///< external input under hot-swap) or top-k with
+                     ///< k == 0 — reported instead of check-failing (the
+                     ///< single-graph Submit()/SubmitTopK(), whose caller
+                     ///< owns the graph, keep check-fail preconditions)
 };
+
+/// Printable name of a QueryStatus ("ok", "rejected", ...).
+const char* QueryStatusName(QueryStatus status);
 
 /// What the future resolves to.
 struct QueryResult {
@@ -90,6 +112,10 @@ struct QueryResult {
   bool from_cache = false;
   /// Submit-to-completion wall time; 0 for non-kOk outcomes.
   double latency_ms = 0.0;
+  /// The version of the graph snapshot this estimate was computed on
+  /// (0 for borrowed non-store graphs and for non-kOk outcomes). Under
+  /// hot-swap this is always a version that was live at submission time.
+  uint64_t graph_version = 0;
 };
 
 /// Caller-side handle: the future plus a cancellation flag. Cancel() is
@@ -115,14 +141,30 @@ struct SubmitOptions {
   std::chrono::steady_clock::duration timeout{};
 };
 
-/// The async serving frontend. The graph must outlive the service. All
-/// public methods are thread-safe; the destructor stops admission, drains
-/// the queue and joins the workers.
+/// The async serving frontend. All public methods are thread-safe; the
+/// destructor stops admission, drains the queue and joins the workers.
 class AsyncQueryService {
  public:
+  /// Serves queries on one immutable graph snapshot (see GraphStore). The
+  /// service co-owns the graph through the snapshot, so a store-side
+  /// Publish()/Remove() can never free memory under in-flight queries;
+  /// the snapshot's version is folded into every cache key and stamped on
+  /// every result.
+  AsyncQueryService(GraphSnapshot snapshot, const ApproxParams& params,
+                    uint64_t seed, const ServiceOptions& options = {});
+
+  /// Legacy single-graph entry point: borrows `graph` (which must outlive
+  /// the service) as a non-owning version-0 snapshot.
   AsyncQueryService(const Graph& graph, const ApproxParams& params,
                     uint64_t seed, const ServiceOptions& options = {});
   ~AsyncQueryService();
+
+  /// Stops admission, drains the queue, and joins the workers. Idempotent
+  /// and thread-safe; every queued request's future resolves before this
+  /// returns. Submit() after Shutdown() completes with kRejected. The
+  /// destructor calls this — an explicit call makes "graceful drain"
+  /// observable (e.g. before folding final stats on graph removal).
+  void Shutdown();
 
   AsyncQueryService(const AsyncQueryService&) = delete;
   AsyncQueryService& operator=(const AsyncQueryService&) = delete;
@@ -134,6 +176,17 @@ class AsyncQueryService {
   /// TopKNormalized of the estimate; the estimate itself is also attached.
   QueryHandle SubmitTopK(NodeId seed, size_t k,
                          const SubmitOptions& submit = {});
+
+  /// Like Submit()/SubmitTopK(), but returns nullopt instead of a
+  /// kRejected handle when the service has already been shut down — the
+  /// signal a routing layer (MultiGraphService) uses to re-resolve and
+  /// retry on the replacement service after a hot-swap/drop, without
+  /// holding its registry lock across the enqueue. Queue-full rejections
+  /// still resolve kRejected (that is admission control, not staleness).
+  std::optional<QueryHandle> TrySubmit(NodeId seed,
+                                       const SubmitOptions& submit = {});
+  std::optional<QueryHandle> TrySubmitTopK(NodeId seed, size_t k,
+                                           const SubmitOptions& submit = {});
 
   /// Drops every cached estimate and bumps the cache version (call after
   /// swapping/mutating the graph the estimates were computed on). No-op
@@ -155,6 +208,15 @@ class AsyncQueryService {
   uint32_t backend_id() const { return backend_id_; }
   /// Accepted queries so far (== the next query's RNG index).
   uint64_t queries_accepted() const;
+  /// The graph snapshot this service answers on (fixed for its lifetime).
+  const Graph& graph() const { return *snapshot_.graph; }
+  /// The snapshot's store version (0 for borrowed non-store graphs).
+  uint64_t graph_version() const { return snapshot_.version; }
+  /// True once Shutdown() has begun: admission is closed for good. A
+  /// routing layer treats a stopped-but-installed service as stale and
+  /// rebuilds instead of retrying into it. Lock-free, so resolve paths
+  /// holding their own locks never stall behind this service's mutex.
+  bool stopped() const { return stopping_.load(std::memory_order_acquire); }
 
  private:
   struct Request {
@@ -176,7 +238,11 @@ class AsyncQueryService {
     std::shared_future<CachedEstimate> pending;
   };
 
-  QueryHandle Enqueue(NodeId seed, size_t k, const SubmitOptions& submit);
+  /// Shared enqueue; `stale_if_stopping` selects the TrySubmit contract
+  /// (nullopt once shut down) over the kRejected handle.
+  std::optional<QueryHandle> Enqueue(NodeId seed, size_t k,
+                                     const SubmitOptions& submit,
+                                     bool stale_if_stopping);
   void WorkerLoop(uint32_t worker_id);
   void Process(QueryExecutor& executor, Request& request,
                std::vector<Deferred>& deferred);
@@ -184,7 +250,7 @@ class AsyncQueryService {
   SparseVector Compute(QueryExecutor& executor, const Request& request);
   ResultCacheKey MakeKey(NodeId seed) const;
 
-  const Graph& graph_;
+  GraphSnapshot snapshot_;
   ApproxParams params_;
   ServiceOptions options_;
   uint32_t backend_id_ = 0;
@@ -199,7 +265,11 @@ class AsyncQueryService {
   std::condition_variable queue_cv_;
   std::deque<Request> queue_;
   uint64_t next_query_index_ = 0;
-  bool stopping_ = false;
+  /// Atomic so stopped() reads it without mu_; always *written* under mu_
+  /// (before the CV notify), so workers parked on queue_cv_ cannot miss
+  /// the transition.
+  std::atomic<bool> stopping_{false};
+  std::once_flag shutdown_once_;
 };
 
 }  // namespace hkpr

@@ -15,19 +15,17 @@ void LatencyHistogram::Record(double seconds) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
-double LatencyHistogram::PercentileMs(double q) const {
-  uint64_t counts[kBuckets];
+double LatencyPercentileMs(
+    const std::array<uint64_t, LatencyHistogram::kBuckets>& buckets,
+    double q) {
   uint64_t total = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
+  for (const uint64_t count : buckets) total += count;
   if (total == 0) return 0.0;
   const uint64_t target =
       static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
   uint64_t cumulative = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    cumulative += counts[i];
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += buckets[i];
     if (cumulative >= target && target > 0) {
       // Upper bound of bucket i in microseconds: 2^i - 1 (bucket 0: < 1us).
       const double upper_us =
@@ -36,6 +34,19 @@ double LatencyHistogram::PercentileMs(double q) const {
     }
   }
   return 0.0;
+}
+
+std::array<uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::BucketCounts() const {
+  std::array<uint64_t, kBuckets> counts;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double LatencyHistogram::PercentileMs(double q) const {
+  return LatencyPercentileMs(BucketCounts(), q);
 }
 
 uint64_t LatencyHistogram::TotalCount() const {
@@ -55,10 +66,15 @@ ServiceStatsSnapshot ServiceStats::TakeSnapshot() const {
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   snap.coalesced = coalesced_.load(std::memory_order_relaxed);
   snap.computed = computed_.load(std::memory_order_relaxed);
-  snap.latency_count = latency_.TotalCount();
-  snap.latency_p50_ms = latency_.PercentileMs(0.50);
-  snap.latency_p95_ms = latency_.PercentileMs(0.95);
-  snap.latency_p99_ms = latency_.PercentileMs(0.99);
+  // Percentiles derive from the same bucket copy that ships in the
+  // snapshot, so the two can never disagree.
+  snap.latency_buckets = latency_.BucketCounts();
+  for (const uint64_t count : snap.latency_buckets) {
+    snap.latency_count += count;
+  }
+  snap.latency_p50_ms = LatencyPercentileMs(snap.latency_buckets, 0.50);
+  snap.latency_p95_ms = LatencyPercentileMs(snap.latency_buckets, 0.95);
+  snap.latency_p99_ms = LatencyPercentileMs(snap.latency_buckets, 0.99);
   return snap;
 }
 

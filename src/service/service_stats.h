@@ -17,28 +17,6 @@
 
 namespace hkpr {
 
-/// Point-in-time copy of the service counters. Counters are monotone over
-/// the service's lifetime; `queue_depth` is the only gauge (filled by
-/// AsyncQueryService::Stats(), not by ServiceStats itself).
-struct ServiceStatsSnapshot {
-  uint64_t submitted = 0;    ///< Submit/SubmitTopK calls (including rejected)
-  uint64_t rejected = 0;     ///< refused by admission control (queue full)
-  uint64_t completed = 0;    ///< queries finished with QueryStatus::kOk
-  uint64_t cancelled = 0;    ///< cancelled before computation started
-  uint64_t expired = 0;      ///< deadline passed before computation started
-  uint64_t cache_hits = 0;   ///< served from a completed cache entry
-  uint64_t cache_misses = 0; ///< cache lookups that became the leader
-  uint64_t coalesced = 0;    ///< single-flight waits on an in-flight leader
-  uint64_t computed = 0;     ///< estimator invocations (never > misses when
-                             ///< the cache is enabled)
-  size_t queue_depth = 0;    ///< requests waiting at snapshot time
-
-  uint64_t latency_count = 0;  ///< completed queries in the histogram
-  double latency_p50_ms = 0.0;
-  double latency_p95_ms = 0.0;
-  double latency_p99_ms = 0.0;
-};
-
 /// Log2-bucketed latency histogram over microseconds. Bucket i counts
 /// latencies in [2^(i-1), 2^i) us (bucket 0: < 1us), which gives <= 2x
 /// relative error on the reported percentiles — plenty for serving
@@ -56,8 +34,43 @@ class LatencyHistogram {
 
   uint64_t TotalCount() const;
 
+  /// A plain copy of the bucket counts — snapshot material, so percentiles
+  /// stay computable after summing snapshots from several histograms
+  /// (multi-graph aggregation, retired-service folding).
+  std::array<uint64_t, kBuckets> BucketCounts() const;
+
  private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// PercentileMs over raw bucket counts (identical semantics) — for
+/// percentiles of merged snapshots.
+double LatencyPercentileMs(
+    const std::array<uint64_t, LatencyHistogram::kBuckets>& buckets, double q);
+
+/// Point-in-time copy of the service counters. Counters are monotone over
+/// the service's lifetime; `queue_depth` is the only gauge (filled by
+/// AsyncQueryService::Stats(), not by ServiceStats itself). The raw
+/// latency buckets ride along so aggregating layers can sum snapshots and
+/// recompute real percentiles (percentiles themselves do not add).
+struct ServiceStatsSnapshot {
+  uint64_t submitted = 0;    ///< Submit/SubmitTopK calls (including rejected)
+  uint64_t rejected = 0;     ///< refused by admission control (queue full)
+  uint64_t completed = 0;    ///< queries finished with QueryStatus::kOk
+  uint64_t cancelled = 0;    ///< cancelled before computation started
+  uint64_t expired = 0;      ///< deadline passed before computation started
+  uint64_t cache_hits = 0;   ///< served from a completed cache entry
+  uint64_t cache_misses = 0; ///< cache lookups that became the leader
+  uint64_t coalesced = 0;    ///< single-flight waits on an in-flight leader
+  uint64_t computed = 0;     ///< estimator invocations (never > misses when
+                             ///< the cache is enabled)
+  size_t queue_depth = 0;    ///< requests waiting at snapshot time
+
+  uint64_t latency_count = 0;  ///< completed queries in the histogram
+  std::array<uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
 };
 
 /// The service's counter block. All methods are thread-safe and wait-free.

@@ -1,0 +1,301 @@
+// End-to-end tests of example_hkpr_server's line protocol, driven over a
+// pipe pair: graph load/use/drop/list lifecycle, unknown-graph errors (a
+// dropped current graph must err, never silently fall back), backend
+// switch + query, and the --graphs=name=path,... startup flag.
+//
+// The server binary path is injected by CMake (HKPR_SERVER_BINARY); when
+// examples are not built (e.g. the TSan CI job), the tests skip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#ifdef HKPR_SERVER_BINARY
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hkpr {
+namespace {
+
+/// Writes `contents` to a fresh temp file and returns its path.
+std::string WriteTempFile(const std::string& tag, const std::string& contents) {
+  std::string path = ::testing::TempDir() + "hkpr_server_test_" + tag +
+                     "_XXXXXX";
+  std::vector<char> buf(path.begin(), path.end());
+  buf.push_back('\0');
+  const int fd = mkstemp(buf.data());
+  EXPECT_GE(fd, 0) << "mkstemp failed for " << path;
+  EXPECT_EQ(write(fd, contents.data(), contents.size()),
+            static_cast<ssize_t>(contents.size()));
+  close(fd);
+  return std::string(buf.data());
+}
+
+/// A server child process with its stdin/stdout connected over pipes.
+class ServerProcess {
+ public:
+  bool Start(const std::vector<std::string>& extra_args) {
+    int to_child[2];
+    int from_child[2];
+    if (pipe(to_child) != 0 || pipe(from_child) != 0) return false;
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::vector<std::string> args = {HKPR_SERVER_BINARY};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      _exit(127);  // exec failed
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    in_fd_ = to_child[1];
+    out_fd_ = from_child[0];
+    return true;
+  }
+
+  ~ServerProcess() {
+    if (in_fd_ >= 0) close(in_fd_);
+    if (out_fd_ >= 0) close(out_fd_);
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  /// Sends one command line and returns the single response line.
+  std::string Command(const std::string& line) {
+    const std::string with_newline = line + "\n";
+    EXPECT_EQ(write(in_fd_, with_newline.data(), with_newline.size()),
+              static_cast<ssize_t>(with_newline.size()));
+    return ReadLine();
+  }
+
+  /// Reads one '\n'-terminated line, waiting up to 30s (generous for the
+  /// synthetic-graph startup) — an unresponsive server fails instead of
+  /// hanging the suite.
+  std::string ReadLine() {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      struct pollfd pfd = {out_fd_, POLLIN, 0};
+      const int ready = poll(&pfd, 1, 30000);
+      if (ready <= 0) {
+        ADD_FAILURE() << "timed out waiting for server output";
+        return "";
+      }
+      char chunk[4096];
+      const ssize_t n = read(out_fd_, chunk, sizeof(chunk));
+      if (n <= 0) {
+        ADD_FAILURE() << "server closed its stdout unexpectedly";
+        return "";
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Sends quit and reaps the child; returns its exit code (-1 on signal).
+  int Quit() {
+    const std::string quit = "quit\n";
+    (void)!write(in_fd_, quit.data(), quit.size());
+    close(in_fd_);
+    in_fd_ = -1;
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int in_fd_ = -1;
+  int out_fd_ = -1;
+  std::string buffer_;
+};
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool Contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+TEST(ServerProtocolTest, GraphLifecycleAndErrors) {
+  ServerProcess server;
+  ASSERT_TRUE(server.Start({"--nodes=500", "--workers=2", "--seed=7"}));
+  const std::string banner = server.ReadLine();
+  ASSERT_TRUE(StartsWith(banner, "ok hkpr_server")) << banner;
+  EXPECT_TRUE(Contains(banner, "graphs=1(default)")) << banner;
+
+  // The synthetic default graph serves immediately.
+  std::string reply = server.Command("graph list");
+  EXPECT_TRUE(StartsWith(reply, "ok graphs=1")) << reply;
+  EXPECT_TRUE(Contains(reply, "default:v1")) << reply;
+  EXPECT_TRUE(Contains(reply, ":current")) << reply;
+
+  reply = server.Command("query 1");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=default version=1 seed=1"))
+      << reply;
+
+  // use of a name that was never loaded is an error.
+  reply = server.Command("graph use nosuch");
+  EXPECT_TRUE(StartsWith(reply, "err unknown graph \"nosuch\"")) << reply;
+
+  // Load a second graph from disk, switch to it, query it.
+  const std::string path =
+      WriteTempFile("tri", "# a triangle plus a tail\n0 1\n1 2\n2 0\n0 3\n");
+  reply = server.Command("graph load tri " + path);
+  EXPECT_TRUE(StartsWith(reply, "ok graph=tri version=2 nodes=4 edges=4"))
+      << reply;
+  reply = server.Command("graph use tri");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=tri version=2")) << reply;
+  reply = server.Command("query 0");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=tri version=2 seed=0")) << reply;
+  reply = server.Command("query 99");  // out of range for the 4-node graph
+  EXPECT_TRUE(StartsWith(reply, "err usage: query")) << reply;
+
+  // Re-loading the same name hot-swaps: the version bumps.
+  reply = server.Command("graph load tri " + path);
+  EXPECT_TRUE(StartsWith(reply, "ok graph=tri version=3")) << reply;
+  reply = server.Command("query 0");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=tri version=3")) << reply;
+  // ... and the post-swap query was a cache miss by construction.
+  EXPECT_TRUE(Contains(reply, "cache=miss")) << reply;
+
+  // Dropping the *current* graph: later queries and `use` must err — the
+  // server never silently falls back to another loaded graph.
+  reply = server.Command("graph drop tri");
+  EXPECT_TRUE(StartsWith(reply, "ok dropped=tri")) << reply;
+  reply = server.Command("query 0");
+  EXPECT_TRUE(StartsWith(reply, "err unknown graph \"tri\"")) << reply;
+  reply = server.Command("graph use tri");
+  EXPECT_TRUE(StartsWith(reply, "err unknown graph \"tri\"")) << reply;
+  reply = server.Command("graph drop tri");
+  EXPECT_TRUE(StartsWith(reply, "err unknown graph \"tri\"")) << reply;
+
+  // Cumulative stats of the dropped graph stay reachable: 2 queries were
+  // served across tri's two versions before the drop.
+  reply = server.Command("stats tri");
+  EXPECT_TRUE(StartsWith(reply, "ok scope=tri")) << reply;
+  EXPECT_TRUE(Contains(reply, "submitted=2")) << reply;
+
+  // Loading a graph while the current one is gone adopts it.
+  reply = server.Command("graph load tri2 " + path);
+  EXPECT_TRUE(StartsWith(reply, "ok graph=tri2 version=4")) << reply;
+  reply = server.Command("query 0");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=tri2 version=4")) << reply;
+
+  // Recovery: switch back to the surviving graph.
+  reply = server.Command("graph use default");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=default")) << reply;
+  reply = server.Command("query 2");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=default")) << reply;
+
+  // stats: aggregate and per-graph scopes, plus unknown-graph scope err.
+  reply = server.Command("stats");
+  EXPECT_TRUE(StartsWith(reply, "ok scope=all")) << reply;
+  reply = server.Command("stats default");
+  EXPECT_TRUE(StartsWith(reply, "ok scope=default")) << reply;
+  EXPECT_TRUE(Contains(reply, "submitted=")) << reply;
+  reply = server.Command("stats nosuch");
+  EXPECT_TRUE(StartsWith(reply, "err unknown graph")) << reply;
+
+  reply = server.Command("bogus");
+  EXPECT_TRUE(StartsWith(reply, "err unknown command")) << reply;
+
+  EXPECT_EQ(server.Quit(), 0);
+}
+
+TEST(ServerProtocolTest, BackendSwitchThenQueryKeepsLoadedGraphs) {
+  ServerProcess server;
+  ASSERT_TRUE(server.Start({"--nodes=400", "--workers=2", "--seed=11"}));
+  ASSERT_TRUE(StartsWith(server.ReadLine(), "ok hkpr_server"));
+
+  const std::string path = WriteTempFile("sq", "0 1\n1 2\n2 3\n3 0\n");
+  ASSERT_TRUE(StartsWith(server.Command("graph load square " + path), "ok"));
+
+  // Switching backends rebuilds the services but keeps the store: both
+  // graphs survive and serve on the new backend.
+  std::string reply = server.Command("backend hk-relax");
+  EXPECT_TRUE(StartsWith(reply, "ok backend=hk-relax graphs=2")) << reply;
+  reply = server.Command("graph list");
+  EXPECT_TRUE(StartsWith(reply, "ok graphs=2")) << reply;
+  EXPECT_TRUE(Contains(reply, "default")) << reply;
+  EXPECT_TRUE(Contains(reply, "square")) << reply;
+
+  reply = server.Command("graph use square");
+  ASSERT_TRUE(StartsWith(reply, "ok graph=square")) << reply;
+  reply = server.Command("query 0");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=square")) << reply;
+
+  reply = server.Command("backend bogus");
+  EXPECT_TRUE(StartsWith(reply, "err unknown backend \"bogus\"")) << reply;
+  reply = server.Command("backend");
+  EXPECT_TRUE(StartsWith(reply, "ok backend=hk-relax available=")) << reply;
+
+  reply = server.Command("invalidate");
+  EXPECT_TRUE(StartsWith(reply, "ok caches invalidated")) << reply;
+
+  EXPECT_EQ(server.Quit(), 0);
+}
+
+TEST(ServerProtocolTest, GraphsFlagLoadsNamedGraphsAtStartup) {
+  const std::string path_a = WriteTempFile("a", "0 1\n1 2\n2 0\n");
+  const std::string path_b = WriteTempFile("b", "0 1\n1 2\n2 3\n3 4\n");
+  ServerProcess server;
+  ASSERT_TRUE(server.Start(
+      {"--graphs=tri=" + path_a + ",path=" + path_b, "--workers=2"}));
+  const std::string banner = server.ReadLine();
+  ASSERT_TRUE(StartsWith(banner, "ok hkpr_server")) << banner;
+  EXPECT_TRUE(Contains(banner, "graphs=2(path,tri)")) << banner;
+  EXPECT_TRUE(Contains(banner, "current=tri")) << banner;
+
+  std::string reply = server.Command("query 0");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=tri")) << reply;
+  reply = server.Command("graph use path");
+  ASSERT_TRUE(StartsWith(reply, "ok graph=path")) << reply;
+  reply = server.Command("query 4");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=path")) << reply;
+
+  EXPECT_EQ(server.Quit(), 0);
+}
+
+}  // namespace
+}  // namespace hkpr
+
+#else  // !HKPR_SERVER_BINARY
+
+namespace hkpr {
+namespace {
+
+TEST(ServerProtocolTest, SkippedWithoutServerBinary) {
+  GTEST_SKIP() << "example_hkpr_server not built (HKPR_BUILD_EXAMPLES=OFF)";
+}
+
+}  // namespace
+}  // namespace hkpr
+
+#endif  // HKPR_SERVER_BINARY

@@ -303,6 +303,57 @@ TEST(AsyncQueryServiceTest, FourBackendsBitIdenticalToBatchEngine) {
   }
 }
 
+TEST(AsyncQueryServiceTest, SnapshotVersionStampsResultsAndCacheKeys) {
+  // A service built on a GraphStore snapshot co-owns the graph and stamps
+  // the store version on every result; the legacy borrowed-graph path
+  // reports version 0.
+  GraphStore store;
+  const uint64_t version = store.Publish("g", testing::MakeComplete(16));
+  ASSERT_GE(version, 1u);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  AsyncQueryService service(store.Get("g"), TestParams(1e-3), 13, options);
+  EXPECT_EQ(service.graph_version(), version);
+  EXPECT_EQ(service.graph().NumNodes(), 16u);
+
+  const QueryResult computed = service.Submit(3).result.get();
+  ASSERT_EQ(computed.status, QueryStatus::kOk);
+  EXPECT_EQ(computed.graph_version, version);
+  const QueryResult cached = service.Submit(3).result.get();
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(cached.graph_version, version);
+
+  // The service survives the store dropping the graph: its snapshot keeps
+  // the graph alive for in-flight and future queries.
+  store.Remove("g");
+  const QueryResult after_remove = service.Submit(5).result.get();
+  EXPECT_EQ(after_remove.status, QueryStatus::kOk);
+
+  Graph borrowed = testing::MakeComplete(8);
+  AsyncQueryService legacy(borrowed, TestParams(1e-2), 5, options);
+  EXPECT_EQ(legacy.graph_version(), 0u);
+  EXPECT_EQ(legacy.Submit(1).result.get().graph_version, 0u);
+}
+
+TEST(AsyncQueryServiceTest, ShutdownIsIdempotentAndDrains) {
+  Graph g = PowerlawCluster(400, 3, 0.3, 6);
+  ServiceOptions options;
+  options.num_workers = 2;
+  AsyncQueryService service(g, TestParams(1e-4), 43, options);
+  std::vector<QueryHandle> handles;
+  for (NodeId seed = 0; seed < 12; ++seed) {
+    handles.push_back(service.Submit(seed));
+  }
+  service.Shutdown();
+  for (QueryHandle& handle : handles) {
+    EXPECT_EQ(handle.result.get().status, QueryStatus::kOk);
+  }
+  // Post-shutdown submissions are rejected, not lost.
+  EXPECT_EQ(service.Submit(1).result.get().status, QueryStatus::kRejected);
+  service.Shutdown();  // second call: no-op, no double-join
+}
+
 TEST(AsyncQueryServiceTest, DestructorDrainsPendingQueries) {
   Graph g = PowerlawCluster(500, 3, 0.3, 4);
   const ApproxParams params = TestParams(1e-5);
