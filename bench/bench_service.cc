@@ -16,9 +16,13 @@
 // hit rate near the workload's repeat rate.
 //
 // The serving backend is selectable by registry name: by default the
-// benchmark sweeps TEA+, HK-Relax, and Monte-Carlo (the paper's central
-// comparison, now through the production query path); --backend=NAME
-// restricts the run to one backend.
+// benchmark is a *router sweep* over "auto" (the adaptive per-query
+// backend router), TEA+, HK-Relax, and Monte-Carlo — the paper's central
+// comparison, now through the production query path, with the router's
+// blended plan measured against every fixed backend on the same
+// mixed-degree Zipfian workload (hot set = half hubs, half tail seeds, so
+// the router's per-seed choice actually varies). --backend=NAME restricts
+// the run to one backend.
 //
 // Multi-graph mode (--graphs=N): N registry datasets are published into a
 // GraphStore and served through one MultiGraphService whose per-graph
@@ -28,8 +32,11 @@
 //
 // Extra flags: --json=PATH writes results as JSON (BENCH_service.json
 // trajectory); --queries=N overrides the per-pass query count;
-// --backend=NAME benchmarks one registry backend instead of the sweep;
-// --graphs=N switches to the multi-graph sweep over N datasets.
+// --backend=NAME benchmarks one registry backend (or "auto") instead of
+// the sweep; --graphs=N switches to the multi-graph sweep over N
+// datasets; --smoke shrinks the router sweep to a seconds-long CI
+// validation run (tiny query count, one thread count) that still emits
+// every row.
 
 #include <cstdio>
 #include <cstring>
@@ -306,11 +313,14 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string backend_flag;
   uint32_t num_graphs = 0;
+  bool smoke = false;
   uint32_t num_queries = config.full ? 4000 : 1500;
+  bool queries_overridden = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
     if (std::strncmp(argv[i], "--queries=", 10) == 0) {
       num_queries = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+      queries_overridden = true;
     }
     if (std::strncmp(argv[i], "--backend=", 10) == 0) {
       backend_flag = argv[i] + 10;
@@ -318,14 +328,18 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--graphs=", 9) == 0) {
       num_graphs = static_cast<uint32_t>(std::atoi(argv[i] + 9));
     }
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  if (smoke && !queries_overridden) num_queries = 200;
 
-  // Default sweep: the paper's central comparison through the serving path.
-  std::vector<std::string> backends = {"tea+", "hk-relax", "monte-carlo"};
+  // Default sweep: the adaptive router against every fixed backend of the
+  // paper's central comparison, through the serving path.
+  std::vector<std::string> backends = {"auto", "tea+", "hk-relax",
+                                       "monte-carlo"};
   if (!backend_flag.empty()) backends = {backend_flag};
   for (const std::string& name : backends) {
-    if (!EstimatorRegistry::Global().Contains(name)) {
-      std::fprintf(stderr, "unknown backend \"%s\" (available: %s)\n",
+    if (name != kAutoBackend && !EstimatorRegistry::Global().Contains(name)) {
+      std::fprintf(stderr, "unknown backend \"%s\" (available: auto, %s)\n",
                    name.c_str(),
                    EstimatorRegistry::Global().JoinedNames(", ").c_str());
       return 1;
@@ -361,12 +375,16 @@ int main(int argc, char** argv) {
   options.cache_capacity = 8192;
   options.max_queue_depth = 1u << 20;  // closed loop: no admission pressure
 
-  // One Zipfian workload shared by every backend and thread count, so rows
-  // are comparable; 256 distinct hot seeds keeps cold passes compute-bound.
+  // One mixed-degree Zipfian workload shared by every backend and thread
+  // count, so rows are comparable: 256 distinct hot seeds (half of them
+  // the graph's top hubs, half tail nodes) keeps cold passes compute-bound
+  // AND spans the degree classes the router discriminates on — on a
+  // uniform hot set "auto" would collapse to one backend.
   const std::vector<NodeId> seeds =
-      ZipfianSeeds(dataset.graph, num_queries, 256, 1.0, rng);
+      MixedDegreeZipfianSeeds(dataset.graph, num_queries, 256, 1.0, rng);
 
-  const std::vector<uint32_t> thread_counts = {1, 4, 8};
+  const std::vector<uint32_t> thread_counts =
+      smoke ? std::vector<uint32_t>{2} : std::vector<uint32_t>{1, 4, 8};
   std::vector<ServiceRow> rows;
   TablePrinter table({"backend", "threads", "cold q/s", "warm q/s",
                       "warm gain", "warm hit%", "p50 ms", "p99 ms"});
@@ -407,6 +425,6 @@ int main(int argc, char** argv) {
   table.Print();
   WriteServiceJson(json_path, "async_service_throughput", dataset.name,
                    dataset.graph.NumNodes(), dataset.graph.NumEdges(),
-                   "zipfian s=1.0", rows);
+                   "mixed-degree zipfian s=1.0 (hub/tail hot set)", rows);
   return 0;
 }

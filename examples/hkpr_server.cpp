@@ -3,7 +3,7 @@
 //
 //   $ ./build/example_hkpr_server [--graphs=name=path,...] [--graph=PATH]
 //                                 [--nodes=N] [--workers=W] [--cache=CAP]
-//                                 [--seed=S] [--backend=NAME]
+//                                 [--seed=S] [--backend=NAME|auto]
 //
 // Loads one or more named graphs into a GraphStore (--graphs takes a
 // comma-separated name=path list of SNAP edge-lists; --graph=PATH loads a
@@ -12,23 +12,39 @@
 // line-oriented queries through a MultiGraphService — per-graph async
 // services sharing a worker budget of --workers threads:
 //
-//   query <seed>            full HKPR estimate on the current graph
-//   topk <seed> <k>         top-k nodes by normalized HKPR
+//   query <seed> [backend=NAME|auto] [t=V] [eps=V] [delta=V]
+//                           full HKPR estimate on the current graph;
+//                           trailing key=value tokens override this one
+//                           query's plan (backend=auto routes adaptively)
+//   topk <seed> <k> [backend=...] [t=...] [eps=...] [delta=...]
+//                           top-k nodes by normalized HKPR
 //   graph load <name> <path>  load/replace (hot-swap) a graph from disk
 //   graph use <name>        switch the current graph (err if not loaded)
 //   graph drop <name>       remove a graph; its service drains gracefully
 //   graph list              loaded graphs with version/size
-//   backend [<name>]        show / switch the serving backend (drains all)
+//   backend [<name>|auto]   show / switch every graph's default backend —
+//                           a live config update, no drain or rebuild;
+//                           "auto" routes each query by seed degree, t
+//                           and graph scale
+//   params <graph> [backend=NAME|auto] [t=V] [eps=V] [delta=V]
+//                           per-graph default-plan overrides (re-applied
+//                           across hot-swaps); with no tokens, shows the
+//                           graph's current overrides; "params <graph>
+//                           clear" restores the template
 //   stats [<name>]          aggregate (or one graph's) counters/latency
 //   invalidate              drop every graph's cached estimates
 //   quit                    exit
 //
 // Responses are single lines starting with "ok" or "err", so the server
-// can sit behind a pipe or a socat socket. Re-`load`ing a name hot-swaps
-// it: in-flight queries finish on the old snapshot, later queries see the
-// new one, and the version bump makes pre-swap cache entries unreachable.
-// Queries against a dropped/unknown current graph report an error — the
-// server never silently falls back to another graph.
+// can sit behind a pipe or a socat socket. Query responses carry
+// "backend=<name>" — the plan the query actually ran, which is how a
+// routed (auto) query reports the router's choice. Re-`load`ing a name
+// hot-swaps it: in-flight queries finish on the old snapshot, later
+// queries see the new one, and the version bump makes pre-swap cache
+// entries unreachable (cache keys embed the full resolved plan, so
+// distinct plans never share entries either). Queries against a
+// dropped/unknown current graph report an error — the server never
+// silently falls back to another graph.
 
 #include <cstdio>
 #include <cstdlib>
@@ -78,6 +94,61 @@ std::string JoinNames(const std::vector<GraphInfo>& infos) {
   return joined.empty() ? "(none)" : joined;
 }
 
+/// True when `name` is servable as a default/override backend: a registry
+/// name or the routing sentinel.
+bool KnownBackend(const std::string& name) {
+  return name == kAutoBackend || EstimatorRegistry::Global().Contains(name);
+}
+
+/// Parses the trailing key=value plan tokens of a query/params line
+/// (backend=NAME|auto, t=V, eps=V, delta=V) into `plan`. Returns false —
+/// and fills `error` — on an unknown token, a malformed value, or an
+/// unregistered backend name.
+bool ParsePlanTokens(std::istringstream& in, PlanOverrides* plan,
+                     std::string* error) {
+  std::string token;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    char* end = nullptr;
+    double value = 0.0;
+    if (eq != std::string::npos && eq + 1 < token.size() && key != "backend") {
+      value = std::strtod(token.c_str() + eq + 1, &end);
+      if (*end != '\0') {
+        *error = "malformed value in \"" + token + "\"";
+        return false;
+      }
+    }
+    if (key == "backend" && eq != std::string::npos && eq + 1 < token.size()) {
+      plan->backend = token.substr(eq + 1);
+      if (!KnownBackend(plan->backend)) {
+        *error = "unknown backend \"" + plan->backend +
+                 "\" (available: auto," + AvailableBackends() + ")";
+        return false;
+      }
+    } else if (key == "t" && end != nullptr) {
+      plan->t = value;
+    } else if (key == "eps" && end != nullptr) {
+      plan->eps_r = value;
+    } else if (key == "delta" && end != nullptr) {
+      plan->delta = value;
+    } else {
+      *error = "unknown token \"" + token +
+               "\" (expected backend=NAME|auto, t=V, eps=V, delta=V)";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Formats one override for the params display ("default" when unset).
+std::string FmtOverride(const std::optional<double>& value) {
+  if (!value.has_value()) return "default";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", *value);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,22 +172,9 @@ int main(int argc, char** argv) {
     if (std::strncmp(arg, "--seed=", 7) == 0)
       seed = static_cast<uint64_t>(std::atoll(arg + 7));
     if (std::strncmp(arg, "--backend=", 10) == 0) backend = arg + 10;
-    if (std::strncmp(arg, "--estimator=", 12) == 0) {
-      // Pre-registry spelling; fail loudly on anything but its one value
-      // rather than silently serving the default backend.
-      if (std::strcmp(arg + 12, "hkrelax") == 0) {
-        backend = "hk-relax";
-      } else {
-        std::fprintf(stderr,
-                     "err --estimator is superseded by --backend=NAME "
-                     "(available: %s)\n",
-                     AvailableBackends().c_str());
-        return 1;
-      }
-    }
   }
-  if (!EstimatorRegistry::Global().Contains(backend)) {
-    std::fprintf(stderr, "err unknown backend \"%s\" (available: %s)\n",
+  if (!KnownBackend(backend)) {
+    std::fprintf(stderr, "err unknown backend \"%s\" (available: auto,%s)\n",
                  backend.c_str(), AvailableBackends().c_str());
     return 1;
   }
@@ -162,16 +220,15 @@ int main(int argc, char** argv) {
   options.worker_budget = workers;
   options.service.cache_capacity = cache_capacity;
   options.service.backend.name = backend;
-  std::optional<MultiGraphService> service;
-  service.emplace(store, params, seed, options);
+  MultiGraphService service(store, params, seed, options);
 
   {
     const std::vector<GraphInfo> infos = store.List();
     std::printf("ok hkpr_server graphs=%zu(%s) current=%s workers=%u "
                 "cache=%zu backend=%s\n",
                 infos.size(), JoinNames(infos).c_str(), current.c_str(),
-                service->resolved_worker_budget(), cache_capacity,
-                options.service.backend.name.c_str());
+                service.resolved_worker_budget(), cache_capacity,
+                backend.c_str());
     std::fflush(stdout);
   }
 
@@ -198,17 +255,26 @@ int main(int argc, char** argv) {
       if (!(in >> seed_node)) seed_node = -1;
       if (command == "topk" && !(in >> k)) k = -1;
       if (seed_node < 0 || seed_node >= snapshot.graph->NumNodes() || k <= 0) {
-        std::printf("err usage: %s <seed in [0,%u)>%s\n", command.c_str(),
-                    snapshot.graph->NumNodes(),
+        std::printf("err usage: %s <seed in [0,%u)>%s [backend=NAME|auto] "
+                    "[t=V] [eps=V] [delta=V]\n",
+                    command.c_str(), snapshot.graph->NumNodes(),
                     command == "topk" ? " <k >= 1>" : "");
+        std::fflush(stdout);
+        continue;
+      }
+      SubmitOptions submit;
+      std::string token_error;
+      if (!ParsePlanTokens(in, &submit.plan, &token_error)) {
+        std::printf("err %s\n", token_error.c_str());
         std::fflush(stdout);
         continue;
       }
       const NodeId node = static_cast<NodeId>(seed_node);
       QueryHandle handle =
           command == "query"
-              ? service->Submit(current, node)
-              : service->SubmitTopK(current, node, static_cast<size_t>(k));
+              ? service.Submit(current, node, submit)
+              : service.SubmitTopK(current, node, static_cast<size_t>(k),
+                                   submit);
       const QueryResult result = handle.result.get();
       if (result.status != QueryStatus::kOk) {
         if (result.status == QueryStatus::kUnknownGraph) {
@@ -218,17 +284,19 @@ int main(int argc, char** argv) {
           std::printf("err status=%s\n", QueryStatusName(result.status));
         }
       } else if (command == "query") {
-        std::printf("ok graph=%s version=%llu seed=%u nnz=%zu sum=%.6f "
-                    "cache=%s latency_ms=%.3f\n",
+        std::printf("ok graph=%s version=%llu seed=%u backend=%s nnz=%zu "
+                    "sum=%.6f cache=%s latency_ms=%.3f\n",
                     current.c_str(),
                     static_cast<unsigned long long>(result.graph_version),
-                    node, result.estimate->nnz(), result.estimate->Sum(),
+                    node, result.backend.c_str(), result.estimate->nnz(),
+                    result.estimate->Sum(),
                     result.from_cache ? "hit" : "miss", result.latency_ms);
       } else {
-        std::printf("ok graph=%s version=%llu seed=%u k=%zu cache=%s",
+        std::printf("ok graph=%s version=%llu seed=%u backend=%s k=%zu "
+                    "cache=%s",
                     current.c_str(),
                     static_cast<unsigned long long>(result.graph_version),
-                    node, result.top_k.size(),
+                    node, result.backend.c_str(), result.top_k.size(),
                     result.from_cache ? "hit" : "miss");
         for (const ScoredNode& s : result.top_k) {
           std::printf(" %u:%.6g", s.node, s.score);
@@ -252,7 +320,7 @@ int main(int argc, char** argv) {
             Graph graph = std::move(loaded).value();
             const uint32_t n = graph.NumNodes();
             const uint64_t m = graph.NumEdges();
-            const uint64_t version = service->Publish(name, std::move(graph));
+            const uint64_t version = service.Publish(name, std::move(graph));
             // Adopt the loaded graph when the current one is gone (e.g.
             // dropped), so load restores queryability without a `use`.
             if (current.empty() || !store.Contains(current)) current = name;
@@ -284,7 +352,7 @@ int main(int argc, char** argv) {
         in >> name;
         if (name.empty()) {
           std::printf("err usage: graph drop <name>\n");
-        } else if (!service->Drop(name)) {
+        } else if (!service.Drop(name)) {
           std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
                       JoinNames(store.List()).c_str());
         } else {
@@ -310,27 +378,67 @@ int main(int argc, char** argv) {
       std::string name;
       in >> name;
       if (name.empty()) {
-        std::printf("ok backend=%s available=%s\n",
-                    options.service.backend.name.c_str(),
+        std::printf("ok backend=%s available=auto,%s\n",
+                    service.default_backend().c_str(),
                     AvailableBackends().c_str());
-      } else if (!EstimatorRegistry::Global().Contains(name)) {
-        std::printf("err unknown backend \"%s\" (available: %s)\n",
+      } else if (!service.SetDefaultBackend(name)) {
+        std::printf("err unknown backend \"%s\" (available: auto,%s)\n",
                     name.c_str(), AvailableBackends().c_str());
       } else {
-        // Rebuild the multi-graph service on the new backend: the
-        // destructor drains every per-graph queue first, so nothing in
-        // flight is dropped, and the store (the loaded graphs) carries
-        // over untouched.
-        options.service.backend.name = name;
-        service.reset();
-        service.emplace(store, params, seed, options);
+        // A live config update: every per-graph service keeps its workers
+        // and queue — in-flight queries finish on the plan they were
+        // submitted with, later ones resolve against the new default, and
+        // plan-keyed caching means no invalidation is needed.
         std::printf("ok backend=%s graphs=%zu\n", name.c_str(), store.Size());
+      }
+    } else if (command == "params") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        std::printf("err usage: params <graph> [clear] [backend=NAME|auto] "
+                    "[t=V] [eps=V] [delta=V]\n");
+      } else if (!store.Contains(name)) {
+        std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
+                    JoinNames(store.List()).c_str());
+      } else {
+        PlanOverrides overrides;
+        std::string token_error;
+        std::string first;
+        const auto rest = in.tellg();
+        in >> first;
+        const bool clear = first == "clear";
+        const bool show = first.empty();
+        if (!clear && !show) in.seekg(rest);
+        if (!clear && !show && !ParsePlanTokens(in, &overrides, &token_error)) {
+          std::printf("err %s\n", token_error.c_str());
+        } else if (!clear && !show &&
+                   !ServableParams(ApplyParamOverrides(params, overrides))) {
+          std::printf("err params out of range (t in (0,1000], eps in (0,1), "
+                      "delta > 0)\n");
+        } else {
+          if (show) {
+            overrides = service.GraphDefaults(name);
+          } else if (!service.SetGraphDefaults(name, overrides)) {
+            // Raced with a concurrent drop — report like any unknown graph.
+            std::printf("err unknown graph \"%s\" (loaded: %s)\n",
+                        name.c_str(), JoinNames(store.List()).c_str());
+            std::fflush(stdout);
+            continue;
+          }
+          std::printf(
+              "ok graph=%s backend=%s t=%s eps=%s delta=%s\n", name.c_str(),
+              overrides.backend.empty() ? "default"
+                                        : overrides.backend.c_str(),
+              FmtOverride(overrides.t).c_str(),
+              FmtOverride(overrides.eps_r).c_str(),
+              FmtOverride(overrides.delta).c_str());
+        }
       }
     } else if (command == "stats") {
       std::string name;
       in >> name;
       const ServiceStatsSnapshot s =
-          name.empty() ? service->AggregateStats() : service->StatsFor(name);
+          name.empty() ? service.AggregateStats() : service.StatsFor(name);
       // A named scope is valid while the graph is loaded AND after it was
       // dropped (StatsFor keeps the retired cumulative counters); only a
       // name that never served anything is an error.
@@ -343,11 +451,13 @@ int main(int argc, char** argv) {
       }
       std::printf(
           "ok scope=%s submitted=%llu completed=%llu rejected=%llu "
+          "invalid_plans=%llu "
           "hits=%llu misses=%llu coalesced=%llu computed=%llu queue=%zu",
           name.empty() ? "all" : name.c_str(),
           static_cast<unsigned long long>(s.submitted),
           static_cast<unsigned long long>(s.completed),
           static_cast<unsigned long long>(s.rejected),
+          static_cast<unsigned long long>(s.invalid_plans),
           static_cast<unsigned long long>(s.cache_hits),
           static_cast<unsigned long long>(s.cache_misses),
           static_cast<unsigned long long>(s.coalesced),
@@ -356,18 +466,18 @@ int main(int argc, char** argv) {
         // Service-wide, not attributable to any one graph.
         std::printf(" unknown_graph=%llu invalid_argument=%llu",
                     static_cast<unsigned long long>(
-                        service->unknown_graph_rejects()),
+                        service.unknown_graph_rejects()),
                     static_cast<unsigned long long>(
-                        service->invalid_argument_rejects()));
+                        service.invalid_argument_rejects()));
       }
       std::printf(" p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f\n", s.latency_p50_ms,
                   s.latency_p95_ms, s.latency_p99_ms);
     } else if (command == "invalidate") {
-      service->InvalidateCaches();
+      service.InvalidateCaches();
       std::printf("ok caches invalidated\n");
     } else {
       std::printf("err unknown command \"%s\" "
-                  "(query/topk/graph/backend/stats/invalidate/quit)\n",
+                  "(query/topk/graph/backend/params/stats/invalidate/quit)\n",
                   command.c_str());
     }
     std::fflush(stdout);

@@ -26,9 +26,19 @@ ClusterHkprEstimator::ClusterHkprEstimator(const Graph& graph,
 
 SparseVector ClusterHkprEstimator::Estimate(NodeId seed,
                                             EstimatorStats* stats) {
+  // Runs in a fresh workspace, so the by-value path consumes exactly the
+  // same RNG stream and produces exactly the same adds as EstimateInto —
+  // bit-identical by construction.
+  return EstimateWithFreshWorkspace(*this, seed, stats);
+}
+
+const SparseVector& ClusterHkprEstimator::EstimateInto(NodeId seed,
+                                                       QueryWorkspace& ws,
+                                                       EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
-  SparseVector rho;
+  ws.result.Clear();
+  SparseVector& rho = ws.result;
   const double weight = 1.0 / static_cast<double>(num_walks_);
   uint64_t steps = 0;
   for (uint64_t i = 0; i < num_walks_; ++i) {

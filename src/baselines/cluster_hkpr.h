@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
+#include "hkpr/workspace.h"
 
 namespace hkpr {
 
@@ -29,13 +30,31 @@ struct ClusterHkprOptions {
 };
 
 /// Monte-Carlo HKPR with the Chung-Simpson walk count and length cap.
-class ClusterHkprEstimator : public HkprEstimator {
+///
+/// Also implements the serving-backend contract (WorkspaceEstimator):
+/// EstimateInto() runs the same walks — bit-identically, same RNG stream —
+/// inside a caller-provided workspace, and Reseed() replays the randomness
+/// of a freshly constructed estimator, so the baseline registers in the
+/// EstimatorRegistry ("cluster-hkpr") and serves through every query
+/// frontend.
+class ClusterHkprEstimator : public HkprEstimator, public WorkspaceEstimator {
  public:
   ClusterHkprEstimator(const Graph& graph, const ClusterHkprOptions& options,
                        uint64_t seed);
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
+
+  /// Runs the query entirely inside `ws` (end-point counts accumulate into
+  /// `ws.result`) and returns a reference to `ws.result`, valid until the
+  /// next query on that workspace. Allocation-free once the workspace
+  /// capacities have warmed up; bit-identical to Estimate().
+  const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
+                                   EstimatorStats* stats = nullptr) override;
+
+  /// Re-seeds the walk RNG; queries after a Reseed(s) replay the same
+  /// randomness as a freshly constructed estimator with seed `s`.
+  void Reseed(uint64_t seed) override { rng_.Reseed(seed); }
 
   std::string_view name() const override { return "ClusterHKPR"; }
 

@@ -25,22 +25,19 @@ std::vector<NodeId> UniformSeeds(const Graph& graph, uint32_t count,
   return seeds;
 }
 
-std::vector<NodeId> ZipfianSeeds(const Graph& graph, uint32_t count,
-                                 uint32_t universe, double s, Rng& rng) {
-  HKPR_CHECK(universe > 0);
-  HKPR_CHECK(s >= 0.0);
-  const std::vector<NodeId> hot = UniformSeeds(graph, universe, rng);
-  HKPR_CHECK(!hot.empty()) << "graph has no positive-degree nodes";
+namespace {
 
-  // Cumulative weights 1/r^s, r = 1..|hot|; draws invert the CDF by binary
-  // search.
+/// `count` Zipfian draws (exponent `s`) over the given hot set: the rank-r
+/// entry is drawn with probability proportional to 1/r^s by inverting the
+/// CDF with a binary search.
+std::vector<NodeId> ZipfianDraws(const std::vector<NodeId>& hot,
+                                 uint32_t count, double s, Rng& rng) {
   std::vector<double> cdf(hot.size());
   double total = 0.0;
   for (size_t r = 0; r < hot.size(); ++r) {
     total += 1.0 / std::pow(static_cast<double>(r + 1), s);
     cdf[r] = total;
   }
-
   std::vector<NodeId> seeds;
   seeds.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -50,6 +47,62 @@ std::vector<NodeId> ZipfianSeeds(const Graph& graph, uint32_t count,
     seeds.push_back(hot[std::min(r, hot.size() - 1)]);
   }
   return seeds;
+}
+
+}  // namespace
+
+std::vector<NodeId> ZipfianSeeds(const Graph& graph, uint32_t count,
+                                 uint32_t universe, double s, Rng& rng) {
+  HKPR_CHECK(universe > 0);
+  HKPR_CHECK(s >= 0.0);
+  const std::vector<NodeId> hot = UniformSeeds(graph, universe, rng);
+  HKPR_CHECK(!hot.empty()) << "graph has no positive-degree nodes";
+  return ZipfianDraws(hot, count, s, rng);
+}
+
+std::vector<NodeId> MixedDegreeZipfianSeeds(const Graph& graph,
+                                            uint32_t count, uint32_t universe,
+                                            double s, Rng& rng) {
+  HKPR_CHECK(universe > 0);
+  HKPR_CHECK(s >= 0.0);
+  const uint32_t n = graph.NumNodes();
+  HKPR_CHECK(n > 0);
+
+  // Hub half: the highest-degree nodes, found by partial selection.
+  const uint32_t num_hubs = std::min(std::max(universe / 2, 1u), n);
+  std::vector<NodeId> by_degree(n);
+  for (uint32_t v = 0; v < n; ++v) by_degree[v] = v;
+  std::partial_sort(by_degree.begin(), by_degree.begin() + num_hubs,
+                    by_degree.end(), [&](NodeId a, NodeId b) {
+                      if (graph.Degree(a) != graph.Degree(b)) {
+                        return graph.Degree(a) > graph.Degree(b);
+                      }
+                      return a < b;
+                    });
+  std::vector<NodeId> hot;
+  hot.reserve(universe);
+  for (uint32_t i = 0; i < num_hubs && graph.Degree(by_degree[i]) > 0; ++i) {
+    hot.push_back(by_degree[i]);
+  }
+
+  // Tail half: uniform positive-degree nodes not already picked as hubs.
+  FlatSet chosen(universe);
+  for (NodeId hub : hot) chosen.Insert(hub);
+  uint32_t attempts = 0;
+  while (hot.size() < universe && attempts < 100u * universe + 1000u) {
+    ++attempts;
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (graph.Degree(v) == 0) continue;
+    if (chosen.Insert(v)) hot.push_back(v);
+  }
+  HKPR_CHECK(!hot.empty()) << "graph has no positive-degree nodes";
+
+  // Shuffle so Zipfian rank (popularity) is independent of degree class:
+  // some hubs are hot, some cold, ditto tails.
+  for (size_t i = hot.size(); i > 1; --i) {
+    std::swap(hot[i - 1], hot[rng.UniformInt(i)]);
+  }
+  return ZipfianDraws(hot, count, s, rng);
 }
 
 std::vector<CommunitySeed> CommunitySeeds(const Graph& graph,

@@ -25,6 +25,17 @@ std::vector<NodeId> UniformSeeds(const Graph& graph, uint32_t count, Rng& rng);
 std::vector<NodeId> ZipfianSeeds(const Graph& graph, uint32_t count,
                                  uint32_t universe, double s, Rng& rng);
 
+/// ZipfianSeeds over a *mixed-degree* hot set: half the universe is the
+/// graph's highest-degree nodes (hubs), half is drawn uniformly among the
+/// remaining positive-degree nodes, and the combined set is shuffled before
+/// Zipfian ranks are assigned — so hot traffic mixes hub and tail seeds
+/// instead of whatever degrees a uniform sample happens to hit. The
+/// workload an adaptive backend router is measured on: per-seed backend
+/// choice only matters when the seed mix actually spans degree classes.
+std::vector<NodeId> MixedDegreeZipfianSeeds(const Graph& graph, uint32_t count,
+                                            uint32_t universe, double s,
+                                            Rng& rng);
+
 /// A seed together with its ground-truth community (Table 8 protocol).
 struct CommunitySeed {
   NodeId seed;

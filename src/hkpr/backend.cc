@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "baselines/cluster_hkpr.h"
 #include "baselines/hk_relax.h"
 #include "common/logging.h"
 #include "hkpr/monte_carlo.h"
@@ -138,6 +139,23 @@ void RegisterBuiltins(EstimatorRegistry* registry) {
         options.eps_a = HkRelaxEpsA(params, ctx);
         return std::unique_ptr<WorkspaceEstimator>(
             new HkRelaxEstimator(graph, options));
+      }});
+
+  registry->Register(BackendInfo{
+      .name = "cluster-hkpr",
+      .algorithm = "ClusterHKPR (Chung & Simpson 2014): pure walks with the "
+                   "16 log(n)/eps^3 count, eps = eps_r",
+      .randomized = true,
+      .factory = [](const Graph& graph, const ApproxParams& params,
+                    uint64_t seed, const BackendContext& /*ctx*/) {
+        // The baseline's own accuracy knob is the (1+eps)/eps guarantee's
+        // eps; the shared eps_r plays that role. Walk counts come from the
+        // Chung-Simpson formula, not omega, so p'_f is not consumed.
+        ClusterHkprOptions options;
+        options.t = params.t;
+        options.eps = params.eps_r;
+        return std::unique_ptr<WorkspaceEstimator>(
+            new ClusterHkprEstimator(graph, options, seed));
       }});
 
   registry->Register(BackendInfo{

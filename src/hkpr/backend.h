@@ -13,8 +13,8 @@
 // frontend produced them.
 //
 // Built-in backends (see backend.cc): "tea+", "tea", "monte-carlo", "push",
-// "hk-relax", "tea+-par", "monte-carlo-par". Register() accepts additional
-// ones at runtime.
+// "hk-relax", "cluster-hkpr", "tea+-par", "monte-carlo-par". Register()
+// accepts additional ones at runtime.
 
 #ifndef HKPR_HKPR_BACKEND_H_
 #define HKPR_HKPR_BACKEND_H_

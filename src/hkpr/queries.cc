@@ -1,6 +1,7 @@
 #include "hkpr/queries.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 
@@ -77,24 +78,98 @@ uint64_t QueryRngSeed(uint64_t base_seed, uint64_t query_index) {
   return z ^ (z >> 31);
 }
 
+QueryExecutor::PlanKey QueryExecutor::KeyOf(uint32_t backend_id,
+                                            const ApproxParams& params) {
+  PlanKey key;
+  key.backend_id = backend_id;
+  key.t_bits = std::bit_cast<uint64_t>(params.t);
+  key.eps_r_bits = std::bit_cast<uint64_t>(params.eps_r);
+  key.delta_bits = std::bit_cast<uint64_t>(params.delta);
+  key.p_f_bits = std::bit_cast<uint64_t>(params.p_f);
+  return key;
+}
+
 QueryExecutor::QueryExecutor(const Graph& graph, const ApproxParams& params,
                              uint64_t base_seed, const BackendSpec& spec)
-    : graph_(graph), base_seed_(base_seed) {
+    : graph_(graph), base_seed_(base_seed), context_(spec.context) {
   const BackendInfo* info = EstimatorRegistry::Global().Find(spec.name);
   HKPR_CHECK(info != nullptr) << "unknown estimator backend \"" << spec.name
                               << "\" (see EstimatorRegistry::Names())";
+  // A spec resolved by ResolvedSpec() carries p'_f for the construction
+  // params; remember which p_f it belongs to so lazily routed plans with
+  // the same p_f reuse it instead of re-scanning.
+  memo_pf_ = params.p_f;
+  memo_pf_prime_ = context_.pf_prime;
+  default_plan_.backend = spec.name;
+  // The registry's collision-checked id, not a local re-hash of the name.
+  default_plan_.backend_id = info->stable_id;
+  default_plan_.params = params;
   // The constructor seed is irrelevant for randomized backends: every
   // query re-seeds the estimator from (base_seed_, query index).
-  estimator_ = info->factory(graph, params, base_seed, spec.context);
-  // The registry's collision-checked id, not a local re-hash of the name.
-  backend_id_ = info->stable_id;
+  estimators_.push_back(
+      PlanEstimator{KeyOf(info->stable_id, params),
+                    info->factory(graph, params, base_seed, spec.context)});
+}
+
+double QueryExecutor::PfPrimeFor(double p_f) {
+  if (memo_pf_prime_ < 0.0 ||
+      std::bit_cast<uint64_t>(memo_pf_) != std::bit_cast<uint64_t>(p_f)) {
+    memo_pf_prime_ = ComputePfPrime(graph_, p_f);
+    memo_pf_ = p_f;
+  }
+  return memo_pf_prime_;
+}
+
+WorkspaceEstimator& QueryExecutor::EstimatorFor(const QueryPlan& plan) {
+  const PlanKey key = KeyOf(plan.backend_id, plan.params);
+  // Entry 0 is the pinned default; entries behind it are kept in LRU
+  // order (oldest first), maintained by rotating hits to the back.
+  for (size_t i = 0; i < estimators_.size(); ++i) {
+    if (!(estimators_[i].key == key)) continue;
+    WorkspaceEstimator& estimator = *estimators_[i].estimator;
+    if (i > 0 && i + 1 < estimators_.size()) {
+      std::rotate(estimators_.begin() + i, estimators_.begin() + i + 1,
+                  estimators_.end());
+    }
+    return estimator;  // the heap object is stable across the rotate
+  }
+  // First query on this plan: build its estimator from the registry with
+  // the executor's shared tuning context. Upstream plan resolution
+  // validated the name, so an unknown backend here is a wiring bug.
+  const BackendInfo* info = EstimatorRegistry::Global().Find(plan.backend);
+  HKPR_CHECK(info != nullptr && info->stable_id == plan.backend_id)
+      << "query plan names unregistered backend \"" << plan.backend << "\"";
+  BackendContext context = context_;
+  if (info->randomized) context.pf_prime = PfPrimeFor(plan.params.p_f);
+  if (estimators_.size() >= kMaxPlanEstimators) {
+    // Bounded: evict the least-recently-used non-default plan so a
+    // stream of distinct overrides cannot grow memory without bound.
+    // Rebuilding later is bit-identical (see kMaxPlanEstimators).
+    estimators_.erase(estimators_.begin() + 1);
+  }
+  estimators_.push_back(PlanEstimator{
+      key, info->factory(graph_, plan.params, base_seed_, context)});
+  return *estimators_.back().estimator;
+}
+
+const SparseVector& QueryExecutor::Run(WorkspaceEstimator& estimator,
+                                       NodeId seed, uint64_t query_index) {
+  HKPR_CHECK(seed < graph_.NumNodes()) << "query seed out of range";
+  estimator.Reseed(QueryRngSeed(base_seed_, query_index));
+  return estimator.EstimateInto(seed, workspace_);
 }
 
 const SparseVector& QueryExecutor::AnswerInto(NodeId seed,
                                               uint64_t query_index) {
-  HKPR_CHECK(seed < graph_.NumNodes()) << "query seed out of range";
-  estimator_->Reseed(QueryRngSeed(base_seed_, query_index));
-  return estimator_->EstimateInto(seed, workspace_);
+  // The default plan's estimator is always entry 0 — no key scan on the
+  // unrouted fast path.
+  return Run(*estimators_.front().estimator, seed, query_index);
+}
+
+const SparseVector& QueryExecutor::AnswerInto(NodeId seed,
+                                              uint64_t query_index,
+                                              const QueryPlan& plan) {
+  return Run(EstimatorFor(plan), seed, query_index);
 }
 
 SparseVector QueryExecutor::Answer(NodeId seed, uint64_t query_index) {
@@ -104,10 +179,22 @@ SparseVector QueryExecutor::Answer(NodeId seed, uint64_t query_index) {
   return AnswerInto(seed, query_index).CompactCopy();
 }
 
+SparseVector QueryExecutor::Answer(NodeId seed, uint64_t query_index,
+                                   const QueryPlan& plan) {
+  return AnswerInto(seed, query_index, plan).CompactCopy();
+}
+
 std::vector<ScoredNode> QueryExecutor::AnswerTopK(NodeId seed,
                                                   uint64_t query_index,
                                                   size_t k) {
   return TopKNormalized(graph_, AnswerInto(seed, query_index), k);
+}
+
+std::vector<ScoredNode> QueryExecutor::AnswerTopK(NodeId seed,
+                                                  uint64_t query_index,
+                                                  size_t k,
+                                                  const QueryPlan& plan) {
+  return TopKNormalized(graph_, AnswerInto(seed, query_index, plan), k);
 }
 
 namespace {
@@ -144,6 +231,11 @@ BatchQueryEngine::BatchQueryEngine(const Graph& graph,
 
 std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
     std::span<const NodeId> seeds) {
+  return EstimateBatch(seeds, default_plan());
+}
+
+std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
+    std::span<const NodeId> seeds, const QueryPlan& plan) {
   if (seeds.empty()) return {};
   for (NodeId seed : seeds) {
     HKPR_CHECK(seed < graph_.NumNodes()) << "batch seed out of range";
@@ -153,7 +245,7 @@ std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
   queries_served_ += seeds.size();
   pool_.Chunks(seeds.size(), [&](uint32_t tid, uint64_t begin, uint64_t end) {
     for (uint64_t i = begin; i < end; ++i) {
-      out[i] = executors_[tid].Answer(seeds[i], batch_offset + i);
+      out[i] = executors_[tid].Answer(seeds[i], batch_offset + i, plan);
     }
   });
   return out;
@@ -161,6 +253,11 @@ std::vector<SparseVector> BatchQueryEngine::EstimateBatch(
 
 std::vector<std::vector<ScoredNode>> BatchQueryEngine::TopKBatch(
     std::span<const NodeId> seeds, size_t k) {
+  return TopKBatch(seeds, k, default_plan());
+}
+
+std::vector<std::vector<ScoredNode>> BatchQueryEngine::TopKBatch(
+    std::span<const NodeId> seeds, size_t k, const QueryPlan& plan) {
   if (seeds.empty()) return {};
   for (NodeId seed : seeds) {
     HKPR_CHECK(seed < graph_.NumNodes()) << "batch seed out of range";
@@ -170,7 +267,7 @@ std::vector<std::vector<ScoredNode>> BatchQueryEngine::TopKBatch(
   queries_served_ += seeds.size();
   pool_.Chunks(seeds.size(), [&](uint32_t tid, uint64_t begin, uint64_t end) {
     for (uint64_t i = begin; i < end; ++i) {
-      out[i] = executors_[tid].AnswerTopK(seeds[i], batch_offset + i, k);
+      out[i] = executors_[tid].AnswerTopK(seeds[i], batch_offset + i, k, plan);
     }
   });
   return out;

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "hkpr/backend.h"
 #include "hkpr/estimator.h"
+#include "hkpr/router.h"
 #include "hkpr/workspace.h"
 #include "parallel/thread_pool.h"
 
@@ -54,12 +55,22 @@ SparseVector EstimateSeedSet(const Graph& graph, HkprEstimator& estimator,
 /// estimates.
 uint64_t QueryRngSeed(uint64_t base_seed, uint64_t query_index);
 
-/// One serving thread's worth of query state: a registry-built backend
-/// estimator plus its reusable QueryWorkspace. Answer() re-seeds the
+/// One serving thread's worth of query state: registry-built backend
+/// estimators plus one reusable QueryWorkspace. Answer() re-seeds the
 /// estimator from (base_seed, query_index) and runs the query inside the
 /// workspace, so steady-state answers are allocation-free apart from the
 /// returned copy. For deterministic backends the re-seed is a no-op and
 /// answers are exactly the direct estimator's.
+///
+/// The executor is *plan-aware*: it is constructed with a default
+/// BackendSpec (built eagerly, as before) and lazily builds one estimator
+/// per distinct QueryPlan it is asked to execute — a routed/overridden
+/// query pays the estimator construction once per (worker, plan) and is
+/// allocation-free afterwards. All plans share the one workspace, which is
+/// fully reset per query, so answers depend only on
+/// (plan, engine seed, query index): executing a plan here is bit-identical
+/// to a dedicated executor constructed directly on that plan's backend and
+/// params with the same engine seed.
 ///
 /// Factored out of BatchQueryEngine so other frontends (the async query
 /// service in src/service/) run the exact same computation per query and
@@ -73,28 +84,92 @@ class QueryExecutor {
   QueryExecutor(const Graph& graph, const ApproxParams& params,
                 uint64_t base_seed, const BackendSpec& spec = {});
 
-  /// Answers query number `query_index` inside the reusable workspace. The
-  /// returned reference is valid until the next Answer* call.
+  /// Answers query number `query_index` on the default plan inside the
+  /// reusable workspace. The returned reference is valid until the next
+  /// Answer* call.
   const SparseVector& AnswerInto(NodeId seed, uint64_t query_index);
+
+  /// Answers on an explicit plan (routed or overridden query). The plan's
+  /// backend must be registered; its estimator is built on first use and
+  /// reused afterwards.
+  const SparseVector& AnswerInto(NodeId seed, uint64_t query_index,
+                                 const QueryPlan& plan);
 
   /// AnswerInto() + CompactCopy(), for results that outlive the workspace.
   SparseVector Answer(NodeId seed, uint64_t query_index);
+  SparseVector Answer(NodeId seed, uint64_t query_index,
+                      const QueryPlan& plan);
 
   /// AnswerInto() + TopKNormalized().
   std::vector<ScoredNode> AnswerTopK(NodeId seed, uint64_t query_index,
                                      size_t k);
+  std::vector<ScoredNode> AnswerTopK(NodeId seed, uint64_t query_index,
+                                     size_t k, const QueryPlan& plan);
 
-  /// The backend's algorithm name ("TEA+", "HK-Relax", ...).
-  std::string_view backend_name() const { return estimator_->name(); }
+  /// The fully resolved default plan (spec backend + construction params).
+  const QueryPlan& default_plan() const { return default_plan_; }
 
-  /// The registry's stable id for the backend (cache-key material).
-  uint32_t backend_id() const { return backend_id_; }
+  /// The default backend's algorithm name ("TEA+", "HK-Relax", ...).
+  std::string_view backend_name() const {
+    return estimators_.front().estimator->name();
+  }
+
+  /// The registry's stable id for the default backend (cache-key material).
+  uint32_t backend_id() const { return default_plan_.backend_id; }
+
+  /// Distinct plans this executor currently holds estimators for (>= 1;
+  /// the default plan is built at construction). Observability for tests
+  /// and stats: a backend switch shows up as +1 here, never as a rebuild.
+  size_t num_plan_estimators() const { return estimators_.size(); }
+
+  /// Retained plan estimators per executor. The default plan is pinned;
+  /// the least-recently-used non-default plan is evicted beyond this, so a
+  /// client spraying distinct parameter overrides cannot grow worker
+  /// memory without bound. Eviction never affects results: estimator
+  /// construction is deterministic and every query re-seeds from (engine
+  /// seed, query index), so a rebuilt plan answers bit-identically.
+  static constexpr size_t kMaxPlanEstimators = 16;
 
  private:
+  /// Identity of a plan for estimator reuse: backend plus the bit patterns
+  /// of every parameter an estimator bakes in at construction (bitwise so
+  /// the match is exact, cf. ResultCacheKey).
+  struct PlanKey {
+    uint32_t backend_id = 0;
+    uint64_t t_bits = 0;
+    uint64_t eps_r_bits = 0;
+    uint64_t delta_bits = 0;
+    uint64_t p_f_bits = 0;
+    bool operator==(const PlanKey&) const = default;
+  };
+  static PlanKey KeyOf(uint32_t backend_id, const ApproxParams& params);
+
+  struct PlanEstimator {
+    PlanKey key;
+    std::unique_ptr<WorkspaceEstimator> estimator;
+  };
+
+  /// The estimator for `plan`, built on first use (check-fails when the
+  /// plan names an unregistered backend — resolution upstream guarantees
+  /// it never does).
+  WorkspaceEstimator& EstimatorFor(const QueryPlan& plan);
+
+  /// p'_f (Equation 6) for `p_f`, memoized: the spec's resolved value when
+  /// provided, computed once (an O(n) scan) otherwise — shared by every
+  /// randomized backend this executor lazily builds.
+  double PfPrimeFor(double p_f);
+
+  const SparseVector& Run(WorkspaceEstimator& estimator, NodeId seed,
+                          uint64_t query_index);
+
   const Graph& graph_;
   uint64_t base_seed_;
-  std::unique_ptr<WorkspaceEstimator> estimator_;
-  uint32_t backend_id_;
+  /// Shared tuning for lazily built backends (the default spec's context).
+  BackendContext context_;
+  double memo_pf_ = 0.0;        // p_f the memoized p'_f belongs to
+  double memo_pf_prime_ = -1.0; // < 0 = not yet computed
+  QueryPlan default_plan_;
+  std::vector<PlanEstimator> estimators_;  // [0] = the default plan's
   QueryWorkspace workspace_;
 };
 
@@ -129,11 +204,27 @@ class BatchQueryEngine {
   /// an empty result without touching the pool.
   std::vector<SparseVector> EstimateBatch(std::span<const NodeId> seeds);
 
+  /// Answers the whole batch on an explicit plan instead of the engine's
+  /// default (each per-thread executor builds the plan's estimator on
+  /// first use). Per-query RNG derivation is identical to the default
+  /// overload, so a plan naming the engine's own backend and params is
+  /// bit-identical to it.
+  std::vector<SparseVector> EstimateBatch(std::span<const NodeId> seeds,
+                                          const QueryPlan& plan);
+
   /// Convenience: batch top-k — out[i] is TopKNormalized of seeds[i]'s
   /// estimate. An empty span returns an empty result without touching the
   /// pool.
   std::vector<std::vector<ScoredNode>> TopKBatch(std::span<const NodeId> seeds,
                                                  size_t k);
+  std::vector<std::vector<ScoredNode>> TopKBatch(std::span<const NodeId> seeds,
+                                                 size_t k,
+                                                 const QueryPlan& plan);
+
+  /// The engine's resolved default plan (backend + construction params).
+  const QueryPlan& default_plan() const {
+    return executors_.front().default_plan();
+  }
 
   uint32_t num_threads() const { return pool_.num_threads(); }
   ThreadPool& pool() { return pool_; }

@@ -40,6 +40,12 @@ AsyncQueryService::AsyncQueryService(GraphSnapshot snapshot,
                                      const ServiceOptions& options)
     : snapshot_(std::move(snapshot)), params_(params), options_(options) {
   HKPR_CHECK(snapshot_.graph != nullptr) << "service needs a graph snapshot";
+  // Die at startup on out-of-range defaults, not on whichever request
+  // happens to trigger plan resolution first (ResolveQueryPlan reports
+  // rather than aborts, relying on this construction-time validation).
+  HKPR_CHECK(ServableParams(params))
+      << "service ApproxParams out of range (t in (0, 1000], eps_r in "
+         "(0, 1), delta > 0, p_f in (0, 1))";
   const Graph& graph = *snapshot_.graph;
   uint32_t num_workers = options.num_workers;
   if (num_workers == 0) {
@@ -49,11 +55,23 @@ AsyncQueryService::AsyncQueryService(GraphSnapshot snapshot,
     cache_ = std::make_unique<ResultCache>(options.cache_capacity,
                                            options.cache_shards);
   }
+  router_owner_ = options.router;
+  router_ = router_owner_ ? router_owner_.get() : &DefaultRouter();
 
-  // Resolve shared precomputations (p'_f, an O(n) scan) once for all
-  // per-worker executors; ResolvedSpec check-fails on unknown backend
-  // names, so a misconfigured service dies loudly at construction.
-  const BackendSpec spec = ResolvedSpec(options.backend, graph, params);
+  // An "auto" default means every unpinned request is routed per query;
+  // the executors still need a concrete backend for their eagerly built
+  // default estimator — warm the router's usual winner.
+  BackendSpec exec_spec = options.backend;
+  if (exec_spec.name == kAutoBackend) exec_spec.name = "tea+";
+  // Resolve shared precomputations once for all per-worker executors;
+  // ResolvedSpec check-fails on unknown backend names, so a misconfigured
+  // service dies loudly at construction. p'_f is resolved even for
+  // deterministic defaults (one O(n) scan): a routed or overridden plan
+  // may lazily build a randomized backend on any worker.
+  BackendSpec spec = ResolvedSpec(exec_spec, graph, params);
+  if (spec.context.pf_prime < 0.0) {
+    spec.context.pf_prime = ComputePfPrime(graph, params.p_f);
+  }
   CheckPoolUnsharedAcrossWorkers(spec, num_workers);
   executors_.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
@@ -63,10 +81,60 @@ AsyncQueryService::AsyncQueryService(GraphSnapshot snapshot,
   // The registry's collision-checked id (as resolved by the executors),
   // folded into every cache key.
   backend_id_ = executors_.front()->backend_id();
+
+  defaults_.backend = options.backend.name;
+  defaults_.params = params;
+  if (defaults_.backend != kAutoBackend) {
+    // Pre-resolve the fast path: unpinned requests reuse this plan
+    // without consulting the registry per submission.
+    defaults_.plan = executors_.front()->default_plan();
+  }
+
   workers_.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
+}
+
+bool AsyncQueryService::SetDefaultBackend(std::string_view backend) {
+  QueryPlan plan;
+  if (backend != kAutoBackend) {
+    const BackendInfo* info = EstimatorRegistry::Global().Find(backend);
+    if (info == nullptr) return false;
+    plan.backend = std::string(backend);
+    plan.backend_id = info->stable_id;
+  }
+  std::lock_guard<std::mutex> lock(config_mu_);
+  defaults_.backend = std::string(backend);
+  if (backend != kAutoBackend) {
+    plan.params = defaults_.params;
+    defaults_.plan = std::move(plan);
+  }
+  return true;
+}
+
+void AsyncQueryService::SetDefaultParams(const ApproxParams& params) {
+  HKPR_CHECK(ServableParams(params))
+      << "default ApproxParams out of range (t in (0, 1000], eps_r in "
+         "(0, 1), delta > 0, p_f in (0, 1))";
+  std::lock_guard<std::mutex> lock(config_mu_);
+  defaults_.params = params;
+  defaults_.plan.params = params;
+}
+
+std::string AsyncQueryService::default_backend() const {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  return defaults_.backend;
+}
+
+ApproxParams AsyncQueryService::default_params() const {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  return defaults_.params;
+}
+
+AsyncQueryService::PlanDefaults AsyncQueryService::GetDefaults() const {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  return defaults_;
 }
 
 AsyncQueryService::AsyncQueryService(const Graph& graph,
@@ -88,7 +156,8 @@ void AsyncQueryService::Shutdown() {
 
 AsyncQueryService::~AsyncQueryService() { Shutdown(); }
 
-ResultCacheKey AsyncQueryService::MakeKey(NodeId seed) const {
+ResultCacheKey AsyncQueryService::MakeKey(const QueryPlan& plan,
+                                          NodeId seed) const {
   ResultCacheKey key;
   // The snapshot version is fixed for this service's lifetime and the
   // cache version is bumped by InvalidateCache(), so within one cache the
@@ -97,11 +166,14 @@ ResultCacheKey AsyncQueryService::MakeKey(NodeId seed) const {
   key.graph_version =
       snapshot_.version + (cache_ ? cache_->version() : 0);
   key.seed = seed;
-  key.backend_id = backend_id_;
-  key.t = params_.t;
-  key.eps_r = params_.eps_r;
-  key.delta = params_.delta;
-  key.p_f = params_.p_f;
+  // The *resolved plan* is the key: backend id plus every effective
+  // parameter, so no two distinct plans can ever share an entry — and the
+  // same plan reached via routing, override or default shares one.
+  key.backend_id = plan.backend_id;
+  key.t = plan.params.t;
+  key.eps_r = plan.params.eps_r;
+  key.delta = plan.params.delta;
+  key.p_f = plan.params.p_f;
   return key;
 }
 
@@ -122,7 +194,33 @@ std::optional<QueryHandle> AsyncQueryService::Enqueue(
                          ? Clock::time_point::max()
                          : request.submit_time + submit.timeout;
   request.cancelled = handle.cancel_;
-  request.key = MakeKey(seed);
+
+  // Resolve the request into its plan now — a queued request is immune to
+  // later default switches. Unpinned requests under a concrete default
+  // take the pre-resolved plan; everything else (overrides, "auto")
+  // resolves through the router/registry.
+  const PlanDefaults defaults = GetDefaults();
+  if (submit.plan.empty() && defaults.backend != kAutoBackend) {
+    request.plan = defaults.plan;
+  } else {
+    std::optional<QueryPlan> plan =
+        ResolveQueryPlan(*snapshot_.graph, seed, defaults.backend,
+                         defaults.params, submit.plan, *router_);
+    if (!plan.has_value()) {
+      // The request named an unregistered backend or out-of-range
+      // parameter overrides: report, don't abort — and don't consume a
+      // query index. Counted as invalid_plans, not rejected: this is
+      // malformed input, not admission pressure.
+      stats_.RecordSubmitted();
+      stats_.RecordInvalidPlan();
+      QueryResult result;
+      result.status = QueryStatus::kInvalidArgument;
+      promise.set_value(std::move(result));
+      return handle;
+    }
+    request.plan = *std::move(plan);
+  }
+  request.key = MakeKey(request.plan, seed);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -201,11 +299,13 @@ void AsyncQueryService::WorkerLoop(uint32_t worker_id) {
 SparseVector AsyncQueryService::Compute(QueryExecutor& executor,
                                         const Request& request) {
   stats_.RecordComputed();
-  // The executor re-seeds its backend from (engine seed, query index) —
-  // the exact BatchQueryEngine derivation — so the async and batch paths
-  // are bit-identical per backend. Deterministic backends ignore the
-  // re-seed and the index plays no role.
-  return executor.Answer(request.seed, request.query_index);
+  // The executor re-seeds the plan's backend from (engine seed, query
+  // index) — the exact BatchQueryEngine derivation — so the async and
+  // batch paths are bit-identical per plan, and a routed plan is
+  // bit-identical to directly invoking its chosen backend at the same
+  // index. Deterministic backends ignore the re-seed and the index plays
+  // no role.
+  return executor.Answer(request.seed, request.query_index, request.plan);
 }
 
 void AsyncQueryService::Process(QueryExecutor& executor, Request& request,
@@ -263,6 +363,8 @@ void AsyncQueryService::Fulfill(Request& request, CachedEstimate estimate,
   QueryResult result;
   result.from_cache = from_cache;
   result.graph_version = snapshot_.version;
+  result.backend = std::move(request.plan.backend);
+  result.backend_id = request.plan.backend_id;
   if (request.k > 0) {
     result.top_k = TopKNormalized(*snapshot_.graph, *estimate, request.k);
   }

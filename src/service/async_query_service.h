@@ -11,11 +11,25 @@
 // run is any backend registered in the EstimatorRegistry (hkpr/backend.h),
 // selected by name via ServiceOptions::backend.
 //
+// Every request is resolved into a per-query QueryPlan (hkpr/router.h) at
+// submission time: the service's default backend + params, composed with
+// any request-level PlanOverrides, and — when the request or the default
+// says "auto" — an adaptive RoutingPolicy that picks the backend from the
+// seed's degree, t and the graph scale. Workers execute plans on their
+// plan-aware executors (one lazily built estimator per distinct plan), so
+// switching the default backend or parameters is a config update: no
+// drain, no worker rebuild, in-flight queries finish on the plan they were
+// submitted with.
+//
 // In front of the workers sits a sharded single-flight ResultCache: repeat
-// queries for a hot (seed, params) pair are served from the cache without
+// queries for a hot (seed, plan) pair are served from the cache without
 // recomputing, and concurrent requests for the same cold key wait on one
-// in-flight computation. ServiceStats counts every stage; Stats() returns
-// a snapshot with p50/p95/p99 latencies.
+// in-flight computation. Cache keys embed the *full resolved plan*
+// (backend id + every parameter), so two distinct plans can never serve
+// each other's entries — and the same resolved plan reached via routing,
+// an explicit override, or the default shares one entry, which is exactly
+// the dedup a cache wants. ServiceStats counts every stage; Stats()
+// returns a snapshot with p50/p95/p99 latencies.
 //
 // The service answers on one immutable GraphSnapshot (service/graph_store.h)
 // which it co-owns for its whole lifetime: hot-swapping a graph means
@@ -55,6 +69,7 @@
 #include "hkpr/backend.h"
 #include "hkpr/params.h"
 #include "hkpr/queries.h"
+#include "hkpr/router.h"
 #include "service/graph_store.h"
 #include "service/result_cache.h"
 #include "service/service_stats.h"
@@ -75,10 +90,16 @@ struct ServiceOptions {
   /// Completed estimates retained across queries; 0 disables the cache.
   size_t cache_capacity = 4096;
   uint32_t cache_shards = 8;
-  /// Which estimator backend the workers run — any EstimatorRegistry name
-  /// (default "tea+"). The registry's stable backend id is folded into
-  /// every cache key, so distinct backends never share a cache entry.
+  /// The default backend requests get when they don't override it — any
+  /// EstimatorRegistry name (default "tea+"), or kAutoBackend ("auto") to
+  /// route every unpinned request through the routing policy. The resolved
+  /// plan's stable backend id is folded into every cache key, so distinct
+  /// backends never share a cache entry. `backend.context` also supplies
+  /// the shared tuning every lazily built plan estimator reads.
   BackendSpec backend;
+  /// Routing policy consulted for "auto" plans; null uses DefaultRouter()
+  /// (the rule-based policy). Must outlive the service when set.
+  std::shared_ptr<const RoutingPolicy> router;
 };
 
 /// Terminal state of one submitted query.
@@ -90,12 +111,15 @@ enum class QueryStatus : uint8_t {
   kUnknownGraph,  ///< the named graph is not in the GraphStore
                   ///< (MultiGraphService sharding; never set by a
                   ///< single-graph AsyncQueryService)
-  kInvalidArgument,  ///< malformed request on the multi-graph path: seed
-                     ///< >= NumNodes() of the resolved snapshot (a racy
-                     ///< external input under hot-swap) or top-k with
-                     ///< k == 0 — reported instead of check-failing (the
-                     ///< single-graph Submit()/SubmitTopK(), whose caller
-                     ///< owns the graph, keep check-fail preconditions)
+  kInvalidArgument,  ///< malformed request: plan overrides naming an
+                     ///< unregistered backend or out-of-range parameters
+                     ///< (any path), or — on the
+                     ///< multi-graph path — seed >= NumNodes() of the
+                     ///< resolved snapshot (a racy external input under
+                     ///< hot-swap) or top-k with k == 0; reported instead
+                     ///< of check-failing (the single-graph
+                     ///< Submit()/SubmitTopK(), whose caller owns the
+                     ///< graph, keep check-fail seed preconditions)
 };
 
 /// Printable name of a QueryStatus ("ok", "rejected", ...).
@@ -108,6 +132,11 @@ struct QueryResult {
   std::shared_ptr<const SparseVector> estimate;
   /// Top-k ranking; filled for SubmitTopK() requests.
   std::vector<ScoredNode> top_k;
+  /// The resolved plan's backend: the registry name (never "auto") and its
+  /// stable id. How callers observe what a routed query actually ran —
+  /// empty/0 for non-kOk outcomes.
+  std::string backend;
+  uint32_t backend_id = 0;
   /// True when `estimate` was served from the cache (hit or coalesced).
   bool from_cache = false;
   /// Submit-to-completion wall time; 0 for non-kOk outcomes.
@@ -139,6 +168,12 @@ struct SubmitOptions {
   /// whose deadline has passed when a worker dequeues it completes with
   /// kExpired without being computed.
   std::chrono::steady_clock::duration timeout{};
+  /// Per-request plan overrides: an explicit backend ("auto" to route
+  /// adaptively) and/or t / eps_r / delta overrides composed onto the
+  /// service defaults. A request naming an unregistered backend or
+  /// out-of-range parameters (see ServableParams) completes immediately
+  /// with kInvalidArgument.
+  PlanOverrides plan;
 };
 
 /// The async serving frontend. All public methods are thread-safe; the
@@ -193,6 +228,31 @@ class AsyncQueryService {
   /// when the cache is disabled.
   void InvalidateCache();
 
+  /// Switches the default backend — any registered name, or "auto" to
+  /// route every unpinned request — as a pure config update: no drain, no
+  /// worker rebuild. In-flight and already-queued requests keep the plan
+  /// they were submitted with; requests submitted after this returns
+  /// resolve against the new default. Returns false (and changes nothing)
+  /// for unknown names. Cache entries need no invalidation: keys embed the
+  /// full plan, so the old default's entries simply stop matching new
+  /// default-plan requests (and still serve explicit requests for that
+  /// backend).
+  bool SetDefaultBackend(std::string_view backend);
+
+  /// Replaces the default ApproxParams, with the same no-drain semantics
+  /// as SetDefaultBackend. p_f changes take effect for newly built plan
+  /// estimators (p'_f is re-derived per distinct p_f). Check-fails on
+  /// out-of-range params (see ServableParams) — external callers
+  /// (MultiGraphService::SetGraphDefaults) validate and refuse first.
+  void SetDefaultParams(const ApproxParams& params);
+
+  /// The current default backend name — a registry name or "auto".
+  std::string default_backend() const;
+  /// The current default parameters.
+  ApproxParams default_params() const;
+  /// The routing policy "auto" plans resolve through.
+  const RoutingPolicy& router() const { return *router_; }
+
   /// Counter snapshot including the current queue depth.
   ServiceStatsSnapshot Stats() const;
 
@@ -200,11 +260,12 @@ class AsyncQueryService {
   uint32_t num_workers() const {
     return static_cast<uint32_t>(workers_.size());
   }
-  /// The backend's algorithm name ("TEA+", "HK-Relax", ...).
+  /// The *construction-time* default backend's algorithm name ("TEA+",
+  /// "HK-Relax", ...); per-result backends live on QueryResult::backend.
   std::string_view backend_name() const {
     return executors_.front()->backend_name();
   }
-  /// The registry's stable id of the serving backend (cache-key material).
+  /// The construction-time default backend's stable id.
   uint32_t backend_id() const { return backend_id_; }
   /// Accepted queries so far (== the next query's RNG index).
   uint64_t queries_accepted() const;
@@ -227,7 +288,19 @@ class AsyncQueryService {
     std::chrono::steady_clock::time_point deadline;  // max() = none
     std::shared_ptr<std::atomic<bool>> cancelled;
     std::promise<QueryResult> promise;
+    /// The fully resolved plan, fixed at submission time: a later default
+    /// switch never retroactively changes what a queued request runs.
+    QueryPlan plan;
     ResultCacheKey key;
+  };
+
+  /// The service's mutable serving defaults, read on every submission and
+  /// replaced wholesale by the Set* config updates (under config_mu_).
+  struct PlanDefaults {
+    std::string backend;  // registry name or kAutoBackend
+    ApproxParams params;
+    /// Pre-resolved plan for the fast path; valid when backend != "auto".
+    QueryPlan plan;
   };
 
   /// A request parked on another worker's in-flight computation (resolved
@@ -248,14 +321,23 @@ class AsyncQueryService {
                std::vector<Deferred>& deferred);
   void Fulfill(Request& request, CachedEstimate estimate, bool from_cache);
   SparseVector Compute(QueryExecutor& executor, const Request& request);
-  ResultCacheKey MakeKey(NodeId seed) const;
+  ResultCacheKey MakeKey(const QueryPlan& plan, NodeId seed) const;
+  PlanDefaults GetDefaults() const;
 
   GraphSnapshot snapshot_;
   ApproxParams params_;
   ServiceOptions options_;
   uint32_t backend_id_ = 0;
+  const RoutingPolicy* router_ = nullptr;
+  std::shared_ptr<const RoutingPolicy> router_owner_;  // keeps options.router
   std::unique_ptr<ResultCache> cache_;  // null when disabled
   ServiceStats stats_;
+
+  /// Guards the serving defaults only (never held with mu_): submissions
+  /// read a copy, config updates replace it — neither path touches the
+  /// queue lock, so a backend switch cannot stall workers and vice versa.
+  mutable std::mutex config_mu_;
+  PlanDefaults defaults_;
 
   /// One backend executor (estimator + workspace) per worker thread.
   std::vector<std::unique_ptr<QueryExecutor>> executors_;

@@ -15,6 +15,7 @@ void AddCounters(ServiceStatsSnapshot& into,
                  const ServiceStatsSnapshot& from) {
   into.submitted += from.submitted;
   into.rejected += from.rejected;
+  into.invalid_plans += from.invalid_plans;
   into.completed += from.completed;
   into.cancelled += from.cancelled;
   into.expired += from.expired;
@@ -40,7 +41,14 @@ void RecomputePercentiles(ServiceStatsSnapshot& snap) {
 MultiGraphService::MultiGraphService(GraphStore& store,
                                      const ApproxParams& params, uint64_t seed,
                                      const MultiGraphOptions& options)
-    : store_(store), params_(params), seed_(seed), options_(options) {}
+    : store_(store), params_(params), seed_(seed), options_(options) {
+  // Same fail-at-startup contract as AsyncQueryService: plan resolution
+  // reports out-of-range params instead of aborting, so the defaults must
+  // be validated before any request can reach it.
+  HKPR_CHECK(ServableParams(params_))
+      << "service ApproxParams out of range (t in (0, 1000], eps_r in "
+         "(0, 1), delta > 0, p_f in (0, 1))";
+}
 
 MultiGraphService::~MultiGraphService() {
   std::map<std::string, std::shared_ptr<AsyncQueryService>, std::less<>>
@@ -61,14 +69,103 @@ uint32_t MultiGraphService::resolved_worker_budget() const {
 }
 
 std::shared_ptr<AsyncQueryService> MultiGraphService::BuildService(
-    GraphSnapshot snapshot) {
+    std::string_view name, GraphSnapshot snapshot) {
+  ServiceOptions opts;
+  {
+    // The template's backend is mutable config (SetDefaultBackend); copy
+    // it under the lock, build outside it.
+    std::lock_guard<std::mutex> lock(mu_);
+    opts = options_.service;
+  }
   const uint32_t budget = resolved_worker_budget();
   const size_t graphs = std::max<size_t>(1, store_.Size());
-  ServiceOptions opts = options_.service;
   opts.num_workers =
       std::max<uint32_t>(1, static_cast<uint32_t>(budget / graphs));
-  return std::make_shared<AsyncQueryService>(std::move(snapshot), params_,
-                                             seed_, opts);
+  auto service = std::make_shared<AsyncQueryService>(std::move(snapshot),
+                                                     params_, seed_, opts);
+  // Apply the graph's plan defaults on every (re)build, so overrides
+  // survive hot-swaps and lazy rebuilds. Re-applied again post-install
+  // (see ApplyCurrentDefaults) to close the race with concurrent config
+  // updates.
+  ApplyCurrentDefaults(name, *service);
+  return service;
+}
+
+void MultiGraphService::ApplyCurrentDefaults(std::string_view name,
+                                             AsyncQueryService& service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ApplyDefaultsLocked(name, service);
+}
+
+void MultiGraphService::ApplyDefaultsLocked(std::string_view name,
+                                            AsyncQueryService& service) {
+  // Read AND apply under one hold of mu_, so an apply can never
+  // interleave with a concurrent SetDefaultBackend/SetGraphDefaults and
+  // revert its newer config: every path that touches a live service's
+  // defaults holds mu_ across both the map read and the apply. The
+  // applies are cheap config stores (the service's own config mutex) —
+  // never drains or builds — and the lock order is uniformly
+  // MultiGraphService::mu_ -> AsyncQueryService::config_mu_.
+  PlanOverrides defaults;
+  auto it = graph_defaults_.find(name);
+  if (it != graph_defaults_.end()) defaults = it->second;
+  const std::string& template_backend = options_.service.backend.name;
+  // Validated at SetGraphDefaults/SetDefaultBackend time, so these always
+  // resolve; both are idempotent no-drain config updates.
+  service.SetDefaultBackend(defaults.backend.empty() ? template_backend
+                                                     : defaults.backend);
+  service.SetDefaultParams(ApplyParamOverrides(params_, defaults));
+}
+
+bool MultiGraphService::SetDefaultBackend(std::string_view backend) {
+  if (backend != kAutoBackend &&
+      !EstimatorRegistry::Global().Contains(backend)) {
+    return false;
+  }
+  // Update the template and every live service under one hold of mu_
+  // (see ApplyDefaultsLocked for why): racing config updates then
+  // serialize cleanly — last writer wins for both the map and the
+  // services. The per-service call is a cheap config store, no drain.
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.service.backend.name = std::string(backend);
+  // A service-wide switch means *every* graph: drop per-graph backend
+  // pins (parameter overrides keep applying on top of the new backend).
+  for (auto& [graph, defaults] : graph_defaults_) defaults.backend.clear();
+  for (const auto& [graph, service] : services_) {
+    service->SetDefaultBackend(backend);
+  }
+  return true;
+}
+
+bool MultiGraphService::SetGraphDefaults(std::string_view graph,
+                                         const PlanOverrides& defaults) {
+  if (!defaults.backend.empty() && defaults.backend != kAutoBackend &&
+      !EstimatorRegistry::Global().Contains(defaults.backend)) {
+    return false;
+  }
+  // Defaults come from external input on the server's `params` path:
+  // out-of-range values are refused here, never allowed to check-fail a
+  // lazily built estimator later.
+  if (!ServableParams(ApplyParamOverrides(params_, defaults))) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!store_.Contains(graph)) return false;
+  graph_defaults_[std::string(graph)] = defaults;
+  auto it = services_.find(graph);
+  // Live config update, no drain, atomic with the map write (mu_ held
+  // across both — see ApplyDefaultsLocked).
+  if (it != services_.end()) ApplyDefaultsLocked(graph, *it->second);
+  return true;
+}
+
+PlanOverrides MultiGraphService::GraphDefaults(std::string_view graph) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graph_defaults_.find(graph);
+  return it != graph_defaults_.end() ? it->second : PlanOverrides{};
+}
+
+std::string MultiGraphService::default_backend() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.service.backend.name;
 }
 
 void MultiGraphService::RetireLocked(
@@ -185,7 +282,7 @@ std::shared_ptr<AsyncQueryService> MultiGraphService::ServiceFor(
     // The expensive part — estimator + worker construction — also runs
     // with no lock held.
     std::shared_ptr<AsyncQueryService> fresh =
-        BuildService(std::move(resolution.to_build));
+        BuildService(name, std::move(resolution.to_build));
     std::shared_ptr<AsyncQueryService> replaced;
     std::shared_ptr<AsyncQueryService> installed;
     {
@@ -193,7 +290,15 @@ std::shared_ptr<AsyncQueryService> MultiGraphService::ServiceFor(
       installed = InstallLocked(name, fresh, &replaced);
     }
     if (replaced != nullptr) FinishRetire(name, replaced);
-    if (installed != nullptr) return installed;
+    if (installed != nullptr) {
+      // A SetGraphDefaults/SetDefaultBackend that ran between the
+      // BuildService-time apply and the install would otherwise be lost
+      // (it saw no live service to update). Re-applying after install
+      // reads the map at or after any such update, so the installed
+      // service converges to the latest defaults.
+      ApplyCurrentDefaults(name, *installed);
+      return installed;
+    }
     // The store moved on mid-build: discard the stale build (it never
     // served a query) and re-resolve.
   }
@@ -290,6 +395,12 @@ bool MultiGraphService::Drop(std::string_view name) {
       service = it->second;
       RetireLocked(name, std::move(it->second));
       services_.erase(it);
+    }
+    // A dropped graph's plan overrides die with it: a later graph of the
+    // same name starts from the service-wide template.
+    auto defaults_it = graph_defaults_.find(name);
+    if (defaults_it != graph_defaults_.end()) {
+      graph_defaults_.erase(defaults_it);
     }
   }
   // Graceful drain, synchronously: every future already handed out for

@@ -37,6 +37,13 @@
 // Self-healing: the store is the source of truth. If a snapshot is
 // published or removed directly on the store, the next Submit() notices
 // the version mismatch and swaps (or retires) the service on the spot.
+//
+// Plans: every request resolves to a per-query QueryPlan inside its
+// graph's AsyncQueryService (request overrides > per-graph defaults >
+// service-wide template; "auto" routes adaptively). SetDefaultBackend()
+// and SetGraphDefaults() are live config updates — no drain, no rebuild —
+// and per-graph defaults are re-applied whenever a graph's service is
+// rebuilt, so they survive hot-swaps.
 
 #ifndef HKPR_SERVICE_MULTI_GRAPH_SERVICE_H_
 #define HKPR_SERVICE_MULTI_GRAPH_SERVICE_H_
@@ -113,6 +120,29 @@ class MultiGraphService {
   /// across a concurrent Publish()/Drop().
   std::shared_ptr<AsyncQueryService> ServiceFor(std::string_view name);
 
+  /// Switches the default backend of *every* graph — a registered name or
+  /// "auto" — as a live config update: no drain, no rebuild, queued
+  /// requests keep their plans. Clears any per-graph backend overrides
+  /// (their parameter overrides survive) so the switch actually applies
+  /// everywhere. Returns false for unknown names.
+  bool SetDefaultBackend(std::string_view backend);
+
+  /// Sets `graph`'s default plan: an optional backend (registry name or
+  /// "auto") and/or parameter overrides composed onto the service-wide
+  /// ApproxParams. Applied to the live service immediately (no drain) and
+  /// re-applied every time the graph's service is rebuilt (hot-swap,
+  /// lazy build), so overrides survive republishes. An empty `defaults`
+  /// restores the service-wide template. Returns false when the store has
+  /// no such graph, the backend name is unknown, or the composed params
+  /// are out of range (see ServableParams).
+  bool SetGraphDefaults(std::string_view graph, const PlanOverrides& defaults);
+
+  /// The overrides last set for `graph` (empty when none).
+  PlanOverrides GraphDefaults(std::string_view graph) const;
+
+  /// The service-wide default backend name ("tea+", ..., or "auto").
+  std::string default_backend() const;
+
   /// Cumulative per-graph stats: retired services' totals (across every
   /// hot-swap and drop of `name`) plus the live service's, with latency
   /// percentiles recomputed from the merged histogram buckets — they
@@ -130,6 +160,8 @@ class MultiGraphService {
   std::vector<GraphInfo> List() const { return store_.List(); }
 
   GraphStore& store() { return store_; }
+  /// The construction-time options template. The *current* default
+  /// backend is mutable config — read it via default_backend(), not here.
   const MultiGraphOptions& options() const { return options_; }
 
   /// The worker budget after defaulting (0 -> all hardware threads) — the
@@ -149,9 +181,25 @@ class MultiGraphService {
   }
 
  private:
-  /// Builds a per-graph service on `snapshot`. Expensive (estimator +
-  /// worker construction) — callers run it outside mu_.
-  std::shared_ptr<AsyncQueryService> BuildService(GraphSnapshot snapshot);
+  /// Builds a per-graph service for `name` on `snapshot` and applies the
+  /// graph's plan defaults. Expensive (estimator + worker construction) —
+  /// callers run it outside mu_ (the template options and defaults are
+  /// copied under a short lock inside).
+  std::shared_ptr<AsyncQueryService> BuildService(std::string_view name,
+                                                  GraphSnapshot snapshot);
+
+  /// Applies `name`'s plan defaults (and the current template backend) to
+  /// `service` — idempotent live config updates. ApplyCurrentDefaults
+  /// takes mu_; the Locked variant runs with it held, which makes every
+  /// defaults apply atomic with the map state it read (two racing config
+  /// updates serialize; neither can revert the other's newer apply). Runs
+  /// at construction AND again after every install, which closes the
+  /// lost-update window of a config update racing an outside-the-lock
+  /// build: the post-install apply always reads map state at or after the
+  /// concurrent update, so the installed service converges to the latest
+  /// defaults.
+  void ApplyCurrentDefaults(std::string_view name, AsyncQueryService& service);
+  void ApplyDefaultsLocked(std::string_view name, AsyncQueryService& service);
 
   /// Lock-held half of retirement: parks a service just removed from
   /// `services_` in `retiring_`, where StatsFor/AggregateStats keep
@@ -217,6 +265,9 @@ class MultiGraphService {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<AsyncQueryService>, std::less<>>
       services_;
+  /// Per-graph default-plan overrides (see SetGraphDefaults), re-applied
+  /// on every service (re)build. Guarded by mu_.
+  std::map<std::string, PlanOverrides, std::less<>> graph_defaults_;
   /// Swapped-out/dropped services still draining (see RetireLocked).
   std::map<std::string, std::vector<std::shared_ptr<AsyncQueryService>>,
            std::less<>>

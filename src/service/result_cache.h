@@ -3,8 +3,12 @@
 // Real local-clustering traffic is skewed and repetitive (hot seeds get
 // queried over and over), so a serving frontend wins far more throughput
 // from remembering completed estimates than from recomputing them faster.
-// ResultCache is a sharded LRU map from (graph version, seed, estimator,
-// heat-kernel/accuracy parameters) to a completed SparseVector estimate.
+// ResultCache is a sharded LRU map from (graph version, seed, resolved
+// QueryPlan — backend id + heat-kernel/accuracy parameters) to a completed
+// SparseVector estimate. Because the key is the *resolved plan*, two
+// distinct plans (different backend, or any parameter override) can never
+// serve each other's entries, while the same plan reached via routing, an
+// explicit request override, or the service default shares one entry.
 //
 // Concurrent requests for the same key are deduplicated single-flight
 // style: the first requester becomes the *leader* and computes; everyone
@@ -34,11 +38,11 @@
 
 namespace hkpr {
 
-/// Identity of one HKPR computation: the seed node, which backend ran it,
-/// the heat-kernel/accuracy parameters, and the graph version at submission
-/// time. Two keys are equal only when every field matches bit-for-bit, so a
-/// cached value is only ever returned for the exact computation that
-/// produced it.
+/// Identity of one HKPR computation: the seed node, the resolved plan that
+/// ran it (backend id + heat-kernel/accuracy parameters), and the graph
+/// version at submission time. Two keys are equal only when every field
+/// matches bit-for-bit, so a cached value is only ever returned for the
+/// exact computation that produced it.
 struct ResultCacheKey {
   uint64_t graph_version = 0;
   NodeId seed = 0;

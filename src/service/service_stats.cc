@@ -59,6 +59,7 @@ ServiceStatsSnapshot ServiceStats::TakeSnapshot() const {
   ServiceStatsSnapshot snap;
   snap.submitted = submitted_.load(std::memory_order_relaxed);
   snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.invalid_plans = invalid_plans_.load(std::memory_order_relaxed);
   snap.completed = completed_.load(std::memory_order_relaxed);
   snap.cancelled = cancelled_.load(std::memory_order_relaxed);
   snap.expired = expired_.load(std::memory_order_relaxed);

@@ -56,6 +56,9 @@ double LatencyPercentileMs(
 struct ServiceStatsSnapshot {
   uint64_t submitted = 0;    ///< Submit/SubmitTopK calls (including rejected)
   uint64_t rejected = 0;     ///< refused by admission control (queue full)
+  uint64_t invalid_plans = 0;  ///< refused at plan resolution (unknown
+                               ///< backend / out-of-range overrides) —
+                               ///< malformed input, not admission pressure
   uint64_t completed = 0;    ///< queries finished with QueryStatus::kOk
   uint64_t cancelled = 0;    ///< cancelled before computation started
   uint64_t expired = 0;      ///< deadline passed before computation started
@@ -78,6 +81,7 @@ class ServiceStats {
  public:
   void RecordSubmitted() { Bump(submitted_); }
   void RecordRejected() { Bump(rejected_); }
+  void RecordInvalidPlan() { Bump(invalid_plans_); }
   void RecordCancelled() { Bump(cancelled_); }
   void RecordExpired() { Bump(expired_); }
   void RecordCacheHit() { Bump(cache_hits_); }
@@ -102,6 +106,7 @@ class ServiceStats {
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> invalid_plans_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> expired_{0};

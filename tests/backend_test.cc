@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "baselines/cluster_hkpr.h"
 #include "baselines/hk_relax.h"
 #include "graph/generators.h"
 #include "hkpr/backend.h"
@@ -37,7 +38,7 @@ void ExpectSameVector(const SparseVector& a, const SparseVector& b) {
 TEST(BackendRegistryTest, BuiltinBackendsAreRegistered) {
   EstimatorRegistry& registry = EstimatorRegistry::Global();
   for (const char* name : {"tea+", "tea", "monte-carlo", "push", "hk-relax",
-                           "tea+-par", "monte-carlo-par"}) {
+                           "cluster-hkpr", "tea+-par", "monte-carlo-par"}) {
     const BackendInfo* info = registry.Find(name);
     ASSERT_NE(info, nullptr) << name;
     EXPECT_EQ(info->name, name);
@@ -128,6 +129,31 @@ TEST(BackendRegistryTest, CustomBackendRegistersAndServes) {
   const SparseVector answer = executor.Answer(3, 0);
   EXPECT_EQ(answer.nnz(), 1u);
   EXPECT_DOUBLE_EQ(answer.Get(3), 1.0);
+}
+
+TEST(BackendRegistryTest, ClusterHkprBitIdenticalToEstimatePath) {
+  // The registry's "cluster-hkpr" backend is the workspace-aware port of
+  // the ClusterHKPR baseline: after Reseed(s), EstimateInto must replay a
+  // fresh direct estimator with seed s bit-for-bit — including across
+  // consecutive queries on one RNG stream — with t and eps mapped from
+  // (params.t, params.eps_r).
+  Graph g = PowerlawCluster(300, 3, 0.3, 3);
+  ApproxParams params = TestParams(1e-3);
+  params.t = 4.0;
+  params.eps_r = 0.3;
+
+  ClusterHkprOptions options;
+  options.t = params.t;
+  options.eps = params.eps_r;
+  ClusterHkprEstimator direct(g, options, 99);
+
+  auto ported =
+      EstimatorRegistry::Global().Create("cluster-hkpr", g, params, 123);
+  ported->Reseed(99);
+  QueryWorkspace ws;
+  ExpectSameVector(ported->EstimateInto(7, ws), direct.Estimate(7));
+  // Second query without a re-seed: both continue the same stream.
+  ExpectSameVector(ported->EstimateInto(42, ws), direct.Estimate(42));
 }
 
 TEST(QueryExecutorTest, AnswersAreAFunctionOfSeedAndQueryIndex) {

@@ -1,7 +1,8 @@
 // End-to-end tests of example_hkpr_server's line protocol, driven over a
 // pipe pair: graph load/use/drop/list lifecycle, unknown-graph errors (a
-// dropped current graph must err, never silently fall back), backend
-// switch + query, and the --graphs=name=path,... startup flag.
+// dropped current graph must err, never silently fall back), live backend
+// switches (including "auto"), per-query plan tokens and the per-graph
+// params command, and the --graphs=name=path,... startup flag.
 //
 // The server binary path is injected by CMake (HKPR_SERVER_BINARY); when
 // examples are not built (e.g. the TSan CI job), the tests skip.
@@ -237,8 +238,9 @@ TEST(ServerProtocolTest, BackendSwitchThenQueryKeepsLoadedGraphs) {
   const std::string path = WriteTempFile("sq", "0 1\n1 2\n2 3\n3 0\n");
   ASSERT_TRUE(StartsWith(server.Command("graph load square " + path), "ok"));
 
-  // Switching backends rebuilds the services but keeps the store: both
-  // graphs survive and serve on the new backend.
+  // Switching backends is a live config update — no drain, no rebuild —
+  // and the store is untouched: both graphs survive and serve on the new
+  // default.
   std::string reply = server.Command("backend hk-relax");
   EXPECT_TRUE(StartsWith(reply, "ok backend=hk-relax graphs=2")) << reply;
   reply = server.Command("graph list");
@@ -250,14 +252,84 @@ TEST(ServerProtocolTest, BackendSwitchThenQueryKeepsLoadedGraphs) {
   ASSERT_TRUE(StartsWith(reply, "ok graph=square")) << reply;
   reply = server.Command("query 0");
   EXPECT_TRUE(StartsWith(reply, "ok graph=square")) << reply;
+  // Query responses name the plan that actually ran.
+  EXPECT_TRUE(Contains(reply, "backend=hk-relax")) << reply;
 
   reply = server.Command("backend bogus");
   EXPECT_TRUE(StartsWith(reply, "err unknown backend \"bogus\"")) << reply;
   reply = server.Command("backend");
-  EXPECT_TRUE(StartsWith(reply, "ok backend=hk-relax available=")) << reply;
+  EXPECT_TRUE(StartsWith(reply, "ok backend=hk-relax available=auto,"))
+      << reply;
+
+  // "auto" is a valid default: every query routes, and the response shows
+  // the router's concrete choice, never "auto" itself.
+  reply = server.Command("backend auto");
+  EXPECT_TRUE(StartsWith(reply, "ok backend=auto graphs=2")) << reply;
+  reply = server.Command("query 1");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=square")) << reply;
+  EXPECT_TRUE(Contains(reply, "backend=")) << reply;
+  EXPECT_FALSE(Contains(reply, "backend=auto")) << reply;
 
   reply = server.Command("invalidate");
   EXPECT_TRUE(StartsWith(reply, "ok caches invalidated")) << reply;
+
+  EXPECT_EQ(server.Quit(), 0);
+}
+
+TEST(ServerProtocolTest, PerQueryPlanTokensAndParamsCommand) {
+  ServerProcess server;
+  ASSERT_TRUE(server.Start({"--nodes=500", "--workers=2", "--seed=13"}));
+  ASSERT_TRUE(StartsWith(server.ReadLine(), "ok hkpr_server"));
+
+  // Per-query overrides: the token pins this one query's backend; the
+  // default (tea+) is untouched.
+  std::string reply = server.Command("query 3 backend=hk-relax");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=default")) << reply;
+  EXPECT_TRUE(Contains(reply, "backend=hk-relax")) << reply;
+  reply = server.Command("query 3");
+  EXPECT_TRUE(Contains(reply, "backend=tea+")) << reply;
+
+  // Distinct plans never share cache entries: the same seed at another t
+  // is a miss, repeating it is a hit.
+  reply = server.Command("query 3 t=3.0");
+  EXPECT_TRUE(Contains(reply, "cache=miss")) << reply;
+  reply = server.Command("query 3 t=3.0");
+  EXPECT_TRUE(Contains(reply, "cache=hit")) << reply;
+
+  // topk takes the same tokens; backend=auto resolves to a concrete name.
+  reply = server.Command("topk 5 3 backend=auto");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=default")) << reply;
+  EXPECT_TRUE(Contains(reply, "backend=")) << reply;
+  EXPECT_FALSE(Contains(reply, "backend=auto")) << reply;
+
+  // Malformed tokens and unknown backends err without computing.
+  reply = server.Command("query 3 bogus=1");
+  EXPECT_TRUE(StartsWith(reply, "err unknown token")) << reply;
+  reply = server.Command("query 3 backend=nope");
+  EXPECT_TRUE(StartsWith(reply, "err unknown backend \"nope\"")) << reply;
+  reply = server.Command("query 3 t=abc");
+  EXPECT_TRUE(StartsWith(reply, "err malformed value")) << reply;
+
+  // Per-graph defaults: set, observe on queries, show, clear.
+  reply = server.Command("params default backend=hk-relax t=2.0");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=default backend=hk-relax t=2"))
+      << reply;
+  reply = server.Command("query 7");
+  EXPECT_TRUE(Contains(reply, "backend=hk-relax")) << reply;
+  reply = server.Command("params default");
+  EXPECT_TRUE(StartsWith(reply, "ok graph=default backend=hk-relax t=2"))
+      << reply;
+  reply = server.Command("params default clear");
+  EXPECT_TRUE(StartsWith(
+      reply, "ok graph=default backend=default t=default")) << reply;
+  reply = server.Command("query 7");
+  EXPECT_TRUE(Contains(reply, "backend=tea+")) << reply;
+
+  // Unknown graph / missing argument err.
+  reply = server.Command("params nosuch t=1");
+  EXPECT_TRUE(StartsWith(reply, "err unknown graph \"nosuch\"")) << reply;
+  reply = server.Command("params");
+  EXPECT_TRUE(StartsWith(reply, "err usage: params")) << reply;
 
   EXPECT_EQ(server.Quit(), 0);
 }
