@@ -18,6 +18,8 @@
 #include "bench_util/table.h"
 #include "bench_util/workload.h"
 #include "clustering/local_cluster.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "hkpr/estimator.h"
@@ -92,6 +94,47 @@ inline Aggregate RunLocalClustering(const Graph& graph,
     agg.avg_support /= q;
   }
   return agg;
+}
+
+/// Large-graph presets for the scaling benchmarks (--graph-scale=NAME):
+/// deterministic R-MAT power-law graphs restricted to their largest
+/// component. "small" reproduces the quick twitter stand-in (the graph the
+/// historical BENCH_*.json rows were measured on); "medium" crosses the
+/// million-edge line; "large" is the 10M+-edge preset the serve-scaling
+/// gate runs on.
+///
+///   small   R-MAT scale 14, avg-deg 32  ->  ~12.5k nodes / ~213k edges
+///   medium  R-MAT scale 17, avg-deg 18  ->  ~80k nodes   / ~1.09M edges
+///   large   R-MAT scale 20, avg-deg 22  ->  ~592k nodes  / ~10.9M edges
+inline const std::vector<std::string>& GraphScaleNames() {
+  static const std::vector<std::string> names = {"small", "medium", "large"};
+  return names;
+}
+
+inline Dataset MakeScaledGraph(const std::string& scale_name, uint64_t seed) {
+  uint32_t rmat_scale = 0;
+  double avg_degree = 0.0;
+  if (scale_name == "small") {
+    rmat_scale = 14;
+    avg_degree = 32.0;
+  } else if (scale_name == "medium") {
+    rmat_scale = 17;
+    avg_degree = 18.0;
+  } else if (scale_name == "large") {
+    rmat_scale = 20;
+    avg_degree = 22.0;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --graph-scale \"%s\" (available: small, medium, "
+                 "large)\n",
+                 scale_name.c_str());
+    std::exit(1);
+  }
+  Dataset dataset;
+  dataset.name = "rmat-" + scale_name;
+  dataset.paper_name = "R-MAT scaling preset";
+  dataset.graph = RestrictToLargestComponent(Rmat(rmat_scale, avg_degree, seed));
+  return dataset;
 }
 
 /// Prints the standard dataset banner.

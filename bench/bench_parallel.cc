@@ -9,8 +9,12 @@
 // reused workspaces avoid per-query allocation, so pooled throughput should
 // beat spawn-per-call by a margin that grows with the thread count.
 //
-// Extra flag: --json=PATH writes the repeated-query results as JSON (for
-// BENCH_*.json trajectories).
+// Extra flags: --json=PATH writes the repeated-query results as JSON (for
+// BENCH_*.json trajectories); --graph-scale=NAME (small/medium/large, see
+// bench_common.h) adds an R-MAT scaling preset to the repeated-query
+// sweep, so the JSON carries large-graph rows next to the historical
+// small-graph ones. The clustering speedup sections stay on the primary
+// dataset — at fine delta they would take hours on the large presets.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,6 +41,7 @@ namespace {
 
 /// One row of the repeated-query throughput comparison.
 struct ThroughputRow {
+  std::string graph;
   std::string mode;  // "spawn", "pool", "batch"
   uint32_t threads;
   uint32_t queries;
@@ -55,7 +60,8 @@ double TimeQueries(uint32_t num_queries, const std::vector<NodeId>& seeds,
   return timer.ElapsedSeconds();
 }
 
-void WriteThroughputJson(const std::string& path, const Dataset& dataset,
+void WriteThroughputJson(const std::string& path,
+                         const std::vector<Dataset>& datasets,
                          uint32_t num_queries,
                          const std::vector<ThroughputRow>& rows) {
   std::FILE* f = path.empty() ? stdout : std::fopen(path.c_str(), "w");
@@ -64,17 +70,21 @@ void WriteThroughputJson(const std::string& path, const Dataset& dataset,
     return;
   }
   std::fprintf(f, "{\n  \"benchmark\": \"repeated_query_throughput\",\n");
-  std::fprintf(f, "  \"dataset\": \"%s\",\n  \"nodes\": %u,\n  \"edges\": %llu,\n",
-               dataset.name.c_str(), dataset.graph.NumNodes(),
-               static_cast<unsigned long long>(dataset.graph.NumEdges()));
-  std::fprintf(f, "  \"queries\": %u,\n  \"rows\": [\n", num_queries);
+  std::fprintf(f, "  \"graphs\": [\n");
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"nodes\": %u, \"edges\": %llu}%s\n",
+                 datasets[i].name.c_str(), datasets[i].graph.NumNodes(),
+                 static_cast<unsigned long long>(datasets[i].graph.NumEdges()),
+                 i + 1 < datasets.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"queries\": %u,\n  \"rows\": [\n", num_queries);
   for (size_t i = 0; i < rows.size(); ++i) {
     const ThroughputRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"mode\": \"%s\", \"threads\": %u, \"seconds\": %.6f, "
-                 "\"qps\": %.1f}%s\n",
-                 r.mode.c_str(), r.threads, r.seconds, r.qps(),
-                 i + 1 < rows.size() ? "," : "");
+                 "    {\"graph\": \"%s\", \"mode\": \"%s\", \"threads\": %u, "
+                 "\"queries\": %u, \"seconds\": %.6f, \"qps\": %.1f}%s\n",
+                 r.graph.c_str(), r.mode.c_str(), r.threads, r.queries,
+                 r.seconds, r.qps(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   if (f != stdout) std::fclose(f);
@@ -85,8 +95,12 @@ void WriteThroughputJson(const std::string& path, const Dataset& dataset,
 int main(int argc, char** argv) {
   const BenchConfig config = BenchConfig::FromArgs(argc, argv);
   std::string json_path;
+  std::string graph_scale;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--graph-scale=", 14) == 0) {
+      graph_scale = argv[i] + 14;
+    }
   }
   std::printf("== Parallel scalability (extension) ==\n");
   std::printf("hardware threads available: %u\n", HardwareThreads());
@@ -155,57 +169,73 @@ int main(int argc, char** argv) {
   std::printf("\n-- Repeated-query throughput (TEA+, walk-heavy, c=1) --\n");
   {
     const uint32_t num_queries = config.full ? 2000 : 1000;
-    ApproxParams serve_params;
-    serve_params.t = 5.0;
-    serve_params.eps_r = 0.5;
-    serve_params.delta = 100.0 * DefaultDelta(dataset.graph);
-    serve_params.p_f = 1e-6;
-    TeaPlusOptions serve_options;
-    serve_options.c = 1.0;
-    std::vector<NodeId> serve_seeds =
-        UniformSeeds(dataset.graph, 1000, rng);
+    std::vector<Dataset> serve_datasets;
+    serve_datasets.push_back(dataset);  // Graph copies share the payload
+    if (!graph_scale.empty()) {
+      serve_datasets.push_back(MakeScaledGraph(graph_scale, config.rng_seed));
+    }
 
     std::vector<ThroughputRow> results;
-    TablePrinter table(
-        {"threads", "spawn q/s", "pool q/s", "batch q/s", "pool gain"});
-    for (uint32_t threads : thread_counts) {
-      ParallelTeaPlusEstimator spawning(dataset.graph, serve_params,
+    for (const Dataset& serve_dataset : serve_datasets) {
+      PrintDatasetBanner(serve_dataset);
+      // Scaling presets get proportionally fewer queries: per-query cost
+      // grows with the graph, and each row records its own query count.
+      const uint32_t queries = &serve_dataset == &serve_datasets.front()
+                                   ? num_queries
+                                   : std::max(100u, num_queries / 5);
+      ApproxParams serve_params;
+      serve_params.t = 5.0;
+      serve_params.eps_r = 0.5;
+      serve_params.delta = 100.0 * DefaultDelta(serve_dataset.graph);
+      serve_params.p_f = 1e-6;
+      TeaPlusOptions serve_options;
+      serve_options.c = 1.0;
+      std::vector<NodeId> serve_seeds =
+          UniformSeeds(serve_dataset.graph, 1000, rng);
+
+      TablePrinter table(
+          {"threads", "spawn q/s", "pool q/s", "batch q/s", "pool gain"});
+      for (uint32_t threads : thread_counts) {
+        ParallelTeaPlusEstimator spawning(serve_dataset.graph, serve_params,
+                                          config.rng_seed, threads,
+                                          serve_options);
+        const double spawn_s = TimeQueries(
+            queries, serve_seeds, [&](NodeId s) { spawning.Estimate(s); });
+
+        ThreadPool pool(threads);
+        ParallelTeaPlusEstimator pooled(serve_dataset.graph, serve_params,
                                         config.rng_seed, threads,
-                                        serve_options);
-      const double spawn_s = TimeQueries(
-          num_queries, serve_seeds, [&](NodeId s) { spawning.Estimate(s); });
+                                        serve_options, &pool);
+        QueryWorkspace ws;
+        const double pool_s =
+            TimeQueries(queries, serve_seeds,
+                        [&](NodeId s) { pooled.EstimateInto(s, ws); });
 
-      ThreadPool pool(threads);
-      ParallelTeaPlusEstimator pooled(dataset.graph, serve_params,
-                                      config.rng_seed, threads, serve_options,
-                                      &pool);
-      QueryWorkspace ws;
-      const double pool_s = TimeQueries(
-          num_queries, serve_seeds, [&](NodeId s) { pooled.EstimateInto(s, ws); });
+        BatchQueryEngine engine(serve_dataset.graph, serve_params,
+                                config.rng_seed, threads, serve_options);
+        WallTimer batch_timer;
+        for (uint32_t done = 0; done < queries;) {
+          const uint32_t take = std::min<uint32_t>(
+              queries - done, static_cast<uint32_t>(serve_seeds.size()));
+          engine.EstimateBatch(
+              std::span<const NodeId>(serve_seeds.data(), take));
+          done += take;
+        }
+        const double batch_s = batch_timer.ElapsedSeconds();
 
-      BatchQueryEngine engine(dataset.graph, serve_params, config.rng_seed,
-                              threads, serve_options);
-      WallTimer batch_timer;
-      for (uint32_t done = 0; done < num_queries;) {
-        const uint32_t take = std::min<uint32_t>(
-            num_queries - done, static_cast<uint32_t>(serve_seeds.size()));
-        engine.EstimateBatch(
-            std::span<const NodeId>(serve_seeds.data(), take));
-        done += take;
+        results.push_back({serve_dataset.name, "spawn", threads, queries,
+                           spawn_s});
+        results.push_back({serve_dataset.name, "pool", threads, queries,
+                           pool_s});
+        results.push_back({serve_dataset.name, "batch", threads, queries,
+                           batch_s});
+        table.AddRow({std::to_string(threads), FmtF(queries / spawn_s, 0),
+                      FmtF(queries / pool_s, 0), FmtF(queries / batch_s, 0),
+                      FmtF(spawn_s / (pool_s + 1e-12), 2) + "x"});
       }
-      const double batch_s = batch_timer.ElapsedSeconds();
-
-      results.push_back({"spawn", threads, num_queries, spawn_s});
-      results.push_back({"pool", threads, num_queries, pool_s});
-      results.push_back({"batch", threads, num_queries, batch_s});
-      table.AddRow({std::to_string(threads),
-                    FmtF(num_queries / spawn_s, 0),
-                    FmtF(num_queries / pool_s, 0),
-                    FmtF(num_queries / batch_s, 0),
-                    FmtF(spawn_s / (pool_s + 1e-12), 2) + "x"});
+      table.Print();
     }
-    table.Print();
-    WriteThroughputJson(json_path, dataset, num_queries, results);
+    WriteThroughputJson(json_path, serve_datasets, num_queries, results);
   }
   return 0;
 }

@@ -34,7 +34,10 @@
 // trajectory); --queries=N overrides the per-pass query count;
 // --backend=NAME benchmarks one registry backend (or "auto") instead of
 // the sweep; --graphs=N switches to the multi-graph sweep over N
-// datasets; --smoke shrinks the router sweep to a seconds-long CI
+// datasets; --graph-scale=NAME (small/medium/large, see bench_common.h)
+// adds an R-MAT scaling preset to the backend sweep, so the JSON carries
+// large-graph rows (per-row "graph" field) next to the historical
+// small-graph ones; --smoke shrinks the router sweep to a seconds-long CI
 // validation run (tiny query count, one thread count) that still emits
 // every row.
 
@@ -312,6 +315,7 @@ int main(int argc, char** argv) {
   const BenchConfig config = BenchConfig::FromArgs(argc, argv);
   std::string json_path;
   std::string backend_flag;
+  std::string graph_scale;
   uint32_t num_graphs = 0;
   bool smoke = false;
   uint32_t num_queries = config.full ? 4000 : 1500;
@@ -327,6 +331,9 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--graphs=", 9) == 0) {
       num_graphs = static_cast<uint32_t>(std::atoi(argv[i] + 9));
+    }
+    if (std::strncmp(argv[i], "--graph-scale=", 14) == 0) {
+      graph_scale = argv[i] + 14;
     }
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
@@ -359,72 +366,92 @@ int main(int argc, char** argv) {
                               num_graphs, num_queries);
   }
 
-  Dataset dataset = MakeDataset("twitter", config.scale, config.rng_seed);
-  PrintDatasetBanner(dataset);
   Rng rng(config.rng_seed);
-
-  // Serving-grade accuracy (coarse delta as in bench_parallel's serving
-  // section), walk phase forced so every computed query does real work.
-  ApproxParams params;
-  params.t = 5.0;
-  params.eps_r = 0.5;
-  params.delta = 20.0 * DefaultDelta(dataset.graph);
-  params.p_f = 1e-6;
-  ServiceOptions options;
-  options.backend.context.tea_plus.c = 1.0;
-  options.cache_capacity = 8192;
-  options.max_queue_depth = 1u << 20;  // closed loop: no admission pressure
-
-  // One mixed-degree Zipfian workload shared by every backend and thread
-  // count, so rows are comparable: 256 distinct hot seeds (half of them
-  // the graph's top hubs, half tail nodes) keeps cold passes compute-bound
-  // AND spans the degree classes the router discriminates on — on a
-  // uniform hot set "auto" would collapse to one backend.
-  const std::vector<NodeId> seeds =
-      MixedDegreeZipfianSeeds(dataset.graph, num_queries, 256, 1.0, rng);
+  std::vector<Dataset> datasets;
+  datasets.push_back(MakeDataset("twitter", config.scale, config.rng_seed));
+  if (!graph_scale.empty()) {
+    datasets.push_back(MakeScaledGraph(graph_scale, config.rng_seed));
+  }
 
   const std::vector<uint32_t> thread_counts =
       smoke ? std::vector<uint32_t>{2} : std::vector<uint32_t>{1, 4, 8};
   std::vector<ServiceRow> rows;
-  TablePrinter table({"backend", "threads", "cold q/s", "warm q/s",
-                      "warm gain", "warm hit%", "p50 ms", "p99 ms"});
-  for (const std::string& backend : backends) {
-    for (uint32_t threads : thread_counts) {
-      ServiceOptions opts = options;
-      opts.backend.name = backend;
-      opts.num_workers = threads;
-      AsyncQueryService service(dataset.graph, params, config.rng_seed, opts);
+  std::string dataset_label;
+  uint32_t total_nodes = 0;
+  uint64_t total_edges = 0;
+  for (const Dataset& dataset : datasets) {
+    PrintDatasetBanner(dataset);
+    if (!dataset_label.empty()) dataset_label += ",";
+    dataset_label += dataset.name;
+    total_nodes += dataset.graph.NumNodes();
+    total_edges += dataset.graph.NumEdges();
+    // Scaling presets get proportionally fewer queries (per-query cost
+    // grows with the graph); each row records its own query count.
+    const uint32_t queries = &dataset == &datasets.front()
+                                 ? num_queries
+                                 : std::max(100u, num_queries / 5);
 
-      const ServiceStatsSnapshot at_start = service.Stats();
-      LatencyHistogram cold_latencies;
-      const double cold_s =
-          RunClosedLoop(service, seeds, threads, cold_latencies);
-      const ServiceStatsSnapshot after_cold = service.Stats();
-      LatencyHistogram warm_latencies;
-      const double warm_s =
-          RunClosedLoop(service, seeds, threads, warm_latencies);
-      const ServiceStatsSnapshot after_warm = service.Stats();
+    // Serving-grade accuracy (coarse delta as in bench_parallel's serving
+    // section), walk phase forced so every computed query does real work.
+    ApproxParams params;
+    params.t = 5.0;
+    params.eps_r = 0.5;
+    params.delta = 20.0 * DefaultDelta(dataset.graph);
+    params.p_f = 1e-6;
+    ServiceOptions options;
+    options.backend.context.tea_plus.c = 1.0;
+    options.cache_capacity = 8192;
+    options.max_queue_depth = 1u << 20;  // closed loop: no admission pressure
 
-      rows.push_back(MakeRow(backend, dataset.name, threads, "cold",
-                             num_queries, cold_s, after_cold, at_start,
-                             cold_latencies));
-      rows.push_back(MakeRow(backend, dataset.name, threads, "warm",
-                             num_queries, warm_s, after_warm, after_cold,
-                             warm_latencies));
-      const ServiceRow& warm = rows.back();
-      const double hit_rate =
-          100.0 * static_cast<double>(warm.cache_hits + warm.coalesced) /
-          static_cast<double>(num_queries);
-      table.AddRow({backend, std::to_string(threads),
-                    FmtF(num_queries / cold_s, 0), FmtF(num_queries / warm_s, 0),
-                    FmtF(cold_s / (warm_s + 1e-12), 1) + "x",
-                    FmtF(hit_rate, 1), FmtF(warm.p50_ms, 2),
-                    FmtF(warm.p99_ms, 2)});
+    // One mixed-degree Zipfian workload shared by every backend and thread
+    // count, so rows are comparable: 256 distinct hot seeds (half of them
+    // the graph's top hubs, half tail nodes) keeps cold passes
+    // compute-bound AND spans the degree classes the router discriminates
+    // on — on a uniform hot set "auto" would collapse to one backend.
+    const std::vector<NodeId> seeds =
+        MixedDegreeZipfianSeeds(dataset.graph, queries, 256, 1.0, rng);
+
+    TablePrinter table({"backend", "threads", "cold q/s", "warm q/s",
+                        "warm gain", "warm hit%", "p50 ms", "p99 ms"});
+    for (const std::string& backend : backends) {
+      for (uint32_t threads : thread_counts) {
+        ServiceOptions opts = options;
+        opts.backend.name = backend;
+        opts.num_workers = threads;
+        AsyncQueryService service(dataset.graph, params, config.rng_seed,
+                                  opts);
+
+        const ServiceStatsSnapshot at_start = service.Stats();
+        LatencyHistogram cold_latencies;
+        const double cold_s =
+            RunClosedLoop(service, seeds, threads, cold_latencies);
+        const ServiceStatsSnapshot after_cold = service.Stats();
+        LatencyHistogram warm_latencies;
+        const double warm_s =
+            RunClosedLoop(service, seeds, threads, warm_latencies);
+        const ServiceStatsSnapshot after_warm = service.Stats();
+
+        rows.push_back(MakeRow(backend, dataset.name, threads, "cold",
+                               queries, cold_s, after_cold, at_start,
+                               cold_latencies));
+        rows.push_back(MakeRow(backend, dataset.name, threads, "warm",
+                               queries, warm_s, after_warm, after_cold,
+                               warm_latencies));
+        const ServiceRow& warm = rows.back();
+        const double hit_rate =
+            100.0 * static_cast<double>(warm.cache_hits + warm.coalesced) /
+            static_cast<double>(queries);
+        table.AddRow({backend, std::to_string(threads),
+                      FmtF(queries / cold_s, 0), FmtF(queries / warm_s, 0),
+                      FmtF(cold_s / (warm_s + 1e-12), 1) + "x",
+                      FmtF(hit_rate, 1), FmtF(warm.p50_ms, 2),
+                      FmtF(warm.p99_ms, 2)});
+      }
     }
+    table.Print();
   }
-  table.Print();
-  WriteServiceJson(json_path, "async_service_throughput", dataset.name,
-                   dataset.graph.NumNodes(), dataset.graph.NumEdges(),
+  WriteServiceJson(json_path, "async_service_throughput", dataset_label,
+                   total_nodes, total_edges,
                    "mixed-degree zipfian s=1.0 (hub/tail hot set)", rows);
   return 0;
 }

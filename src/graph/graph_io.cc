@@ -1,5 +1,11 @@
 #include "graph/graph_io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -11,7 +17,12 @@ namespace hkpr {
 
 namespace {
 
-constexpr char kMagic[8] = {'H', 'K', 'P', 'R', 'G', 'R', 'P', 'H'};
+constexpr char kMagicV1[8] = {'H', 'K', 'P', 'R', 'G', 'R', 'P', 'H'};
+constexpr char kMagicV2[8] = {'H', 'K', 'P', 'R', 'C', 'S', 'R', '2'};
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kEndianCheck = 0x01020304u;
+constexpr uint64_t kSectionAlign = 64;
+constexpr uint64_t kFlagRowStarts = 1ull << 0;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,6 +30,137 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// The fixed 64-byte v2 header (one section-aligned block).
+struct BinaryHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t endian_check;
+  uint64_t num_nodes;
+  uint64_t num_arcs;
+  uint64_t flags;
+  uint64_t offsets_pos;
+  uint64_t adjacency_pos;
+  uint64_t row_starts_pos;
+};
+static_assert(sizeof(BinaryHeader) == kSectionAlign,
+              "v2 header must fill exactly one aligned block");
+
+uint64_t AlignUp(uint64_t pos) {
+  return (pos + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+bool WritePadding(std::FILE* f, uint64_t current, uint64_t target) {
+  static const char kZeros[kSectionAlign] = {};
+  if (target < current) return false;
+  return std::fwrite(kZeros, 1, target - current, f) == target - current;
+}
+
+/// Owns one read-only mmap'd file region; Graphs returned by MapBinary()
+/// keep a shared_ptr to this, so the region outlives GraphStore::Remove()
+/// for as long as any in-flight query holds the graph.
+struct MappedFile {
+  void* data = nullptr;
+  size_t size = 0;
+
+  ~MappedFile() {
+    if (data != nullptr) ::munmap(data, size);
+  }
+};
+
+Status HeaderError(const std::string& path, const BinaryHeader& header) {
+  if (std::memcmp(header.magic, kMagicV2, sizeof(kMagicV2)) != 0) {
+    return Status::IOError(path + ": bad magic (not an hkpr binary graph)");
+  }
+  if (header.endian_check != kEndianCheck) {
+    return Status::IOError(path +
+                           ": byte-order mismatch (file written on a "
+                           "different-endianness machine)");
+  }
+  if (header.version != kFormatVersion) {
+    return Status::IOError(path + ": unsupported format version " +
+                           std::to_string(header.version));
+  }
+  if (header.num_nodes > 0xFFFFFFFFull - 1) {
+    return Status::OutOfRange(path + ": node count exceeds 32 bits");
+  }
+  return Status::OK();
+}
+
+/// Validates that a section [pos, pos + bytes) lies inside the file and is
+/// aligned for in-place pointing.
+Status CheckSection(const std::string& path, const char* what, uint64_t pos,
+                    uint64_t bytes, uint64_t file_size) {
+  if (pos % kSectionAlign != 0) {
+    return Status::IOError(path + ": misaligned " + std::string(what) +
+                           " section");
+  }
+  if (pos > file_size || bytes > file_size - pos) {
+    return Status::IOError(path + ": truncated " + std::string(what) +
+                           " section");
+  }
+  return Status::OK();
+}
+
+/// Structural sanity of loaded/mapped CSR sections; linear scans, done once
+/// per load so a corrupt file can never become an out-of-bounds read on the
+/// query path.
+Status ValidateCsrSections(const std::string& path,
+                           std::span<const uint64_t> offsets,
+                           std::span<const NodeId> adjacency,
+                           std::span<const uint64_t> row_starts) {
+  const uint64_t n = offsets.size() - 1;
+  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+    return Status::IOError(path + ": offsets do not span the adjacency");
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::IOError(path + ": offsets not monotone at node " +
+                             std::to_string(v));
+    }
+  }
+  for (const NodeId u : adjacency) {
+    if (u >= n) {
+      return Status::IOError(path + ": adjacency id out of range");
+    }
+  }
+  if (!row_starts.empty()) {
+    for (uint64_t v = 0; v < n; ++v) {
+      const uint64_t degree = offsets[v + 1] - offsets[v];
+      if (row_starts[v] > adjacency.size() ||
+          degree > adjacency.size() - row_starts[v]) {
+        return Status::IOError(path + ": row placement out of bounds at node " +
+                               std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Legacy v1: magic | u64 n | u64 arcs | offsets | adjacency, unaligned.
+Result<Graph> LoadBinaryV1(std::FILE* f, const std::string& path) {
+  uint64_t n = 0;
+  uint64_t arcs = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1 ||
+      std::fread(&arcs, sizeof(arcs), 1, f) != 1) {
+    return Status::IOError(path + ": truncated header");
+  }
+  if (n > 0xFFFFFFFFull - 1) {
+    return Status::OutOfRange(path + ": node count exceeds 32 bits");
+  }
+  std::vector<uint64_t> offsets(n + 1);
+  std::vector<NodeId> adjacency(arcs);
+  if (std::fread(offsets.data(), sizeof(uint64_t), n + 1, f) != n + 1) {
+    return Status::IOError(path + ": truncated offsets");
+  }
+  if (arcs > 0 &&
+      std::fread(adjacency.data(), sizeof(NodeId), arcs, f) != arcs) {
+    return Status::IOError(path + ": truncated adjacency");
+  }
+  Status valid = ValidateCsrSections(path, offsets, adjacency, {});
+  if (!valid.ok()) return valid;
+  return Graph::FromCsr(std::move(offsets), std::move(adjacency));
+}
 
 }  // namespace
 
@@ -72,16 +214,40 @@ Status SaveEdgeList(const Graph& graph, const std::string& path) {
 Status SaveBinary(const Graph& graph, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IOError("cannot open " + path + " for writing");
+
   const uint64_t n = graph.NumNodes();
   const uint64_t arcs = graph.adjacency().size();
-  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
-      std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
-      std::fwrite(&arcs, sizeof(arcs), 1, f.get()) != 1 ||
+  const bool with_rows = graph.degree_ordered();
+
+  BinaryHeader header = {};
+  std::memcpy(header.magic, kMagicV2, sizeof(kMagicV2));
+  header.version = kFormatVersion;
+  header.endian_check = kEndianCheck;
+  header.num_nodes = n;
+  header.num_arcs = arcs;
+  header.flags = with_rows ? kFlagRowStarts : 0;
+  header.offsets_pos = sizeof(BinaryHeader);
+  header.adjacency_pos =
+      AlignUp(header.offsets_pos + (n + 1) * sizeof(uint64_t));
+  header.row_starts_pos =
+      with_rows ? AlignUp(header.adjacency_pos + arcs * sizeof(NodeId)) : 0;
+
+  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1 ||
       std::fwrite(graph.offsets().data(), sizeof(uint64_t), n + 1, f.get()) !=
           n + 1 ||
+      !WritePadding(f.get(), header.offsets_pos + (n + 1) * sizeof(uint64_t),
+                    header.adjacency_pos) ||
       (arcs > 0 && std::fwrite(graph.adjacency().data(), sizeof(NodeId), arcs,
                                f.get()) != arcs)) {
     return Status::IOError("short write to " + path);
+  }
+  if (with_rows) {
+    if (!WritePadding(f.get(), header.adjacency_pos + arcs * sizeof(NodeId),
+                      header.row_starts_pos) ||
+        std::fwrite(graph.row_starts().data(), sizeof(uint64_t), n, f.get()) !=
+            n) {
+      return Status::IOError("short write to " + path);
+    }
   }
   return Status::OK();
 }
@@ -89,27 +255,130 @@ Status SaveBinary(const Graph& graph, const std::string& path) {
 Result<Graph> LoadBinary(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
+
   char magic[8];
-  uint64_t n = 0;
-  uint64_t arcs = 0;
-  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::IOError(path + ": bad magic (not an hkpr binary graph)");
-  }
-  if (std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
-      std::fread(&arcs, sizeof(arcs), 1, f.get()) != 1) {
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
     return Status::IOError(path + ": truncated header");
   }
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    return LoadBinaryV1(f.get(), path);
+  }
+
+  BinaryHeader header = {};
+  std::memcpy(header.magic, magic, sizeof(magic));
+  if (std::fread(reinterpret_cast<char*>(&header) + sizeof(magic),
+                 sizeof(header) - sizeof(magic), 1, f.get()) != 1) {
+    // Still diagnose bad magic first: a short non-graph file should say
+    // "bad magic", not "truncated".
+    BinaryHeader magic_only = {};
+    std::memcpy(magic_only.magic, magic, sizeof(magic));
+    magic_only.endian_check = kEndianCheck;
+    magic_only.version = kFormatVersion;
+    Status status = HeaderError(path, magic_only);
+    if (!status.ok()) return status;
+    return Status::IOError(path + ": truncated header");
+  }
+  Status status = HeaderError(path, header);
+  if (!status.ok()) return status;
+
+  const uint64_t n = header.num_nodes;
+  const uint64_t arcs = header.num_arcs;
   std::vector<uint64_t> offsets(n + 1);
   std::vector<NodeId> adjacency(arcs);
-  if (std::fread(offsets.data(), sizeof(uint64_t), n + 1, f.get()) != n + 1) {
+  std::vector<uint64_t> row_starts;
+  if (std::fseek(f.get(), static_cast<long>(header.offsets_pos), SEEK_SET) !=
+          0 ||
+      std::fread(offsets.data(), sizeof(uint64_t), n + 1, f.get()) != n + 1) {
     return Status::IOError(path + ": truncated offsets");
   }
-  if (arcs > 0 &&
-      std::fread(adjacency.data(), sizeof(NodeId), arcs, f.get()) != arcs) {
+  if (std::fseek(f.get(), static_cast<long>(header.adjacency_pos), SEEK_SET) !=
+          0 ||
+      (arcs > 0 &&
+       std::fread(adjacency.data(), sizeof(NodeId), arcs, f.get()) != arcs)) {
     return Status::IOError(path + ": truncated adjacency");
   }
-  return Graph::FromCsr(std::move(offsets), std::move(adjacency));
+  if (header.flags & kFlagRowStarts) {
+    row_starts.resize(n);
+    if (std::fseek(f.get(), static_cast<long>(header.row_starts_pos),
+                   SEEK_SET) != 0 ||
+        (n > 0 && std::fread(row_starts.data(), sizeof(uint64_t), n,
+                             f.get()) != n)) {
+      return Status::IOError(path + ": truncated row_starts");
+    }
+  }
+  Status valid = ValidateCsrSections(path, offsets, adjacency, row_starts);
+  if (!valid.ok()) return valid;
+  if (row_starts.empty()) {
+    return Graph::FromCsr(std::move(offsets), std::move(adjacency));
+  }
+  return Graph::FromPermutedCsr(std::move(offsets), std::move(adjacency),
+                                std::move(row_starts));
+}
+
+Result<Graph> MapBinary(const std::string& path, bool validate) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < sizeof(BinaryHeader)) {
+    ::close(fd);
+    return Status::IOError(path + ": truncated header");
+  }
+
+  void* mapping = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping pins the file contents; the descriptor is no longer needed.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return Status::IOError("mmap failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto region = std::make_shared<MappedFile>();
+  region->data = mapping;
+  region->size = file_size;
+
+  BinaryHeader header = {};
+  std::memcpy(&header, mapping, sizeof(header));
+  Status status = HeaderError(path, header);
+  if (!status.ok()) return status;
+
+  const uint64_t n = header.num_nodes;
+  const uint64_t arcs = header.num_arcs;
+  status = CheckSection(path, "offsets", header.offsets_pos,
+                        (n + 1) * sizeof(uint64_t), file_size);
+  if (!status.ok()) return status;
+  status = CheckSection(path, "adjacency", header.adjacency_pos,
+                        arcs * sizeof(NodeId), file_size);
+  if (!status.ok()) return status;
+  const bool with_rows = (header.flags & kFlagRowStarts) != 0;
+  if (with_rows) {
+    status = CheckSection(path, "row_starts", header.row_starts_pos,
+                          n * sizeof(uint64_t), file_size);
+    if (!status.ok()) return status;
+  }
+
+  const char* base = static_cast<const char*>(mapping);
+  std::span<const uint64_t> offsets(
+      reinterpret_cast<const uint64_t*>(base + header.offsets_pos), n + 1);
+  std::span<const NodeId> adjacency(
+      reinterpret_cast<const NodeId*>(base + header.adjacency_pos), arcs);
+  std::span<const uint64_t> row_starts;
+  if (with_rows) {
+    row_starts = std::span<const uint64_t>(
+        reinterpret_cast<const uint64_t*>(base + header.row_starts_pos), n);
+  }
+  if (offsets.front() != 0 || offsets.back() != arcs) {
+    return Status::IOError(path + ": offsets do not span the adjacency");
+  }
+  if (validate) {
+    status = ValidateCsrSections(path, offsets, adjacency, row_starts);
+    if (!status.ok()) return status;
+  }
+  return Graph::FromExternal(offsets, adjacency, row_starts,
+                             std::move(region));
 }
 
 }  // namespace hkpr

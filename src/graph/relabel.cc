@@ -1,0 +1,38 @@
+#include "graph/relabel.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hkpr {
+
+DegreeOrderedLayout RelabelByDegree(const Graph& graph) {
+  const uint32_t n = graph.NumNodes();
+  DegreeOrderedLayout out;
+  out.order.resize(n);
+  out.rank.resize(n);
+  std::iota(out.order.begin(), out.order.end(), NodeId{0});
+  // Descending degree, ascending id on ties: deterministic in the graph.
+  std::stable_sort(out.order.begin(), out.order.end(),
+                   [&graph](NodeId a, NodeId b) {
+                     return graph.Degree(a) > graph.Degree(b);
+                   });
+  for (uint32_t r = 0; r < n; ++r) out.rank[out.order[r]] = r;
+
+  std::span<const uint64_t> old_offsets = graph.offsets();
+  std::vector<uint64_t> offsets(old_offsets.begin(), old_offsets.end());
+  std::vector<NodeId> adjacency(graph.adjacency().size());
+  std::vector<uint64_t> row_starts(n);
+  uint64_t cursor = 0;
+  for (uint32_t r = 0; r < n; ++r) {
+    const NodeId v = out.order[r];
+    auto nbrs = graph.Neighbors(v);
+    row_starts[v] = cursor;
+    std::copy(nbrs.begin(), nbrs.end(), adjacency.begin() + cursor);
+    cursor += nbrs.size();
+  }
+  out.graph = Graph::FromPermutedCsr(std::move(offsets), std::move(adjacency),
+                                     std::move(row_starts));
+  return out;
+}
+
+}  // namespace hkpr

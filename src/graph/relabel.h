@@ -1,0 +1,59 @@
+// Degree-ordered graph layout.
+//
+// On graphs that do not fit in cache, HKPR query traffic is dominated by
+// adjacency reads of a small set of hub nodes (heat spreads through hubs;
+// Zipfian serving traffic concentrates on them too). In the standard CSR
+// layout those hub rows are scattered across the whole adjacency array —
+// one TLB/page-cache miss per hub visit. RelabelByDegree() rewrites the
+// *physical* row placement so that rows are stored in descending-degree
+// order: the hottest adjacency lists pack into the first pages of the
+// array, where they stay resident together.
+//
+// Deliberate design choice — placement, not renumbering: node ids are NOT
+// changed. A full renumbering (as in graph-tool-style generation pipelines)
+// would also compact the id range the per-query score/residue tables touch,
+// but it changes every neighbor list's order and therefore every random
+// walk trajectory and every floating-point accumulation order — query
+// results would differ bit-for-bit from the unrelabeled graph, caches keyed
+// on seeds would need translation, and external ids would leak complexity
+// into every serving layer. Permuting placement only keeps external seed
+// ids, results and cache keys unchanged *and* keeps every backend's output
+// bit-identical per (engine seed, query index) — which is what makes the
+// pass safe to apply at load time under a live service (tested across all
+// registry backends in relabel_test.cc).
+//
+// The old<->new mapping (id -> physical rank and back) is exposed for
+// introspection, tooling, and as the contract tests pin down.
+
+#ifndef HKPR_GRAPH_RELABEL_H_
+#define HKPR_GRAPH_RELABEL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hkpr {
+
+/// A degree-ordered copy of a graph plus the placement mapping.
+struct DegreeOrderedLayout {
+  /// Same node ids, same neighbor lists, physically reordered rows
+  /// (graph.degree_ordered() is true). Query results are bit-identical to
+  /// the input graph's.
+  Graph graph;
+  /// order[rank] = the node id stored at physical rank `rank` (new -> old).
+  /// Ranks are by descending degree, ties broken by ascending id — a
+  /// deterministic function of the input graph.
+  std::vector<NodeId> order;
+  /// rank[v] = the physical rank of node v's row (old -> new). Inverse of
+  /// `order`.
+  std::vector<NodeId> rank;
+};
+
+/// Rewrites `graph` into the degree-ordered layout. O(n log n + m). The
+/// result is a fresh heap-backed graph (save it with SaveBinary to get an
+/// mmap-able degree-ordered snapshot: the row_starts section rides along).
+DegreeOrderedLayout RelabelByDegree(const Graph& graph);
+
+}  // namespace hkpr
+
+#endif  // HKPR_GRAPH_RELABEL_H_

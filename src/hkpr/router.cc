@@ -65,6 +65,16 @@ std::optional<QueryPlan> ResolveQueryPlan(const Graph& graph, NodeId seed,
                                           const ApproxParams& default_params,
                                           const PlanOverrides& overrides,
                                           const RoutingPolicy& policy) {
+  return ResolveQueryPlan(graph, seed, GraphScaleFeatures::Of(graph),
+                          default_backend, default_params, overrides, policy);
+}
+
+std::optional<QueryPlan> ResolveQueryPlan(const Graph& graph, NodeId seed,
+                                          const GraphScaleFeatures& scale,
+                                          std::string_view default_backend,
+                                          const ApproxParams& default_params,
+                                          const PlanOverrides& overrides,
+                                          const RoutingPolicy& policy) {
   HKPR_CHECK(seed < graph.NumNodes()) << "plan seed out of range";
   QueryPlan plan;
   plan.params = ApplyParamOverrides(default_params, overrides);
@@ -84,9 +94,9 @@ std::optional<QueryPlan> ResolveQueryPlan(const Graph& graph, NodeId seed,
     RoutingQuery query;
     query.seed = seed;
     query.seed_degree = graph.Degree(seed);
-    query.num_nodes = graph.NumNodes();
-    query.num_edges = graph.NumEdges();
-    query.avg_degree = graph.AverageDegree();
+    query.num_nodes = scale.num_nodes;
+    query.num_edges = scale.num_edges;
+    query.avg_degree = scale.avg_degree;
     query.params = plan.params;
     backend = policy.Route(query);
   }

@@ -90,6 +90,22 @@ ApproxParams ApplyParamOverrides(const ApproxParams& base,
 /// built estimator's constructor check-fail the serving process.
 bool ServableParams(const ApproxParams& params);
 
+/// The graph-scale routing features: a pure function of the snapshot, not
+/// of the query. Serving layers compute this once per published snapshot
+/// (AverageDegree and friends are O(1) here, but on the submission path
+/// every load counts — and a learned policy may grow features that are
+/// *not* O(1) to derive) and pass it into ResolveQueryPlan for every
+/// request against that snapshot.
+struct GraphScaleFeatures {
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  double avg_degree = 0.0;
+
+  static GraphScaleFeatures Of(const Graph& graph) {
+    return {graph.NumNodes(), graph.NumEdges(), graph.AverageDegree()};
+  }
+};
+
 /// Everything a routing policy may look at. Kept plain-old-data (degree and
 /// scale pre-extracted) so policies never need graph access and a logged
 /// RoutingQuery can replay a decision offline — the shape a learned policy
@@ -192,6 +208,16 @@ const RoutingPolicy& DefaultRouter();
 /// default params at construction). `seed` must be a valid node of
 /// `graph`.
 std::optional<QueryPlan> ResolveQueryPlan(const Graph& graph, NodeId seed,
+                                          std::string_view default_backend,
+                                          const ApproxParams& default_params,
+                                          const PlanOverrides& overrides,
+                                          const RoutingPolicy& policy);
+
+/// Same, with the snapshot-level features supplied by the caller (computed
+/// once per snapshot, see GraphScaleFeatures) — the per-submission variant
+/// serving layers use. Only the seed's degree is read from `graph`.
+std::optional<QueryPlan> ResolveQueryPlan(const Graph& graph, NodeId seed,
+                                          const GraphScaleFeatures& scale,
                                           std::string_view default_backend,
                                           const ApproxParams& default_params,
                                           const PlanOverrides& overrides,

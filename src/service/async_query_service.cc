@@ -47,6 +47,9 @@ AsyncQueryService::AsyncQueryService(GraphSnapshot snapshot,
       << "service ApproxParams out of range (t in (0, 1000], eps_r in "
          "(0, 1), delta > 0, p_f in (0, 1))";
   const Graph& graph = *snapshot_.graph;
+  // Snapshot-level routing features, computed once: the graph is immutable
+  // for this service's lifetime, so every submission reuses them.
+  scale_features_ = GraphScaleFeatures::Of(graph);
   uint32_t num_workers = options.num_workers;
   if (num_workers == 0) {
     num_workers = std::max(1u, std::thread::hardware_concurrency());
@@ -90,6 +93,10 @@ AsyncQueryService::AsyncQueryService(GraphSnapshot snapshot,
     defaults_.plan = executors_.front()->default_plan();
   }
 
+  shards_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   workers_.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
@@ -145,11 +152,16 @@ AsyncQueryService::AsyncQueryService(const Graph& graph,
 
 void AsyncQueryService::Shutdown() {
   std::call_once(shutdown_once_, [this] {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stopping_ = true;
+    stopping_.store(true);  // seq_cst, paired with Enqueue's in-lock check
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      // Lock/unlock fence: any submitter that passed its in-lock stopping
+      // check on this shard has already pushed (a worker will drain it);
+      // any submitter arriving later observes stopping_ under the lock and
+      // rejects inline. Notify under no lock is safe — workers recheck
+      // their predicate under the shard lock, and the park has a timeout.
+      { std::lock_guard<std::mutex> lock(shard->mu); }
+      shard->cv.notify_all();
     }
-    queue_cv_.notify_all();
     for (std::thread& worker : workers_) worker.join();
   });
 }
@@ -204,8 +216,9 @@ std::optional<QueryHandle> AsyncQueryService::Enqueue(
     request.plan = defaults.plan;
   } else {
     std::optional<QueryPlan> plan =
-        ResolveQueryPlan(*snapshot_.graph, seed, defaults.backend,
-                         defaults.params, submit.plan, *router_);
+        ResolveQueryPlan(*snapshot_.graph, seed, scale_features_,
+                         defaults.backend, defaults.params, submit.plan,
+                         *router_);
     if (!plan.has_value()) {
       // The request named an unregistered backend or out-of-range
       // parameter overrides: report, don't abort — and don't consume a
@@ -222,20 +235,42 @@ std::optional<QueryHandle> AsyncQueryService::Enqueue(
   }
   request.key = MakeKey(request.plan, seed);
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && stale_if_stopping) return std::nullopt;
+  if (stopping_.load()) {
+    if (stale_if_stopping) return std::nullopt;
     stats_.RecordSubmitted();
-    if (stopping_ || queue_.size() >= options_.max_queue_depth) {
+    stats_.RecordRejected();
+    promise.set_value(QueryResult{});  // kRejected
+    return handle;
+  }
+  stats_.RecordSubmitted();
+  // Exact global admission without any shared lock: claim a waiting slot;
+  // undo and reject if the claim overshot the bound.
+  if (pending_.fetch_add(1) >= options_.max_queue_depth) {
+    pending_.fetch_sub(1);
+    stats_.RecordRejected();
+    promise.set_value(QueryResult{});  // kRejected
+    return handle;
+  }
+  request.query_index = next_query_index_.fetch_add(1);
+  request.promise = std::move(promise);
+
+  Shard& shard = *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                          shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (stopping_.load()) {
+      // Shutdown began after the admission check; its drain may already
+      // have passed this shard, so resolve the request here instead of
+      // stranding the future in a dead queue.
+      pending_.fetch_sub(1);
       stats_.RecordRejected();
-      promise.set_value(QueryResult{});  // kRejected
+      if (stale_if_stopping) return std::nullopt;
+      request.promise.set_value(QueryResult{});  // kRejected
       return handle;
     }
-    request.query_index = next_query_index_++;
-    request.promise = std::move(promise);
-    queue_.push_back(std::move(request));
+    shard.queue.push_back(std::move(request));
   }
-  queue_cv_.notify_one();
+  shard.cv.notify_one();
   return handle;
 }
 
@@ -261,8 +296,30 @@ std::optional<QueryHandle> AsyncQueryService::TrySubmitTopK(
   return Enqueue(seed, k, submit, /*stale_if_stopping=*/true);
 }
 
+size_t AsyncQueryService::StealInto(uint32_t thief, std::vector<Request>& batch,
+                                    uint32_t max_batch) {
+  const size_t num_shards = shards_.size();
+  for (size_t hop = 1; hop < num_shards; ++hop) {
+    Shard& victim = *shards_[(thief + hop) % num_shards];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.queue.empty()) continue;
+    // Take the *older* half from the front: the thief serves the requests
+    // that have waited longest, and the victim keeps the newer half (it
+    // is presumably busy, or its own drain would have taken them).
+    const size_t take =
+        std::min<size_t>(max_batch, (victim.queue.size() + 1) / 2);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(victim.queue.front()));
+      victim.queue.pop_front();
+    }
+    return take;
+  }
+  return 0;
+}
+
 void AsyncQueryService::WorkerLoop(uint32_t worker_id) {
   QueryExecutor& executor = *executors_[worker_id];
+  Shard& home = *shards_[worker_id];
   const uint32_t max_batch = std::max(1u, options_.max_batch);
   std::vector<Request> batch;
   std::vector<Deferred> deferred;
@@ -271,20 +328,37 @@ void AsyncQueryService::WorkerLoop(uint32_t worker_id) {
     batch.clear();
     deferred.clear();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained
       // Opportunistic micro-batching: drain up to max_batch waiting
       // requests in one wakeup so a loaded worker answers them in a tight
       // loop on its warmed executor (the async analogue of the static
       // batch shard).
-      const size_t take =
-          std::min<size_t>(max_batch, queue_.size());
+      std::lock_guard<std::mutex> lock(home.mu);
+      const size_t take = std::min<size_t>(max_batch, home.queue.size());
       for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        batch.push_back(std::move(home.queue.front()));
+        home.queue.pop_front();
       }
     }
+    if (batch.empty() && shards_.size() > 1) {
+      const size_t stolen = StealInto(worker_id, batch, max_batch);
+      if (stolen > 0) stats_.RecordStolen(stolen);
+    }
+    if (batch.empty()) {
+      // stopping_ is set before the shutdown drain, and pending_ counts
+      // every admitted-but-unprocessed request (including ones a raced
+      // submitter has claimed but not yet pushed — those resolve under the
+      // shard lock), so this exit condition cannot strand a future.
+      if (stopping_.load() && pending_.load() == 0) return;
+      std::unique_lock<std::mutex> lock(home.mu);
+      // The timeout doubles as the steal-poll period: a worker whose own
+      // shard stays empty re-scans the victims' shards even though only
+      // its own cv is notified on their submissions.
+      home.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return stopping_.load() || !home.queue.empty();
+      });
+      continue;
+    }
+    pending_.fetch_sub(batch.size());
     for (Request& request : batch) Process(executor, request, deferred);
     // Requests coalesced onto another worker's in-flight computation are
     // resolved last: the drained batch is this worker's private backlog,
@@ -386,14 +460,10 @@ ServiceStatsSnapshot AsyncQueryService::Stats() const {
   return snap;
 }
 
-size_t AsyncQueryService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
-}
+size_t AsyncQueryService::queue_depth() const { return pending_.load(); }
 
 uint64_t AsyncQueryService::queries_accepted() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_query_index_;
+  return next_query_index_.load();
 }
 
 }  // namespace hkpr

@@ -3,13 +3,27 @@
 // AsyncQueryService turns the synchronous query-engine building blocks
 // (per-thread backend QueryExecutors, reusable workspaces — see
 // hkpr/queries.h) into a service: callers Submit() single-seed or top-k
-// queries into a bounded MPMC submission queue and get std::future-based
-// handles back; dedicated worker threads drain the queue in micro-batches
-// of up to `max_batch` requests per wakeup (so a loaded service amortizes
-// wakeups the same way the static-shard batch path amortizes dispatch) and
+// queries and get std::future-based handles back; dedicated worker threads
 // answer each request on their private executor. The estimator the workers
 // run is any backend registered in the EstimatorRegistry (hkpr/backend.h),
 // selected by name via ServiceOptions::backend.
+//
+// Submission is sharded: each worker owns a private FIFO shard (lock +
+// condition variable + deque), and submitters spread requests round-robin
+// across the shards. At high worker counts a single shared MPMC queue
+// becomes the serialization point — every submitter and every worker
+// wakeup contends one mutex and bounces one cache line — whereas with
+// shards the expected contention on any lock is constant in the worker
+// count. Workers drain their own shard in micro-batches of up to
+// `max_batch` requests per wakeup (so a loaded service amortizes wakeups
+// the same way the static-shard batch path amortizes dispatch); a worker
+// whose shard is empty *steals* the oldest waiting half of a loaded
+// victim's shard before parking, so one slow query (or an unlucky
+// round-robin burst) cannot strand requests behind a busy worker while
+// others idle. Admission control stays exact and global: one atomic
+// counter of waiting requests backs both `max_queue_depth` and the
+// queue-depth gauge, and the `stolen` counter in ServiceStats makes the
+// rebalancing observable.
 //
 // Every request is resolved into a per-query QueryPlan (hkpr/router.h) at
 // submission time: the service's default backend + params, composed with
@@ -81,11 +95,13 @@ struct ServiceOptions {
   /// Worker threads; 0 uses all hardware threads.
   uint32_t num_workers = 0;
   /// Admission control: Submit() fails fast with QueryStatus::kRejected
-  /// once this many requests are waiting (0 rejects everything — useful to
-  /// drain a service without stopping it).
+  /// once this many requests are waiting across all submission shards
+  /// (0 rejects everything — useful to drain a service without stopping
+  /// it).
   size_t max_queue_depth = 1024;
-  /// Micro-batch: requests drained per worker wakeup. Larger batches
-  /// amortize lock/wakeup costs under load at a small latency cost.
+  /// Micro-batch: requests drained per worker wakeup (and the cap on one
+  /// steal). Larger batches amortize lock/wakeup costs under load at a
+  /// small latency cost.
   uint32_t max_batch = 8;
   /// Completed estimates retained across queries; 0 disables the cache.
   size_t cache_capacity = 4096;
@@ -311,12 +327,27 @@ class AsyncQueryService {
     std::shared_future<CachedEstimate> pending;
   };
 
+  /// One per-worker submission shard. Cache-line aligned so two shards'
+  /// hot state never false-shares.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Request> queue;
+  };
+
   /// Shared enqueue; `stale_if_stopping` selects the TrySubmit contract
   /// (nullopt once shut down) over the kRejected handle.
   std::optional<QueryHandle> Enqueue(NodeId seed, size_t k,
                                      const SubmitOptions& submit,
                                      bool stale_if_stopping);
   void WorkerLoop(uint32_t worker_id);
+  /// Moves up to min(max_batch, half) waiting requests from the *front* of
+  /// the first non-empty victim shard into `batch` (oldest first, so
+  /// stealing preserves rough service order and leaves the victim the
+  /// newer half). Returns the number taken; the caller settles pending_
+  /// and the stolen counter.
+  size_t StealInto(uint32_t thief, std::vector<Request>& batch,
+                   uint32_t max_batch);
   void Process(QueryExecutor& executor, Request& request,
                std::vector<Deferred>& deferred);
   void Fulfill(Request& request, CachedEstimate estimate, bool from_cache);
@@ -327,6 +358,10 @@ class AsyncQueryService {
   GraphSnapshot snapshot_;
   ApproxParams params_;
   ServiceOptions options_;
+  /// Snapshot-level routing features (n, m, average degree), computed once
+  /// at construction — the graph is immutable for the service's lifetime —
+  /// instead of being re-derived on every submission.
+  GraphScaleFeatures scale_features_;
   uint32_t backend_id_ = 0;
   const RoutingPolicy* router_ = nullptr;
   std::shared_ptr<const RoutingPolicy> router_owner_;  // keeps options.router
@@ -343,13 +378,24 @@ class AsyncQueryService {
   std::vector<std::unique_ptr<QueryExecutor>> executors_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
-  uint64_t next_query_index_ = 0;
-  /// Atomic so stopped() reads it without mu_; always *written* under mu_
-  /// (before the CV notify), so workers parked on queue_cv_ cannot miss
-  /// the transition.
+  /// One submission shard per worker thread (same index). Submissions are
+  /// spread round-robin via next_shard_; see the header comment for the
+  /// stealing discipline.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Admitted-and-waiting requests across all shards: the exact
+  /// admission-control count (claimed with fetch_add before the shard
+  /// push, released when a worker drains or a raced shutdown rejects) and
+  /// the queue-depth gauge.
+  std::atomic<size_t> pending_{0};
+  /// Round-robin shard cursor for submissions.
+  std::atomic<uint64_t> next_shard_{0};
+  /// The next accepted query's deterministic RNG index, claimed in
+  /// admission order.
+  std::atomic<uint64_t> next_query_index_{0};
+  /// Set once by Shutdown() (seq_cst, paired with a per-shard lock fence):
+  /// a submitter that already passed admission either lands its request in
+  /// a shard before the drain, or observes stopping_ under the shard lock
+  /// and rejects inline — no future is ever stranded.
   std::atomic<bool> stopping_{false};
   std::once_flag shutdown_once_;
 };

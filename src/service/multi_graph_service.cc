@@ -23,6 +23,7 @@ void AddCounters(ServiceStatsSnapshot& into,
   into.cache_misses += from.cache_misses;
   into.coalesced += from.coalesced;
   into.computed += from.computed;
+  into.stolen += from.stolen;
   into.latency_count += from.latency_count;
   for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
     into.latency_buckets[i] += from.latency_buckets[i];

@@ -67,6 +67,7 @@ ServiceStatsSnapshot ServiceStats::TakeSnapshot() const {
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   snap.coalesced = coalesced_.load(std::memory_order_relaxed);
   snap.computed = computed_.load(std::memory_order_relaxed);
+  snap.stolen = stolen_.load(std::memory_order_relaxed);
   // Percentiles derive from the same bucket copy that ships in the
   // snapshot, so the two can never disagree.
   snap.latency_buckets = latency_.BucketCounts();

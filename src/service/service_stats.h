@@ -67,6 +67,8 @@ struct ServiceStatsSnapshot {
   uint64_t coalesced = 0;    ///< single-flight waits on an in-flight leader
   uint64_t computed = 0;     ///< estimator invocations (never > misses when
                              ///< the cache is enabled)
+  uint64_t stolen = 0;       ///< requests executed by a worker other than the
+                             ///< submission shard's owner (work stealing)
   size_t queue_depth = 0;    ///< requests waiting at snapshot time
 
   uint64_t latency_count = 0;  ///< completed queries in the histogram
@@ -88,6 +90,11 @@ class ServiceStats {
   void RecordCacheMiss() { Bump(cache_misses_); }
   void RecordCoalesced() { Bump(coalesced_); }
   void RecordComputed() { Bump(computed_); }
+
+  /// `count` requests were stolen from another worker's submission shard.
+  void RecordStolen(uint64_t count) {
+    if (count > 0) stolen_.fetch_add(count, std::memory_order_relaxed);
+  }
 
   /// One query finished with kOk after `latency_seconds` in the pipeline.
   void RecordCompleted(double latency_seconds) {
@@ -114,6 +121,7 @@ class ServiceStats {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> computed_{0};
+  std::atomic<uint64_t> stolen_{0};
   LatencyHistogram latency_;
 };
 

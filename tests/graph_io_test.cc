@@ -2,13 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "graph/community.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
+#include "graph/relabel.h"
+#include "service/graph_store.h"
 #include "test_util.h"
 
 namespace hkpr {
@@ -76,8 +82,8 @@ TEST(GraphIoTest, BinaryRoundTrip) {
   auto loaded = LoadBinary(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded.value().NumNodes(), g.NumNodes());
-  EXPECT_EQ(loaded.value().adjacency(), g.adjacency());
-  EXPECT_EQ(loaded.value().offsets(), g.offsets());
+  EXPECT_TRUE(std::ranges::equal(loaded.value().adjacency(), g.adjacency()));
+  EXPECT_TRUE(std::ranges::equal(loaded.value().offsets(), g.offsets()));
 }
 
 TEST(GraphIoTest, BinaryRejectsWrongMagic) {
@@ -99,6 +105,252 @@ TEST(GraphIoTest, BinaryEmptyGraph) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded.value().NumNodes(), 4u);
   EXPECT_EQ(loaded.value().NumEdges(), 0u);
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Writes a copy of the file at `path` with `count` bytes at `offset`
+/// replaced by `patch`, to a fresh path, and returns it.
+std::string PatchedCopy(const std::string& path, size_t offset,
+                        const void* patch, size_t count,
+                        const std::string& name) {
+  std::vector<char> bytes = ReadFileBytes(path);
+  EXPECT_LE(offset + count, bytes.size());
+  std::memcpy(bytes.data() + offset, patch, count);
+  const std::string out = TempPath(name);
+  WriteFileBytes(out, bytes);
+  return out;
+}
+
+TEST(BinaryCsrTest, V2FileStartsWithMagicAndRoundTripsBitIdentically) {
+  Graph g = PowerlawCluster(800, 4, 0.3, 21);
+  const std::string path = TempPath("v2.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+
+  const std::vector<char> bytes = ReadFileBytes(path);
+  ASSERT_GE(bytes.size(), 64u);
+  EXPECT_EQ(std::memcmp(bytes.data(), "HKPRCSR2", 8), 0);
+
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(std::ranges::equal(loaded.value().offsets(), g.offsets()));
+  EXPECT_TRUE(std::ranges::equal(loaded.value().adjacency(), g.adjacency()));
+  EXPECT_FALSE(loaded.value().degree_ordered());
+
+  // A second save of the loaded graph must be byte-identical: the format
+  // has no timestamps or other nondeterminism.
+  const std::string path2 = TempPath("v2_again.bin");
+  ASSERT_TRUE(SaveBinary(loaded.value(), path2).ok());
+  EXPECT_EQ(ReadFileBytes(path2), bytes);
+}
+
+TEST(BinaryCsrTest, SectionsAre64ByteAligned) {
+  Graph g = testing::MakeBarbell(5);  // (n+1)*8 not a multiple of 64
+  const std::string path = TempPath("aligned.bin");
+  ASSERT_TRUE(SaveBinary(RelabelByDegree(g).graph, path).ok());
+  const std::vector<char> bytes = ReadFileBytes(path);
+  uint64_t offsets_pos = 0, adjacency_pos = 0, row_starts_pos = 0;
+  std::memcpy(&offsets_pos, bytes.data() + 40, 8);
+  std::memcpy(&adjacency_pos, bytes.data() + 48, 8);
+  std::memcpy(&row_starts_pos, bytes.data() + 56, 8);
+  EXPECT_EQ(offsets_pos % 64, 0u);
+  EXPECT_EQ(adjacency_pos % 64, 0u);
+  EXPECT_EQ(row_starts_pos % 64, 0u);
+  EXPECT_GT(row_starts_pos, adjacency_pos);
+}
+
+TEST(BinaryCsrTest, DegreeOrderedLayoutRoundTrips) {
+  Graph g = PowerlawCluster(600, 3, 0.4, 22);
+  DegreeOrderedLayout layout = RelabelByDegree(g);
+  ASSERT_TRUE(layout.graph.degree_ordered());
+
+  const std::string path = TempPath("ordered.bin");
+  ASSERT_TRUE(SaveBinary(layout.graph, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded.value().degree_ordered());
+  EXPECT_TRUE(
+      std::ranges::equal(loaded.value().offsets(), layout.graph.offsets()));
+  EXPECT_TRUE(
+      std::ranges::equal(loaded.value().adjacency(), layout.graph.adjacency()));
+  EXPECT_TRUE(std::ranges::equal(loaded.value().row_starts(),
+                                 layout.graph.row_starts()));
+}
+
+TEST(BinaryCsrTest, MapBinaryMatchesLoadBinary) {
+  Graph g = PowerlawCluster(700, 4, 0.2, 23);
+  const std::string path = TempPath("mapped.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+
+  auto mapped = MapBinary(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_TRUE(mapped.value().mmap_backed());
+  EXPECT_TRUE(std::ranges::equal(mapped.value().offsets(), g.offsets()));
+  EXPECT_TRUE(std::ranges::equal(mapped.value().adjacency(), g.adjacency()));
+  // Copies share the mapping rather than duplicating it.
+  Graph copy = mapped.value();
+  EXPECT_EQ(copy.adjacency().data(), mapped.value().adjacency().data());
+}
+
+TEST(BinaryCsrTest, MapBinaryDegreeOrdered) {
+  Graph g = PowerlawCluster(400, 3, 0.5, 24);
+  DegreeOrderedLayout layout = RelabelByDegree(g);
+  const std::string path = TempPath("mapped_ordered.bin");
+  ASSERT_TRUE(SaveBinary(layout.graph, path).ok());
+
+  auto mapped = MapBinary(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_TRUE(mapped.value().mmap_backed());
+  EXPECT_TRUE(mapped.value().degree_ordered());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_TRUE(
+        std::ranges::equal(mapped.value().Neighbors(v), g.Neighbors(v)))
+        << v;
+  }
+}
+
+TEST(BinaryCsrTest, BadMagicDiagnosedEvenWhenFileIsShort) {
+  const std::string path = TempPath("shortbad.bin");
+  WriteFileBytes(path, {'N', 'O', 'T', 'A', 'F', 'I', 'L', 'E'});
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad magic"), std::string::npos)
+      << loaded.status();
+}
+
+TEST(BinaryCsrTest, WrongEndianRejected) {
+  Graph g = testing::MakeBarbell(4);
+  const std::string path = TempPath("endian_src.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  // A big-endian writer would store the check word byte-swapped.
+  const uint32_t swapped = 0x04030201u;
+  const std::string bad =
+      PatchedCopy(path, 12, &swapped, sizeof(swapped), "endian_bad.bin");
+  auto loaded = LoadBinary(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("byte-order"), std::string::npos)
+      << loaded.status();
+  EXPECT_FALSE(MapBinary(bad).ok());
+}
+
+TEST(BinaryCsrTest, UnsupportedVersionRejected) {
+  Graph g = testing::MakeBarbell(4);
+  const std::string path = TempPath("ver_src.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  const uint32_t future_version = 99;
+  const std::string bad = PatchedCopy(path, 8, &future_version,
+                                      sizeof(future_version), "ver_bad.bin");
+  auto loaded = LoadBinary(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  EXPECT_FALSE(MapBinary(bad).ok());
+}
+
+TEST(BinaryCsrTest, TruncatedFilesRejectedAtEveryCut) {
+  Graph g = PowerlawCluster(300, 3, 0.3, 25);
+  const std::string path = TempPath("trunc_src.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  const std::vector<char> bytes = ReadFileBytes(path);
+
+  // Cut inside the header, the offsets section, and the adjacency section.
+  for (const size_t cut : {size_t{20}, size_t{200}, bytes.size() - 8}) {
+    ASSERT_LT(cut, bytes.size());
+    const std::string cut_path =
+        TempPath("trunc_" + std::to_string(cut) + ".bin");
+    WriteFileBytes(cut_path,
+                   std::vector<char>(bytes.begin(), bytes.begin() + cut));
+    EXPECT_FALSE(LoadBinary(cut_path).ok()) << "cut=" << cut;
+    EXPECT_FALSE(MapBinary(cut_path).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(BinaryCsrTest, CorruptAdjacencyIdRejected) {
+  Graph g = testing::MakeBarbell(6);
+  const std::string path = TempPath("adj_src.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  const std::vector<char> bytes = ReadFileBytes(path);
+  uint64_t adjacency_pos = 0;
+  std::memcpy(&adjacency_pos, bytes.data() + 48, 8);
+  const NodeId bogus = 0xFFFFFFF0u;  // far beyond NumNodes()
+  const std::string bad = PatchedCopy(path, adjacency_pos, &bogus,
+                                      sizeof(bogus), "adj_bad.bin");
+  EXPECT_FALSE(LoadBinary(bad).ok());
+  EXPECT_FALSE(MapBinary(bad).ok());
+}
+
+TEST(BinaryCsrTest, NonMonotoneOffsetsRejected) {
+  Graph g = testing::MakeBarbell(6);
+  const std::string path = TempPath("off_src.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  const std::vector<char> bytes = ReadFileBytes(path);
+  uint64_t offsets_pos = 0;
+  std::memcpy(&offsets_pos, bytes.data() + 40, 8);
+  const uint64_t bogus = g.adjacency().size() + 1000;
+  const std::string bad =
+      PatchedCopy(path, offsets_pos + 8, &bogus, sizeof(bogus), "off_bad.bin");
+  EXPECT_FALSE(LoadBinary(bad).ok());
+  EXPECT_FALSE(MapBinary(bad).ok());
+}
+
+TEST(BinaryCsrTest, LegacyV1FilesStillLoad) {
+  Graph g = testing::MakeBarbell(5);
+  const std::string path = TempPath("legacy_v1.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("HKPRGRPH", 8);
+    const uint64_t n = g.NumNodes();
+    const uint64_t arcs = g.adjacency().size();
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&arcs), 8);
+    out.write(reinterpret_cast<const char*>(g.offsets().data()),
+              static_cast<std::streamsize>((n + 1) * sizeof(uint64_t)));
+    out.write(reinterpret_cast<const char*>(g.adjacency().data()),
+              static_cast<std::streamsize>(arcs * sizeof(NodeId)));
+  }
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(std::ranges::equal(loaded.value().offsets(), g.offsets()));
+  EXPECT_TRUE(std::ranges::equal(loaded.value().adjacency(), g.adjacency()));
+}
+
+TEST(BinaryCsrTest, MappedSnapshotSurvivesGraphStoreRemove) {
+  Graph g = PowerlawCluster(500, 3, 0.4, 26);
+  const std::string path = TempPath("store_mapped.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+
+  GraphStore store;
+  {
+    auto mapped = MapBinary(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    store.Publish("big", std::move(mapped).value());
+  }
+  GraphSnapshot snapshot = store.Get("big");
+  ASSERT_TRUE(snapshot);
+  ASSERT_TRUE(snapshot.graph->mmap_backed());
+
+  // Remove drops the store's reference; the snapshot must keep the mapping
+  // alive for in-flight readers (munmap happens with the last reference).
+  ASSERT_TRUE(store.Remove("big"));
+  EXPECT_FALSE(store.Get("big"));
+
+  uint64_t checksum = 0;
+  for (NodeId v = 0; v < snapshot.graph->NumNodes(); ++v) {
+    for (NodeId u : snapshot.graph->Neighbors(v)) checksum += u;
+  }
+  uint64_t expected = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId u : g.Neighbors(v)) expected += u;
+  }
+  EXPECT_EQ(checksum, expected);
 }
 
 TEST(CommunitySetTest, SaveLoadRoundTrip) {

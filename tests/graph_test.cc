@@ -155,7 +155,8 @@ TEST(GraphTest, MemoryBytesPositive) {
 
 TEST(GraphTest, FromCsrRoundTrip) {
   Graph g = MakeBarbell(4);
-  Graph g2 = Graph::FromCsr(g.offsets(), g.adjacency());
+  Graph g2 = Graph::FromCsr({g.offsets().begin(), g.offsets().end()},
+                            {g.adjacency().begin(), g.adjacency().end()});
   EXPECT_EQ(g2.NumNodes(), g.NumNodes());
   EXPECT_EQ(g2.NumEdges(), g.NumEdges());
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
