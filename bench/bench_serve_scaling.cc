@@ -67,8 +67,22 @@ struct ScalingRow {
   uint64_t stolen = 0;  // service path only
   double p50_ms = 0.0;  // service path only
   double p99_ms = 0.0;  // service path only
+  // Per-stage mean latencies (service path with tracing on; zero
+  // otherwise). Stages are disjoint, so queue+cache+compute <= total.
+  double queue_ms = 0.0;
+  double cache_ms = 0.0;
+  double compute_ms = 0.0;
+  double total_ms = 0.0;
   double qps() const { return queries / (seconds + 1e-12); }
 };
+
+/// Mean of one stage histogram in ms (each service is fresh per run, so the
+/// cumulative snapshot is the per-run total).
+double StageMeanMs(const StageLatencySnapshot& stage) {
+  if (stage.count == 0) return 0.0;
+  return static_cast<double>(stage.total_us) /
+         static_cast<double>(stage.count) / 1000.0;
+}
 
 /// Loads (mmap) or generates+saves one preset graph. The cache file is the
 /// v2 binary CSR snapshot, so a cache hit exercises the production mmap
@@ -122,7 +136,8 @@ double RunExecutorPath(const Graph& graph, const ApproxParams& params,
 double RunServicePath(const Graph& graph, const ApproxParams& params,
                       uint64_t seed, uint32_t threads,
                       const std::vector<NodeId>& seeds,
-                      LatencyHistogram& latencies, uint64_t& stolen) {
+                      LatencyHistogram& latencies,
+                      ServiceStatsSnapshot& stats_out) {
   ServiceOptions options;
   options.num_workers = threads;
   options.cache_capacity = 0;  // measure compute scaling, not caching
@@ -150,7 +165,7 @@ double RunServicePath(const Graph& graph, const ApproxParams& params,
   }
   for (std::thread& t : clients) t.join();
   const double seconds = timer.ElapsedSeconds();
-  stolen = service.Stats().stolen;
+  stats_out = service.Stats();
   return seconds;
 }
 
@@ -172,11 +187,14 @@ void WriteScalingJson(const std::string& path, uint32_t hardware_threads,
         "    {\"graph\": \"%s\", \"nodes\": %u, \"edges\": %llu, "
         "\"layout\": \"%s\", \"path\": \"%s\", \"threads\": %u, "
         "\"queries\": %u, \"seconds\": %.6f, \"qps\": %.1f, "
-        "\"stolen\": %llu, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+        "\"stolen\": %llu, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"queue_ms\": %.4f, \"cache_ms\": %.4f, \"compute_ms\": %.4f, "
+        "\"total_ms\": %.4f}%s\n",
         r.graph.c_str(), r.nodes, static_cast<unsigned long long>(r.edges),
         r.layout.c_str(), r.path.c_str(), r.threads, r.queries, r.seconds,
         r.qps(), static_cast<unsigned long long>(r.stolen), r.p50_ms,
-        r.p99_ms, i + 1 < rows.size() ? "," : "");
+        r.p99_ms, r.queue_ms, r.cache_ms, r.compute_ms, r.total_ms,
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   if (f != stdout) std::fclose(f);
@@ -287,10 +305,21 @@ int main(int argc, char** argv) {
                                         threads, seeds);
         } else {
           LatencyHistogram latencies;
+          ServiceStatsSnapshot stats;
           row.seconds = RunServicePath(graph, params, config.rng_seed,
-                                       threads, seeds, latencies, row.stolen);
+                                       threads, seeds, latencies, stats);
+          row.stolen = stats.stolen;
           row.p50_ms = latencies.PercentileMs(0.50);
           row.p99_ms = latencies.PercentileMs(0.99);
+          if (stats.stage_tracing) {
+            row.queue_ms = StageMeanMs(stats.queue_wait);
+            row.cache_ms = StageMeanMs(stats.cache_lookup);
+            row.compute_ms = StageMeanMs(stats.compute);
+            if (stats.latency_count > 0) {
+              row.total_ms = static_cast<double>(stats.traced_total_us) /
+                             static_cast<double>(stats.latency_count) / 1000.0;
+            }
+          }
         }
         if (threads == 1) base_qps[path] = row.qps();
         const double speedup =

@@ -39,8 +39,16 @@
 // large-graph rows (per-row "graph" field) next to the historical
 // small-graph ones; --smoke shrinks the router sweep to a seconds-long CI
 // validation run (tiny query count, one thread count) that still emits
-// every row.
+// every row; --trace-overhead skips the sweep and instead runs alternating
+// traced/untraced reps of the smoke workload, exiting non-zero when stage
+// tracing costs >= 2% median QPS (the telemetry hot-path regression gate).
+//
+// Every JSON row also carries per-stage mean latencies (queue_ms, cache_ms,
+// compute_ms, total_ms) from the service's stage-tracing counters; the
+// stages are disjoint, so their sum is <= total_ms per row (CI asserts
+// this on the smoke run).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -74,8 +82,26 @@ struct ServiceRow {
   uint64_t computed;
   double p50_ms;
   double p99_ms;
+  // Per-stage mean latencies for this pass, from the service's exact
+  // stage-total counters (after - before diffs, so the cumulative service
+  // histogram doesn't smear passes into each other). Zero when tracing is
+  // disabled. The stages are disjoint sub-intervals of each query's
+  // lifetime, so queue_ms + cache_ms + compute_ms <= total_ms per row.
+  double queue_ms = 0.0;
+  double cache_ms = 0.0;
+  double compute_ms = 0.0;
+  double total_ms = 0.0;
   double qps() const { return queries / (seconds + 1e-12); }
 };
+
+/// Mean over the pass window [before, after] of one stage, in ms.
+double StageMeanMs(const StageLatencySnapshot& after,
+                   const StageLatencySnapshot& before) {
+  const uint64_t count = after.count - before.count;
+  if (count == 0) return 0.0;
+  return static_cast<double>(after.total_us - before.total_us) /
+         static_cast<double>(count) / 1000.0;
+}
 
 /// Runs one closed-loop pass: `clients` threads split `seeds` contiguously,
 /// each submitting its share one query at a time (submit -> wait -> next).
@@ -156,6 +182,17 @@ ServiceRow MakeRow(const std::string& backend, const std::string& graph,
   row.computed = after.computed - before.computed;
   row.p50_ms = latencies.PercentileMs(0.50);
   row.p99_ms = latencies.PercentileMs(0.99);
+  if (after.stage_tracing) {
+    row.queue_ms = StageMeanMs(after.queue_wait, before.queue_wait);
+    row.cache_ms = StageMeanMs(after.cache_lookup, before.cache_lookup);
+    row.compute_ms = StageMeanMs(after.compute, before.compute);
+    const uint64_t traced = after.latency_count - before.latency_count;
+    if (traced > 0) {
+      row.total_ms =
+          static_cast<double>(after.traced_total_us - before.traced_total_us) /
+          static_cast<double>(traced) / 1000.0;
+    }
+  }
   return row;
 }
 
@@ -182,13 +219,16 @@ void WriteServiceJson(const std::string& path, const std::string& benchmark,
         "\"phase\": \"%s\", \"queries\": %u, "
         "\"seconds\": %.6f, \"qps\": %.1f, \"cache_hits\": %llu, "
         "\"cache_misses\": %llu, \"coalesced\": %llu, \"computed\": %llu, "
-        "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"queue_ms\": %.4f, \"cache_ms\": %.4f, \"compute_ms\": %.4f, "
+        "\"total_ms\": %.4f}%s\n",
         r.backend.c_str(), r.graph.c_str(), r.threads, r.phase.c_str(),
         r.queries, r.seconds, r.qps(),
         static_cast<unsigned long long>(r.cache_hits),
         static_cast<unsigned long long>(r.cache_misses),
         static_cast<unsigned long long>(r.coalesced),
         static_cast<unsigned long long>(r.computed), r.p50_ms, r.p99_ms,
+        r.queue_ms, r.cache_ms, r.compute_ms, r.total_ms,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -309,6 +349,69 @@ int RunMultiGraphSweep(const BenchConfig& config, const std::string& json_path,
   return 0;
 }
 
+/// Trace-overhead guard: alternating traced/untraced reps of the smoke
+/// workload (cold pass on a fresh service + warm replay, closed loop), and
+/// the median QPS of each arm compared. Exits non-zero when tracing costs
+/// >= 2% QPS — the regression gate for keeping the telemetry hot path
+/// wait-free and cheap.
+int RunTraceOverheadGuard(const BenchConfig& config, uint32_t num_queries) {
+  Rng rng(config.rng_seed);
+  Dataset dataset = MakeDataset("twitter", config.scale, config.rng_seed);
+  PrintDatasetBanner(dataset);
+
+  ApproxParams params;
+  params.t = 5.0;
+  params.eps_r = 0.5;
+  params.delta = 20.0 * DefaultDelta(dataset.graph);
+  params.p_f = 1e-6;
+  const uint32_t threads = 2;
+  const std::vector<NodeId> seeds =
+      MixedDegreeZipfianSeeds(dataset.graph, num_queries, 256, 1.0, rng);
+
+  // Alternate arms (traced first) so machine drift hits both equally; the
+  // median of 5 reps per arm shrugs off stragglers.
+  constexpr int kReps = 5;
+  std::vector<double> traced_qps, untraced_qps;
+  for (int rep = 0; rep < 2 * kReps; ++rep) {
+    const bool traced = rep % 2 == 0;
+    ServiceOptions opts;
+    opts.backend.name = "tea+";
+    opts.backend.context.tea_plus.c = 1.0;
+    opts.cache_capacity = 8192;
+    opts.max_queue_depth = 1u << 20;
+    opts.num_workers = threads;
+    opts.telemetry.enabled = traced;
+    AsyncQueryService service(dataset.graph, params, config.rng_seed, opts);
+
+    LatencyHistogram cold_lat, warm_lat;
+    WallTimer timer;
+    RunClosedLoop(service, seeds, threads, cold_lat);
+    RunClosedLoop(service, seeds, threads, warm_lat);
+    const double seconds = timer.ElapsedSeconds();
+    const double qps = 2.0 * num_queries / (seconds + 1e-12);
+    (traced ? traced_qps : untraced_qps).push_back(qps);
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double on = median(traced_qps);
+  const double off = median(untraced_qps);
+  const double overhead = (off - on) / (off + 1e-12);
+  std::printf(
+      "trace overhead guard: traced=%.0f q/s untraced=%.0f q/s "
+      "overhead=%.2f%% (threshold 2%%)\n",
+      on, off, 100.0 * overhead);
+  if (overhead >= 0.02) {
+    std::fprintf(stderr,
+                 "FAIL: tracing costs %.2f%% QPS (>= 2%% threshold)\n",
+                 100.0 * overhead);
+    return 1;
+  }
+  std::printf("trace overhead guard: PASS\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,6 +421,7 @@ int main(int argc, char** argv) {
   std::string graph_scale;
   uint32_t num_graphs = 0;
   bool smoke = false;
+  bool trace_overhead = false;
   uint32_t num_queries = config.full ? 4000 : 1500;
   bool queries_overridden = false;
   for (int i = 1; i < argc; ++i) {
@@ -336,8 +440,14 @@ int main(int argc, char** argv) {
       graph_scale = argv[i] + 14;
     }
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace-overhead") == 0) trace_overhead = true;
   }
   if (smoke && !queries_overridden) num_queries = 200;
+
+  if (trace_overhead) {
+    std::printf("== Trace overhead guard (traced vs untraced service) ==\n");
+    return RunTraceOverheadGuard(config, num_queries);
+  }
 
   // Default sweep: the adaptive router against every fixed backend of the
   // paper's central comparison, through the serving path.

@@ -4,6 +4,7 @@
 //   $ ./build/example_hkpr_server [--graphs=name=path,...] [--graph=PATH]
 //                                 [--nodes=N] [--workers=W] [--cache=CAP]
 //                                 [--seed=S] [--backend=NAME|auto]
+//                                 [--no-trace]
 //
 // Loads one or more named graphs into a GraphStore (--graphs takes a
 // comma-separated name=path list of SNAP edge-lists; --graph=PATH loads a
@@ -31,9 +32,21 @@
 //                           across hot-swaps); with no tokens, shows the
 //                           graph's current overrides; "params <graph>
 //                           clear" restores the template
-//   stats [<name>]          aggregate (or one graph's) counters/latency
+//   stats [<name>] [--json] aggregate (or one graph's) counters/latency:
+//                           every ServiceStatsSnapshot field plus the
+//                           queue-wait/cache/compute stage breakdown when
+//                           tracing is on; --json emits the same fields
+//                           as one JSON object after the "ok "
+//   metrics                 Prometheus-style text: per-graph counters,
+//                           stage/latency quantiles and per-(graph,
+//                           backend) dimensioned rows, terminated by a
+//                           final "ok metrics graphs=G lines=N" line
 //   invalidate              drop every graph's cached estimates
 //   quit                    exit
+//
+// Stage tracing, the per-backend metrics registry and the routing event
+// log are on by default; --no-trace disables all three (stats then
+// reports only the flat counter block — the pre-telemetry shape).
 //
 // Responses are single lines starting with "ok" or "err", so the server
 // can sit behind a pipe or a socat socket. Query responses carry
@@ -149,6 +162,230 @@ std::string FmtOverride(const std::optional<double>& value) {
   return buf;
 }
 
+/// Prints the full-field single-line `stats` reply: every
+/// ServiceStatsSnapshot counter (the operator view must never silently
+/// lose a field — asserted by the protocol test), the stage breakdown
+/// when tracing is on, and the service-wide reject counters for the
+/// aggregate scope (`service` non-null).
+void PrintStatsLine(const std::string& scope, const ServiceStatsSnapshot& s,
+                    const MultiGraphService* service) {
+  std::printf(
+      "ok scope=%s submitted=%llu completed=%llu rejected=%llu "
+      "invalid_plans=%llu cancelled=%llu expired=%llu "
+      "cache_hits=%llu cache_misses=%llu coalesced=%llu computed=%llu "
+      "stolen=%llu queue=%zu latency_count=%llu",
+      scope.c_str(), static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.invalid_plans),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.expired),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.coalesced),
+      static_cast<unsigned long long>(s.computed),
+      static_cast<unsigned long long>(s.stolen), s.queue_depth,
+      static_cast<unsigned long long>(s.latency_count));
+  if (service != nullptr) {
+    // Service-wide, not attributable to any one graph.
+    std::printf(" unknown_graph=%llu invalid_argument=%llu",
+                static_cast<unsigned long long>(
+                    service->unknown_graph_rejects()),
+                static_cast<unsigned long long>(
+                    service->invalid_argument_rejects()));
+  }
+  std::printf(" p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f", s.latency_p50_ms,
+              s.latency_p95_ms, s.latency_p99_ms);
+  if (s.stage_tracing) {
+    std::printf(
+        " queue_wait_mean_ms=%.3f queue_wait_p50_ms=%.3f "
+        "queue_wait_p99_ms=%.3f cache_mean_ms=%.3f cache_p50_ms=%.3f "
+        "cache_p99_ms=%.3f compute_mean_ms=%.3f compute_p50_ms=%.3f "
+        "compute_p99_ms=%.3f",
+        s.queue_wait.mean_ms(), s.queue_wait.p50_ms, s.queue_wait.p99_ms,
+        s.cache_lookup.mean_ms(), s.cache_lookup.p50_ms,
+        s.cache_lookup.p99_ms, s.compute.mean_ms(), s.compute.p50_ms,
+        s.compute.p99_ms);
+  }
+  std::printf("\n");
+}
+
+void AppendJsonField(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, value);
+  if (out.back() != '{') out += ",";
+  out += buf;
+}
+
+void AppendJsonField(std::string& out, const char* key,
+                     unsigned long long value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key, value);
+  if (out.back() != '{') out += ",";
+  out += buf;
+}
+
+void AppendJsonStage(std::string& out, const char* key,
+                     const StageLatencySnapshot& stage) {
+  if (out.back() != '{') out += ",";
+  out += "\"";
+  out += key;
+  out += "\":{";
+  AppendJsonField(out, "count", static_cast<unsigned long long>(stage.count));
+  AppendJsonField(out, "total_us",
+                  static_cast<unsigned long long>(stage.total_us));
+  AppendJsonField(out, "mean_ms", stage.mean_ms());
+  AppendJsonField(out, "p50_ms", stage.p50_ms);
+  AppendJsonField(out, "p95_ms", stage.p95_ms);
+  AppendJsonField(out, "p99_ms", stage.p99_ms);
+  out += "}";
+}
+
+/// The `stats --json` body: one JSON object per line, machine-parseable
+/// twin of PrintStatsLine with the same field set.
+std::string StatsJson(const std::string& scope, const ServiceStatsSnapshot& s,
+                      const MultiGraphService* service) {
+  std::string out = "{\"scope\":\"" + scope + "\"";
+  const auto u64 = [](uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  AppendJsonField(out, "submitted", u64(s.submitted));
+  AppendJsonField(out, "completed", u64(s.completed));
+  AppendJsonField(out, "rejected", u64(s.rejected));
+  AppendJsonField(out, "invalid_plans", u64(s.invalid_plans));
+  AppendJsonField(out, "cancelled", u64(s.cancelled));
+  AppendJsonField(out, "expired", u64(s.expired));
+  AppendJsonField(out, "cache_hits", u64(s.cache_hits));
+  AppendJsonField(out, "cache_misses", u64(s.cache_misses));
+  AppendJsonField(out, "coalesced", u64(s.coalesced));
+  AppendJsonField(out, "computed", u64(s.computed));
+  AppendJsonField(out, "stolen", u64(s.stolen));
+  AppendJsonField(out, "queue_depth", u64(s.queue_depth));
+  AppendJsonField(out, "latency_count", u64(s.latency_count));
+  if (service != nullptr) {
+    AppendJsonField(out, "unknown_graph", u64(service->unknown_graph_rejects()));
+    AppendJsonField(out, "invalid_argument",
+                    u64(service->invalid_argument_rejects()));
+  }
+  AppendJsonField(out, "p50_ms", s.latency_p50_ms);
+  AppendJsonField(out, "p95_ms", s.latency_p95_ms);
+  AppendJsonField(out, "p99_ms", s.latency_p99_ms);
+  if (s.stage_tracing) {
+    out += ",\"stages\":{";
+    AppendJsonStage(out, "queue_wait", s.queue_wait);
+    AppendJsonStage(out, "cache", s.cache_lookup);
+    AppendJsonStage(out, "compute", s.compute);
+    out += "}";
+    AppendJsonField(out, "traced_total_us", u64(s.traced_total_us));
+  }
+  out += "}";
+  return out;
+}
+
+/// One Prometheus-style sample line: name{graph="...",...} value.
+void PrintMetricLine(const char* name, const std::string& graph,
+                     const std::string& extra_labels, double value) {
+  if (extra_labels.empty()) {
+    std::printf("%s{graph=\"%s\"} %.6g\n", name, graph.c_str(), value);
+  } else {
+    std::printf("%s{graph=\"%s\",%s} %.6g\n", name, graph.c_str(),
+                extra_labels.c_str(), value);
+  }
+}
+
+/// Integer-valued samples (counters, gauges) print exactly — %.6g would
+/// round large counters.
+void PrintMetricLine(const char* name, const std::string& graph,
+                     const std::string& extra_labels, uint64_t value) {
+  if (extra_labels.empty()) {
+    std::printf("%s{graph=\"%s\"} %llu\n", name, graph.c_str(),
+                static_cast<unsigned long long>(value));
+  } else {
+    std::printf("%s{graph=\"%s\",%s} %llu\n", name, graph.c_str(),
+                extra_labels.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+}
+
+/// Emits the metrics block for one graph scope: flat per-graph counters
+/// and stage quantiles from the cumulative snapshot, then the
+/// per-(graph, backend) dimensioned rows from the telemetry registry.
+/// Returns the number of sample lines printed.
+size_t PrintMetricsForScope(MultiGraphService& service,
+                            const std::string& scope) {
+  size_t lines = 0;
+  const ServiceStatsSnapshot s = service.StatsFor(scope);
+  const auto flat = [&](const char* name, uint64_t value) {
+    PrintMetricLine(name, scope, "", value);
+    ++lines;
+  };
+  flat("hkpr_submitted_total", s.submitted);
+  flat("hkpr_completed_total", s.completed);
+  flat("hkpr_rejected_total", s.rejected);
+  flat("hkpr_invalid_plans_total", s.invalid_plans);
+  flat("hkpr_cancelled_total", s.cancelled);
+  flat("hkpr_expired_total", s.expired);
+  flat("hkpr_cache_hits_total", s.cache_hits);
+  flat("hkpr_cache_misses_total", s.cache_misses);
+  flat("hkpr_coalesced_total", s.coalesced);
+  flat("hkpr_computed_total", s.computed);
+  flat("hkpr_stolen_total", s.stolen);
+  flat("hkpr_queue_depth", static_cast<uint64_t>(s.queue_depth));
+  const auto quantile = [&](const char* name, const char* q, double value,
+                            const char* stage) {
+    std::string labels;
+    if (stage != nullptr) {
+      labels = std::string("stage=\"") + stage + "\",";
+    }
+    labels += std::string("quantile=\"") + q + "\"";
+    PrintMetricLine(name, scope, labels, value);
+    ++lines;
+  };
+  quantile("hkpr_latency_ms", "0.5", s.latency_p50_ms, nullptr);
+  quantile("hkpr_latency_ms", "0.95", s.latency_p95_ms, nullptr);
+  quantile("hkpr_latency_ms", "0.99", s.latency_p99_ms, nullptr);
+  if (s.stage_tracing) {
+    const struct {
+      const char* name;
+      const StageLatencySnapshot* stage;
+    } stages[] = {{"queue_wait", &s.queue_wait},
+                  {"cache", &s.cache_lookup},
+                  {"compute", &s.compute}};
+    for (const auto& [stage_name, stage] : stages) {
+      quantile("hkpr_stage_latency_ms", "0.5", stage->p50_ms, stage_name);
+      quantile("hkpr_stage_latency_ms", "0.99", stage->p99_ms, stage_name);
+      PrintMetricLine("hkpr_stage_latency_mean_ms", scope,
+                      std::string("stage=\"") + stage_name + "\"",
+                      stage->mean_ms());
+      ++lines;
+    }
+  }
+  // The (graph, backend) dimensions: what each resolved backend actually
+  // served on this graph, cumulative across hot-swaps.
+  const TelemetrySnapshot telemetry = service.TelemetryFor(scope);
+  for (const BackendStatsSnapshot& row : telemetry.backends) {
+    const std::string backend_label = "backend=\"" + row.backend + "\"";
+    const auto dim = [&](const char* name, uint64_t value) {
+      PrintMetricLine(name, scope, backend_label, value);
+      ++lines;
+    };
+    dim("hkpr_backend_completed_total", row.completed);
+    dim("hkpr_backend_computed_total", row.computed);
+    dim("hkpr_backend_cache_hits_total", row.cache_hits);
+    dim("hkpr_backend_coalesced_total", row.coalesced);
+    PrintMetricLine("hkpr_backend_latency_ms", scope,
+                    backend_label + ",quantile=\"0.5\"", row.latency_p50_ms);
+    PrintMetricLine("hkpr_backend_latency_ms", scope,
+                    backend_label + ",quantile=\"0.99\"", row.latency_p99_ms);
+    lines += 2;
+  }
+  if (telemetry.enabled) {
+    flat("hkpr_routing_events_total", telemetry.routing_appended);
+    flat("hkpr_routing_events_dropped_total", telemetry.routing_dropped);
+  }
+  return lines;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,8 +396,10 @@ int main(int argc, char** argv) {
   size_t cache_capacity = 4096;
   uint64_t seed = 42;
   std::string backend = "tea+";
+  bool trace = true;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strcmp(arg, "--no-trace") == 0) trace = false;
     if (std::strncmp(arg, "--graphs=", 9) == 0) graphs_flag = arg + 9;
     if (std::strncmp(arg, "--graph=", 8) == 0) graph_path = arg + 8;
     if (std::strncmp(arg, "--nodes=", 8) == 0)
@@ -220,6 +459,7 @@ int main(int argc, char** argv) {
   options.worker_budget = workers;
   options.service.cache_capacity = cache_capacity;
   options.service.backend.name = backend;
+  options.service.telemetry.enabled = trace;
   MultiGraphService service(store, params, seed, options);
 
   {
@@ -436,7 +676,15 @@ int main(int argc, char** argv) {
       }
     } else if (command == "stats") {
       std::string name;
-      in >> name;
+      bool json = false;
+      std::string token;
+      while (in >> token) {
+        if (token == "--json") {
+          json = true;
+        } else {
+          name = token;
+        }
+      }
       const ServiceStatsSnapshot s =
           name.empty() ? service.AggregateStats() : service.StatsFor(name);
       // A named scope is valid while the graph is loaded AND after it was
@@ -449,36 +697,33 @@ int main(int argc, char** argv) {
         std::fflush(stdout);
         continue;
       }
-      std::printf(
-          "ok scope=%s submitted=%llu completed=%llu rejected=%llu "
-          "invalid_plans=%llu "
-          "hits=%llu misses=%llu coalesced=%llu computed=%llu queue=%zu",
-          name.empty() ? "all" : name.c_str(),
-          static_cast<unsigned long long>(s.submitted),
-          static_cast<unsigned long long>(s.completed),
-          static_cast<unsigned long long>(s.rejected),
-          static_cast<unsigned long long>(s.invalid_plans),
-          static_cast<unsigned long long>(s.cache_hits),
-          static_cast<unsigned long long>(s.cache_misses),
-          static_cast<unsigned long long>(s.coalesced),
-          static_cast<unsigned long long>(s.computed), s.queue_depth);
-      if (name.empty()) {
-        // Service-wide, not attributable to any one graph.
-        std::printf(" unknown_graph=%llu invalid_argument=%llu",
-                    static_cast<unsigned long long>(
-                        service.unknown_graph_rejects()),
-                    static_cast<unsigned long long>(
-                        service.invalid_argument_rejects()));
+      const std::string scope = name.empty() ? "all" : name;
+      if (json) {
+        std::printf("ok %s\n",
+                    StatsJson(scope, s, name.empty() ? &service : nullptr)
+                        .c_str());
+      } else {
+        PrintStatsLine(scope, s, name.empty() ? &service : nullptr);
       }
-      std::printf(" p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f\n", s.latency_p50_ms,
-                  s.latency_p95_ms, s.latency_p99_ms);
+    } else if (command == "metrics") {
+      // Prometheus-style text exposition, one block of
+      // `name{label="v",...} value` lines per scope, terminated by a
+      // single protocol line ("ok metrics ...") so line-oriented clients
+      // know where the block ends.
+      size_t lines = 0;
+      const std::vector<std::string> scopes = service.StatsScopes();
+      for (const std::string& scope : scopes) {
+        lines += PrintMetricsForScope(service, scope);
+      }
+      std::printf("ok metrics graphs=%zu lines=%zu\n", scopes.size(), lines);
     } else if (command == "invalidate") {
       service.InvalidateCaches();
       std::printf("ok caches invalidated\n");
     } else {
-      std::printf("err unknown command \"%s\" "
-                  "(query/topk/graph/backend/params/stats/invalidate/quit)\n",
-                  command.c_str());
+      std::printf(
+          "err unknown command \"%s\" (query/topk/graph/backend/params/"
+          "stats/metrics/invalidate/quit)\n",
+          command.c_str());
     }
     std::fflush(stdout);
   }

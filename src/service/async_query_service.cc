@@ -38,7 +38,10 @@ const char* QueryStatusName(QueryStatus status) {
 AsyncQueryService::AsyncQueryService(GraphSnapshot snapshot,
                                      const ApproxParams& params, uint64_t seed,
                                      const ServiceOptions& options)
-    : snapshot_(std::move(snapshot)), params_(params), options_(options) {
+    : snapshot_(std::move(snapshot)),
+      params_(params),
+      options_(options),
+      telemetry_(options.telemetry) {
   HKPR_CHECK(snapshot_.graph != nullptr) << "service needs a graph snapshot";
   // Die at startup on out-of-range defaults, not on whichever request
   // happens to trigger plan resolution first (ResolveQueryPlan reports
@@ -212,6 +215,11 @@ std::optional<QueryHandle> AsyncQueryService::Enqueue(
   // take the pre-resolved plan; everything else (overrides, "auto")
   // resolves through the router/registry.
   const PlanDefaults defaults = GetDefaults();
+  // The routing-event `routed` bit: true when the RoutingPolicy (not a
+  // pinned default or an explicit override) picks the backend.
+  request.routed = submit.plan.backend == kAutoBackend ||
+                   (submit.plan.backend.empty() &&
+                    defaults.backend == kAutoBackend);
   if (submit.plan.empty() && defaults.backend != kAutoBackend) {
     request.plan = defaults.plan;
   } else {
@@ -234,6 +242,10 @@ std::optional<QueryHandle> AsyncQueryService::Enqueue(
     request.plan = *std::move(plan);
   }
   request.key = MakeKey(request.plan, seed);
+  if (telemetry_.enabled()) {
+    request.trace.submit = request.submit_time;
+    request.trace.plan_resolved = Clock::now();
+  }
 
   if (stopping_.load()) {
     if (stale_if_stopping) return std::nullopt;
@@ -384,6 +396,8 @@ SparseVector AsyncQueryService::Compute(QueryExecutor& executor,
 
 void AsyncQueryService::Process(QueryExecutor& executor, Request& request,
                                 std::vector<Deferred>& deferred) {
+  const bool traced = telemetry_.enabled();
+  if (traced) request.trace.dequeue = Clock::now();
   if (request.cancelled->load(std::memory_order_relaxed)) {
     QueryResult result;
     result.status = QueryStatus::kCancelled;
@@ -404,9 +418,11 @@ void AsyncQueryService::Process(QueryExecutor& executor, Request& request,
   bool from_cache = false;
   if (cache_) {
     ResultCache::Lookup lookup = cache_->LookupOrStartCompute(request.key);
+    if (traced) request.trace.cache_done = Clock::now();
     switch (lookup.outcome) {
       case ResultCache::Outcome::kHit:
         stats_.RecordCacheHit();
+        request.cache_outcome = CacheOutcome::kHit;
         estimate = std::move(lookup.value);
         from_cache = true;
         break;
@@ -415,19 +431,30 @@ void AsyncQueryService::Process(QueryExecutor& executor, Request& request,
         // request for resolution after the rest of the batch; the leader
         // never waits on this key, so the eventual get() cannot deadlock.
         stats_.RecordCoalesced();
+        request.cache_outcome = CacheOutcome::kCoalesced;
         deferred.push_back(
             Deferred{std::move(request), std::move(lookup.pending)});
         return;
       case ResultCache::Outcome::kMiss:
         stats_.RecordCacheMiss();
+        request.cache_outcome = CacheOutcome::kMiss;
+        if (traced) request.trace.compute_begin = Clock::now();
         estimate = std::make_shared<const SparseVector>(
             Compute(executor, request));
+        if (traced) request.trace.compute_end = Clock::now();
         cache_->Complete(request.key, lookup.leader, estimate);
         break;
     }
   } else {
+    // No cache: the lookup stage is zero-width by definition.
+    request.cache_outcome = CacheOutcome::kNone;
+    if (traced) {
+      request.trace.cache_done = request.trace.dequeue;
+      request.trace.compute_begin = Clock::now();
+    }
     estimate =
         std::make_shared<const SparseVector>(Compute(executor, request));
+    if (traced) request.trace.compute_end = Clock::now();
   }
   Fulfill(request, std::move(estimate), from_cache);
 }
@@ -444,10 +471,51 @@ void AsyncQueryService::Fulfill(Request& request, CachedEstimate estimate,
   }
   result.estimate = std::move(estimate);
   result.status = QueryStatus::kOk;
-  const double latency_s = SecondsBetween(request.submit_time, Clock::now());
+  const Clock::time_point complete = Clock::now();
+  const double latency_s = SecondsBetween(request.submit_time, complete);
   result.latency_ms = latency_s * 1000.0;
   stats_.RecordCompleted(latency_s);
+  if (telemetry_.enabled()) RecordTrace(request, complete);
   request.promise.set_value(std::move(result));
+}
+
+void AsyncQueryService::RecordTrace(Request& request,
+                                    Clock::time_point complete) {
+  QueryTrace& trace = request.trace;
+  // Cache hits and coalesced waits never computed: their compute stage
+  // is zero-width at the point the lookup settled, which keeps every
+  // event's stage offsets monotone non-decreasing.
+  if (trace.compute_begin == QueryTrace::Clock::time_point{}) {
+    trace.compute_begin = trace.cache_done;
+    trace.compute_end = trace.cache_done;
+  }
+  const auto offset_us = [&](QueryTrace::Clock::time_point t) -> uint64_t {
+    if (t <= trace.submit) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t - trace.submit)
+            .count());
+  };
+  RoutingEvent event;
+  event.query_index = request.query_index;
+  event.graph_version = snapshot_.version;
+  event.seed = request.seed;
+  event.seed_degree = snapshot_.graph->Degree(request.seed);
+  event.num_nodes = scale_features_.num_nodes;
+  event.num_edges = scale_features_.num_edges;
+  event.avg_degree = scale_features_.avg_degree;
+  event.params = request.plan.params;
+  event.backend_id = request.plan.backend_id;
+  event.routed = request.routed ? 1 : 0;
+  event.cache = static_cast<uint8_t>(request.cache_outcome);
+  event.plan_us = offset_us(trace.plan_resolved);
+  event.dequeue_us = std::max(event.plan_us, offset_us(trace.dequeue));
+  event.cache_us = std::max(event.dequeue_us, offset_us(trace.cache_done));
+  event.compute_begin_us =
+      std::max(event.cache_us, offset_us(trace.compute_begin));
+  event.compute_end_us =
+      std::max(event.compute_begin_us, offset_us(trace.compute_end));
+  event.complete_us = std::max(event.compute_end_us, offset_us(complete));
+  telemetry_.Record(event);
 }
 
 void AsyncQueryService::InvalidateCache() {
@@ -457,7 +525,16 @@ void AsyncQueryService::InvalidateCache() {
 ServiceStatsSnapshot AsyncQueryService::Stats() const {
   ServiceStatsSnapshot snap = stats_.TakeSnapshot();
   snap.queue_depth = queue_depth();
+  telemetry_.FillStages(snap);
   return snap;
+}
+
+TelemetrySnapshot AsyncQueryService::Telemetry() const {
+  return telemetry_.Snapshot();
+}
+
+std::vector<RoutingEvent> AsyncQueryService::DrainRoutingEvents() {
+  return telemetry_.DrainRoutingEvents();
 }
 
 size_t AsyncQueryService::queue_depth() const { return pending_.load(); }

@@ -87,6 +87,7 @@
 #include "service/graph_store.h"
 #include "service/result_cache.h"
 #include "service/service_stats.h"
+#include "service/telemetry.h"
 
 namespace hkpr {
 
@@ -116,6 +117,11 @@ struct ServiceOptions {
   /// Routing policy consulted for "auto" plans; null uses DefaultRouter()
   /// (the rule-based policy). Must outlive the service when set.
   std::shared_ptr<const RoutingPolicy> router;
+  /// Stage tracing, per-backend dimensioned metrics and the routing
+  /// event log (service/telemetry.h). Enabled by default; disabling
+  /// degrades Stats() to the flat single-histogram snapshot and costs
+  /// nothing on the hot path.
+  TelemetryOptions telemetry;
 };
 
 /// Terminal state of one submitted query.
@@ -269,8 +275,24 @@ class AsyncQueryService {
   /// The routing policy "auto" plans resolve through.
   const RoutingPolicy& router() const { return *router_; }
 
-  /// Counter snapshot including the current queue depth.
+  /// Counter snapshot including the current queue depth; with stage
+  /// tracing on (the default) the per-stage queue-wait/cache/compute
+  /// breakdown rides along (stage_tracing, queue_wait, cache_lookup,
+  /// compute, traced_total_us).
   ServiceStatsSnapshot Stats() const;
+
+  /// Per-backend dimensioned metrics + routing-log health counters.
+  /// `enabled` is false (and the rows empty) when tracing is off.
+  TelemetrySnapshot Telemetry() const;
+
+  /// Consumes the routing event log: one RoutingEvent per completed
+  /// query since the previous drain (oldest overwritten once the ring
+  /// laps an un-drained reader; see TelemetryOptions). Empty when
+  /// tracing or the log is disabled.
+  std::vector<RoutingEvent> DrainRoutingEvents();
+
+  /// True when this service stamps stage traces and routing events.
+  bool tracing_enabled() const { return telemetry_.enabled(); }
 
   size_t queue_depth() const;
   uint32_t num_workers() const {
@@ -308,6 +330,13 @@ class AsyncQueryService {
     /// switch never retroactively changes what a queued request runs.
     QueryPlan plan;
     ResultCacheKey key;
+    /// Stage timestamps (only stamped when tracing is enabled) plus the
+    /// routing-event facts known at submission: whether the plan came
+    /// from the RoutingPolicy ("auto") and, later, how the cache treated
+    /// the query.
+    QueryTrace trace;
+    bool routed = false;
+    CacheOutcome cache_outcome = CacheOutcome::kNone;
   };
 
   /// The service's mutable serving defaults, read on every submission and
@@ -351,6 +380,11 @@ class AsyncQueryService {
   void Process(QueryExecutor& executor, Request& request,
                std::vector<Deferred>& deferred);
   void Fulfill(Request& request, CachedEstimate estimate, bool from_cache);
+  /// Builds the RoutingEvent for a completed traced request (stage
+  /// offsets from the stamped trace, monotone by construction) and
+  /// records it into telemetry_. Only called when tracing is enabled.
+  void RecordTrace(Request& request,
+                   std::chrono::steady_clock::time_point complete);
   SparseVector Compute(QueryExecutor& executor, const Request& request);
   ResultCacheKey MakeKey(const QueryPlan& plan, NodeId seed) const;
   PlanDefaults GetDefaults() const;
@@ -367,6 +401,9 @@ class AsyncQueryService {
   std::shared_ptr<const RoutingPolicy> router_owner_;  // keeps options.router
   std::unique_ptr<ResultCache> cache_;  // null when disabled
   ServiceStats stats_;
+  /// Stage histograms, per-backend dims and the routing event log; inert
+  /// (no clock stamps, no recording) when options.telemetry disables it.
+  ServiceTelemetry telemetry_;
 
   /// Guards the serving defaults only (never held with mu_): submissions
   /// read a copy, config updates replace it — neither path touches the

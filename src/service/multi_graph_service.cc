@@ -6,39 +6,6 @@
 
 namespace hkpr {
 
-namespace {
-
-/// Sums the monotone counters and latency buckets of `from` into `into`
-/// (gauges are the caller's concern; call RecomputePercentiles once all
-/// parts are merged).
-void AddCounters(ServiceStatsSnapshot& into,
-                 const ServiceStatsSnapshot& from) {
-  into.submitted += from.submitted;
-  into.rejected += from.rejected;
-  into.invalid_plans += from.invalid_plans;
-  into.completed += from.completed;
-  into.cancelled += from.cancelled;
-  into.expired += from.expired;
-  into.cache_hits += from.cache_hits;
-  into.cache_misses += from.cache_misses;
-  into.coalesced += from.coalesced;
-  into.computed += from.computed;
-  into.stolen += from.stolen;
-  into.latency_count += from.latency_count;
-  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
-    into.latency_buckets[i] += from.latency_buckets[i];
-  }
-}
-
-/// Percentiles do not add; recompute them from the merged buckets.
-void RecomputePercentiles(ServiceStatsSnapshot& snap) {
-  snap.latency_p50_ms = LatencyPercentileMs(snap.latency_buckets, 0.50);
-  snap.latency_p95_ms = LatencyPercentileMs(snap.latency_buckets, 0.95);
-  snap.latency_p99_ms = LatencyPercentileMs(snap.latency_buckets, 0.99);
-}
-
-}  // namespace
-
 MultiGraphService::MultiGraphService(GraphStore& store,
                                      const ApproxParams& params, uint64_t seed,
                                      const MultiGraphOptions& options)
@@ -181,10 +148,28 @@ void MultiGraphService::FinishRetire(
   // are final once the workers have joined.
   service->Shutdown();
   const ServiceStatsSnapshot final_stats = service->Stats();
+  const TelemetrySnapshot final_telemetry = service->Telemetry();
+  std::vector<RoutingEvent> leftover = service->DrainRoutingEvents();
   std::lock_guard<std::mutex> lock(mu_);
   // Fold and unpark in one critical section, so a stats reader sees this
   // service's history in exactly one of `retiring_` / `retired_stats_`.
-  AddCounters(retired_stats_[std::string(name)], final_stats);
+  AddSnapshotCounters(retired_stats_[std::string(name)], final_stats);
+  TelemetrySnapshot& telemetry = retired_telemetry_[std::string(name)];
+  MergeTelemetry(telemetry, final_telemetry);
+  if (!leftover.empty()) {
+    // Preserve the retired ring's un-drained events across the swap,
+    // bounded by the same capacity the ring itself enforces.
+    std::vector<RoutingEvent>& pending = pending_events_[std::string(name)];
+    pending.insert(pending.end(), leftover.begin(), leftover.end());
+    const size_t cap =
+        std::max<size_t>(64, options_.service.telemetry.routing_log_capacity);
+    if (pending.size() > cap) {
+      const size_t excess = pending.size() - cap;
+      telemetry.routing_dropped += excess;
+      pending.erase(pending.begin(),
+                    pending.begin() + static_cast<ptrdiff_t>(excess));
+    }
+  }
   auto it = retiring_.find(name);
   if (it != retiring_.end()) {
     std::vector<std::shared_ptr<AsyncQueryService>>& draining = it->second;
@@ -430,17 +415,17 @@ ServiceStatsSnapshot MultiGraphService::StatsFor(
   }
   if (live != nullptr) {
     const ServiceStatsSnapshot snap = live->Stats();
-    AddCounters(total, snap);
+    AddSnapshotCounters(total, snap);
     total.queue_depth += snap.queue_depth;
   }
   for (const auto& service : draining) {
     const ServiceStatsSnapshot snap = service->Stats();
-    AddCounters(total, snap);
+    AddSnapshotCounters(total, snap);
     total.queue_depth += snap.queue_depth;
   }
   // Percentiles over the graph's whole history (live + draining + every
   // folded incarnation), from the merged buckets.
-  RecomputePercentiles(total);
+  RecomputeSnapshotPercentiles(total);
   return total;
 }
 
@@ -454,15 +439,76 @@ ServiceStatsSnapshot MultiGraphService::AggregateStats() const {
     for (const auto& [name, draining] : retiring_) {
       for (const auto& service : draining) counting.push_back(service);
     }
-    for (const auto& [name, snap] : retired_stats_) AddCounters(total, snap);
+    for (const auto& [name, snap] : retired_stats_) AddSnapshotCounters(total, snap);
   }
   for (const auto& service : counting) {
     const ServiceStatsSnapshot snap = service->Stats();
-    AddCounters(total, snap);
+    AddSnapshotCounters(total, snap);
     total.queue_depth += snap.queue_depth;
   }
-  RecomputePercentiles(total);
+  RecomputeSnapshotPercentiles(total);
   return total;
+}
+
+TelemetrySnapshot MultiGraphService::TelemetryFor(
+    std::string_view name) const {
+  TelemetrySnapshot total;
+  std::shared_ptr<AsyncQueryService> live;
+  std::vector<std::shared_ptr<AsyncQueryService>> draining;
+  {
+    // Same one-critical-section discipline as StatsFor: a service's
+    // history is read from exactly one of retired/retiring/live.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto folded = retired_telemetry_.find(name);
+    if (folded != retired_telemetry_.end()) total = folded->second;
+    auto it = services_.find(name);
+    if (it != services_.end()) live = it->second;
+    auto retiring_it = retiring_.find(name);
+    if (retiring_it != retiring_.end()) draining = retiring_it->second;
+  }
+  if (live != nullptr) MergeTelemetry(total, live->Telemetry());
+  for (const auto& service : draining) {
+    MergeTelemetry(total, service->Telemetry());
+  }
+  return total;
+}
+
+std::vector<RoutingEvent> MultiGraphService::DrainRoutingEvents(
+    std::string_view name) {
+  std::vector<RoutingEvent> out;
+  std::shared_ptr<AsyncQueryService> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto pending = pending_events_.find(name);
+    if (pending != pending_events_.end()) {
+      out = std::move(pending->second);
+      pending_events_.erase(pending);
+    }
+    auto it = services_.find(name);
+    if (it != services_.end()) live = it->second;
+  }
+  // The live drain runs outside mu_ (it takes the ring's drain lock). A
+  // service retired between the two blocks parks its leftovers back in
+  // pending_events_, so nothing is lost — just deferred to the next
+  // drain.
+  if (live != nullptr) {
+    std::vector<RoutingEvent> fresh = live->DrainRoutingEvents();
+    out.insert(out.end(), fresh.begin(), fresh.end());
+  }
+  return out;
+}
+
+std::vector<std::string> MultiGraphService::StatsScopes() const {
+  std::vector<std::string> scopes;
+  for (const GraphInfo& info : store_.List()) scopes.push_back(info.name);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, snap] : retired_stats_) {
+    if (std::find(scopes.begin(), scopes.end(), name) == scopes.end()) {
+      scopes.push_back(name);
+    }
+  }
+  std::sort(scopes.begin(), scopes.end());
+  return scopes;
 }
 
 void MultiGraphService::InvalidateCaches() {

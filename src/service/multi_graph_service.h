@@ -153,6 +153,25 @@ class MultiGraphService {
   /// percentiles over the merged buckets; queue_depth sums live queues.
   ServiceStatsSnapshot AggregateStats() const;
 
+  /// Cumulative per-(graph, backend) dimensioned metrics: every retired
+  /// incarnation of `name` (folded at drain time, like retired stats)
+  /// plus the live and still-draining services, merged by backend id.
+  /// The rows behind the server's Prometheus-style `metrics` output.
+  TelemetrySnapshot TelemetryFor(std::string_view name) const;
+
+  /// Consumes graph `name`'s routing event log: events a retired
+  /// incarnation left behind at drain time (in retirement order), then
+  /// whatever the live service has logged since the last drain. Events
+  /// that outlive a hot-swap are preserved (bounded by the configured
+  /// ring capacity; beyond it the oldest are dropped and counted in
+  /// TelemetryFor().routing_dropped).
+  std::vector<RoutingEvent> DrainRoutingEvents(std::string_view name);
+
+  /// Every graph name with observable history: currently in the store,
+  /// still draining, or with folded retired stats. The scope list the
+  /// server's `metrics` and `stats` commands iterate.
+  std::vector<std::string> StatsScopes() const;
+
   /// Drops every live per-graph cache (entries only; versions advance).
   void InvalidateCaches();
 
@@ -274,6 +293,15 @@ class MultiGraphService {
       retiring_;
   /// Final counters of fully-drained retired services, per graph.
   std::map<std::string, ServiceStatsSnapshot, std::less<>> retired_stats_;
+  /// Final per-backend telemetry of retired services, folded alongside
+  /// retired_stats_ in FinishRetire's critical section.
+  std::map<std::string, TelemetrySnapshot, std::less<>> retired_telemetry_;
+  /// Routing events a retired service had not yet handed to a drainer,
+  /// preserved across hot-swaps until the next DrainRoutingEvents(name).
+  /// Bounded per graph by the configured ring capacity (oldest dropped,
+  /// counted in retired_telemetry_[name].routing_dropped).
+  std::map<std::string, std::vector<RoutingEvent>, std::less<>>
+      pending_events_;
 };
 
 }  // namespace hkpr

@@ -55,6 +55,48 @@ uint64_t LatencyHistogram::TotalCount() const {
   return total;
 }
 
+void AddStageSnapshot(StageLatencySnapshot& into,
+                      const StageLatencySnapshot& from) {
+  into.count += from.count;
+  into.total_us += from.total_us;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    into.buckets[i] += from.buckets[i];
+  }
+  into.p50_ms = LatencyPercentileMs(into.buckets, 0.50);
+  into.p95_ms = LatencyPercentileMs(into.buckets, 0.95);
+  into.p99_ms = LatencyPercentileMs(into.buckets, 0.99);
+}
+
+void AddSnapshotCounters(ServiceStatsSnapshot& into,
+                         const ServiceStatsSnapshot& from) {
+  into.submitted += from.submitted;
+  into.rejected += from.rejected;
+  into.invalid_plans += from.invalid_plans;
+  into.completed += from.completed;
+  into.cancelled += from.cancelled;
+  into.expired += from.expired;
+  into.cache_hits += from.cache_hits;
+  into.cache_misses += from.cache_misses;
+  into.coalesced += from.coalesced;
+  into.computed += from.computed;
+  into.stolen += from.stolen;
+  into.latency_count += from.latency_count;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    into.latency_buckets[i] += from.latency_buckets[i];
+  }
+  into.stage_tracing = into.stage_tracing || from.stage_tracing;
+  AddStageSnapshot(into.queue_wait, from.queue_wait);
+  AddStageSnapshot(into.cache_lookup, from.cache_lookup);
+  AddStageSnapshot(into.compute, from.compute);
+  into.traced_total_us += from.traced_total_us;
+}
+
+void RecomputeSnapshotPercentiles(ServiceStatsSnapshot& snap) {
+  snap.latency_p50_ms = LatencyPercentileMs(snap.latency_buckets, 0.50);
+  snap.latency_p95_ms = LatencyPercentileMs(snap.latency_buckets, 0.95);
+  snap.latency_p99_ms = LatencyPercentileMs(snap.latency_buckets, 0.99);
+}
+
 ServiceStatsSnapshot ServiceStats::TakeSnapshot() const {
   ServiceStatsSnapshot snap;
   snap.submitted = submitted_.load(std::memory_order_relaxed);

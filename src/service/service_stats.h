@@ -48,6 +48,32 @@ class LatencyHistogram {
 double LatencyPercentileMs(
     const std::array<uint64_t, LatencyHistogram::kBuckets>& buckets, double q);
 
+/// One traced pipeline stage's latency distribution: bucketed counts for
+/// percentiles plus the *exact* microsecond sum for means — the bucketed
+/// percentiles carry <= 2x relative error, but means derived from
+/// total_us are exact, which is what makes the per-row
+/// "stage sums <= total" CI invariant assertable. Filled by
+/// ServiceTelemetry when stage tracing is on; all-zero otherwise.
+struct StageLatencySnapshot {
+  uint64_t count = 0;     ///< completed queries folded into this stage
+  uint64_t total_us = 0;  ///< exact sum of stage durations, microseconds
+  std::array<uint64_t, LatencyHistogram::kBuckets> buckets{};
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  double mean_ms() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_us) / 1000.0 /
+                            static_cast<double>(count);
+  }
+};
+
+/// Sums counters and buckets of `from` into `into` and recomputes the
+/// percentiles from the merged buckets.
+void AddStageSnapshot(StageLatencySnapshot& into,
+                      const StageLatencySnapshot& from);
+
 /// Point-in-time copy of the service counters. Counters are monotone over
 /// the service's lifetime; `queue_depth` is the only gauge (filled by
 /// AsyncQueryService::Stats(), not by ServiceStats itself). The raw
@@ -76,7 +102,35 @@ struct ServiceStatsSnapshot {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+
+  /// Per-stage breakdown of the completed-query latency, filled when the
+  /// service was built with stage tracing (TelemetryOptions::enabled,
+  /// the default). The three stages are disjoint sub-intervals of
+  /// [submit, complete] — queue wait (plan-resolved to dequeue), cache
+  /// lookup (dequeue to lookup settled), compute (estimator invocation)
+  /// — so per query their integer-microsecond durations sum to <= the
+  /// total latency; `traced_total_us` is the exact sum of the totals
+  /// over the same queries. With tracing off, stage_tracing is false and
+  /// the stages are all-zero: exactly the pre-telemetry snapshot.
+  bool stage_tracing = false;
+  StageLatencySnapshot queue_wait;
+  StageLatencySnapshot cache_lookup;
+  StageLatencySnapshot compute;
+  uint64_t traced_total_us = 0;
 };
+
+/// Sums the monotone counters, latency buckets and stage snapshots of
+/// `from` into `into` — the aggregation primitive for multi-graph stats,
+/// retired-service folding and bench before/after diffs. Gauges
+/// (queue_depth) are the caller's concern; call
+/// RecomputeSnapshotPercentiles once every part is merged (stage
+/// percentiles are recomputed per AddSnapshotCounters call).
+void AddSnapshotCounters(ServiceStatsSnapshot& into,
+                         const ServiceStatsSnapshot& from);
+
+/// Percentiles do not add; recompute the top-level ones from the merged
+/// buckets.
+void RecomputeSnapshotPercentiles(ServiceStatsSnapshot& snap);
 
 /// The service's counter block. All methods are thread-safe and wait-free.
 class ServiceStats {

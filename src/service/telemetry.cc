@@ -1,0 +1,302 @@
+#include "service/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "hkpr/backend.h"
+
+namespace hkpr {
+
+namespace {
+
+constexpr size_t kMinRingCapacity = 64;
+
+double UsToSeconds(uint64_t us) { return static_cast<double>(us) * 1e-6; }
+
+}  // namespace
+
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kNone:
+      return "none";
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kCoalesced:
+      return "coalesced";
+    case CacheOutcome::kMiss:
+      return "miss";
+  }
+  return "invalid";
+}
+
+// ---------------------------------------------------------------------------
+// RoutingEventLog
+
+RoutingEventLog::RoutingEventLog(size_t capacity) {
+  capacity = std::max(capacity, kMinRingCapacity);
+  capacity = std::bit_ceil(capacity);
+  slots_ = std::vector<Slot>(capacity);
+  mask_ = capacity - 1;
+}
+
+void RoutingEventLog::Append(const RoutingEvent& event) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[ticket & mask_];
+  // Seqlock publish. Wait (bounded: the previous occupant's publish is
+  // straight-line code) until ticket - capacity has fully published, so
+  // two writers never interleave on one slot and a reader can never
+  // accept ticket t's seq with a later ticket's words.
+  const uint64_t expected =
+      ticket >= slots_.size() ? 2 * (ticket - slots_.size()) + 2 : 0;
+  while (slot.seq.load(std::memory_order_acquire) != expected) {
+    // Requires `capacity` concurrent appends to trigger; see header.
+  }
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  uint64_t words[kWords] = {};
+  std::memcpy(words, &event, sizeof(event));
+  for (size_t i = 0; i < kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<RoutingEvent> RoutingEventLog::Drain() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  uint64_t start = next_;
+  // The ring lapped the reader: everything below head - capacity has been
+  // overwritten unread.
+  if (head > slots_.size()) {
+    const uint64_t oldest = head - slots_.size();
+    if (start < oldest) {
+      dropped_ += oldest - start;
+      start = oldest;
+    }
+  }
+  std::vector<RoutingEvent> out;
+  out.reserve(static_cast<size_t>(head - start));
+  uint64_t ticket = start;
+  for (; ticket < head; ++ticket) {
+    Slot& slot = slots_[ticket & mask_];
+    const uint64_t want = 2 * ticket + 2;
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 < want) {
+      // This append claimed its ticket but has not finished publishing.
+      // Stop here — tickets are drained in order, so the next drain
+      // resumes at this one (publish completes in bounded time).
+      break;
+    }
+    if (s1 > want) {
+      // Overwritten by a wrap before we read it.
+      ++dropped_;
+      continue;
+    }
+    uint64_t words[kWords];
+    for (size_t i = 0; i < kWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) {
+      ++dropped_;  // torn by a concurrent wrap; rejected
+      continue;
+    }
+    RoutingEvent event;
+    std::memcpy(&event, words, sizeof(event));
+    out.push_back(event);
+  }
+  next_ = ticket;
+  return out;
+}
+
+uint64_t RoutingEventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  return dropped_;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceTelemetry
+
+ServiceTelemetry::ServiceTelemetry(const TelemetryOptions& options)
+    : enabled_(options.enabled) {
+  if (enabled_ && options.routing_log_capacity > 0) {
+    routing_log_ =
+        std::make_unique<RoutingEventLog>(options.routing_log_capacity);
+  }
+}
+
+ServiceTelemetry::BackendSlot* ServiceTelemetry::FindOrClaimSlot(
+    uint32_t backend_id) {
+  const uint64_t key = static_cast<uint64_t>(backend_id) + 1;
+  for (BackendSlot& slot : backend_slots_) {
+    uint64_t seen = slot.key.load(std::memory_order_acquire);
+    if (seen == key) return &slot;
+    if (seen == 0) {
+      if (slot.key.compare_exchange_strong(seen, key,
+                                           std::memory_order_acq_rel)) {
+        return &slot;
+      }
+      if (seen == key) return &slot;  // a racer claimed it for the same id
+    }
+  }
+  return nullptr;  // cardinality bound hit; caller folds into overflow
+}
+
+void ServiceTelemetry::Record(const RoutingEvent& event) {
+  if (!enabled_) return;
+  // The three stage segments are disjoint sub-intervals of
+  // [submit, complete], so their integer-microsecond sum telescopes to
+  // <= complete_us — the invariant CI asserts per bench row.
+  const uint64_t queue_us = event.dequeue_us - event.plan_us;
+  const uint64_t cache_us = event.cache_us - event.dequeue_us;
+  const uint64_t compute_us = event.compute_end_us - event.compute_begin_us;
+  queue_wait_.Record(UsToSeconds(queue_us));
+  cache_lookup_.Record(UsToSeconds(cache_us));
+  // Cache-served queries (hit/coalesced) have a zero-width compute
+  // segment by construction; recording them would drag the compute
+  // percentiles to zero on warm traffic, so the compute stage counts
+  // only queries that actually ran an estimator.
+  const CacheOutcome outcome = event.cache_outcome();
+  const bool computed =
+      outcome == CacheOutcome::kMiss || outcome == CacheOutcome::kNone;
+  if (computed) {
+    compute_.Record(UsToSeconds(compute_us));
+    compute_us_.fetch_add(compute_us, std::memory_order_relaxed);
+  }
+  queue_wait_us_.fetch_add(queue_us, std::memory_order_relaxed);
+  cache_lookup_us_.fetch_add(cache_us, std::memory_order_relaxed);
+  total_us_.fetch_add(event.complete_us, std::memory_order_relaxed);
+
+  BackendSlot* slot = FindOrClaimSlot(event.backend_id);
+  if (slot == nullptr) slot = &overflow_slot_;
+  slot->completed.fetch_add(1, std::memory_order_relaxed);
+  switch (event.cache_outcome()) {
+    case CacheOutcome::kHit:
+      slot->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CacheOutcome::kCoalesced:
+      slot->coalesced.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CacheOutcome::kMiss:
+    case CacheOutcome::kNone:
+      slot->computed.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  slot->latency.Record(UsToSeconds(event.complete_us));
+
+  if (routing_log_) routing_log_->Append(event);
+}
+
+void ServiceTelemetry::FillStages(ServiceStatsSnapshot& snap) const {
+  if (!enabled_) return;
+  snap.stage_tracing = true;
+  const auto fill = [](const LatencyHistogram& hist,
+                       const std::atomic<uint64_t>& sum_us,
+                       StageLatencySnapshot& stage) {
+    stage.buckets = hist.BucketCounts();
+    stage.count = 0;
+    for (const uint64_t count : stage.buckets) stage.count += count;
+    stage.total_us = sum_us.load(std::memory_order_relaxed);
+    stage.p50_ms = LatencyPercentileMs(stage.buckets, 0.50);
+    stage.p95_ms = LatencyPercentileMs(stage.buckets, 0.95);
+    stage.p99_ms = LatencyPercentileMs(stage.buckets, 0.99);
+  };
+  fill(queue_wait_, queue_wait_us_, snap.queue_wait);
+  fill(cache_lookup_, cache_lookup_us_, snap.cache_lookup);
+  fill(compute_, compute_us_, snap.compute);
+  snap.traced_total_us = total_us_.load(std::memory_order_relaxed);
+}
+
+void ServiceTelemetry::FillBackendRow(const BackendSlot& slot,
+                                      uint32_t backend_id,
+                                      BackendStatsSnapshot& row) {
+  row.backend_id = backend_id;
+  row.completed = slot.completed.load(std::memory_order_relaxed);
+  row.computed = slot.computed.load(std::memory_order_relaxed);
+  row.cache_hits = slot.cache_hits.load(std::memory_order_relaxed);
+  row.coalesced = slot.coalesced.load(std::memory_order_relaxed);
+  row.latency_buckets = slot.latency.BucketCounts();
+  row.latency_count = 0;
+  for (const uint64_t count : row.latency_buckets) row.latency_count += count;
+  row.latency_p50_ms = LatencyPercentileMs(row.latency_buckets, 0.50);
+  row.latency_p95_ms = LatencyPercentileMs(row.latency_buckets, 0.95);
+  row.latency_p99_ms = LatencyPercentileMs(row.latency_buckets, 0.99);
+}
+
+/// Registry name for a stable backend id; the registry has no reverse
+/// index, so resolve by scanning the (small, fixed) name list.
+static std::string BackendNameForId(uint32_t backend_id) {
+  for (const std::string& name : EstimatorRegistry::Global().Names()) {
+    if (StableBackendId(name) == backend_id) return name;
+  }
+  return "id:" + std::to_string(backend_id);
+}
+
+TelemetrySnapshot ServiceTelemetry::Snapshot() const {
+  TelemetrySnapshot snap;
+  snap.enabled = enabled_;
+  if (!enabled_) return snap;
+  for (const BackendSlot& slot : backend_slots_) {
+    const uint64_t key = slot.key.load(std::memory_order_acquire);
+    if (key == 0) continue;
+    BackendStatsSnapshot row;
+    FillBackendRow(slot, static_cast<uint32_t>(key - 1), row);
+    if (row.completed == 0) continue;  // claimed but not yet recorded
+    row.backend = BackendNameForId(row.backend_id);
+    snap.backends.push_back(std::move(row));
+  }
+  if (overflow_slot_.completed.load(std::memory_order_relaxed) > 0) {
+    BackendStatsSnapshot row;
+    FillBackendRow(overflow_slot_, 0, row);
+    row.backend = "other";
+    snap.backends.push_back(std::move(row));
+  }
+  std::sort(snap.backends.begin(), snap.backends.end(),
+            [](const BackendStatsSnapshot& a, const BackendStatsSnapshot& b) {
+              return a.backend_id < b.backend_id;
+            });
+  if (routing_log_) {
+    snap.routing_appended = routing_log_->appended();
+    snap.routing_dropped = routing_log_->dropped();
+  }
+  return snap;
+}
+
+std::vector<RoutingEvent> ServiceTelemetry::DrainRoutingEvents() {
+  if (!routing_log_) return {};
+  return routing_log_->Drain();
+}
+
+void MergeTelemetry(TelemetrySnapshot& into, const TelemetrySnapshot& from) {
+  into.enabled = into.enabled || from.enabled;
+  into.routing_appended += from.routing_appended;
+  into.routing_dropped += from.routing_dropped;
+  for (const BackendStatsSnapshot& row : from.backends) {
+    auto it = std::find_if(into.backends.begin(), into.backends.end(),
+                           [&](const BackendStatsSnapshot& have) {
+                             return have.backend_id == row.backend_id &&
+                                    have.backend == row.backend;
+                           });
+    if (it == into.backends.end()) {
+      into.backends.push_back(row);
+      continue;
+    }
+    it->completed += row.completed;
+    it->computed += row.computed;
+    it->cache_hits += row.cache_hits;
+    it->coalesced += row.coalesced;
+    it->latency_count += row.latency_count;
+    for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      it->latency_buckets[i] += row.latency_buckets[i];
+    }
+    it->latency_p50_ms = LatencyPercentileMs(it->latency_buckets, 0.50);
+    it->latency_p95_ms = LatencyPercentileMs(it->latency_buckets, 0.95);
+    it->latency_p99_ms = LatencyPercentileMs(it->latency_buckets, 0.99);
+  }
+  std::sort(into.backends.begin(), into.backends.end(),
+            [](const BackendStatsSnapshot& a, const BackendStatsSnapshot& b) {
+              return a.backend_id < b.backend_id;
+            });
+}
+
+}  // namespace hkpr

@@ -334,6 +334,135 @@ TEST(ServerProtocolTest, PerQueryPlanTokensAndParamsCommand) {
   EXPECT_EQ(server.Quit(), 0);
 }
 
+TEST(ServerProtocolTest, StatsFieldsJsonShapeAndMetricsExposition) {
+  ServerProcess server;
+  ASSERT_TRUE(server.Start({"--nodes=500", "--workers=2", "--seed=17"}));
+  ASSERT_TRUE(StartsWith(server.ReadLine(), "ok hkpr_server"));
+
+  // Traffic that exercises hit, miss, and computed counters.
+  ASSERT_TRUE(StartsWith(server.Command("query 1"), "ok"));
+  ASSERT_TRUE(StartsWith(server.Command("query 1"), "ok"));
+  ASSERT_TRUE(StartsWith(server.Command("query 5 backend=auto"), "ok"));
+
+  // The stats line must carry *every* ServiceStatsSnapshot field — the
+  // once-omitted stolen/invalid_plans/expired/cancelled included — plus
+  // the per-stage tracing columns.
+  std::string reply = server.Command("stats");
+  EXPECT_TRUE(StartsWith(reply, "ok scope=all")) << reply;
+  for (const char* field :
+       {"submitted=", "completed=", "rejected=", "invalid_plans=",
+        "cancelled=", "expired=", "cache_hits=", "cache_misses=",
+        "coalesced=", "computed=", "stolen=", "queue=", "latency_count=",
+        "unknown_graph=", "invalid_argument=", "p50_ms=", "p95_ms=",
+        "p99_ms=", "queue_wait_mean_ms=", "queue_wait_p50_ms=",
+        "queue_wait_p99_ms=", "cache_mean_ms=", "cache_p50_ms=",
+        "cache_p99_ms=", "compute_mean_ms=", "compute_p50_ms=",
+        "compute_p99_ms="}) {
+    EXPECT_TRUE(Contains(reply, field)) << "missing " << field << ": "
+                                        << reply;
+  }
+  EXPECT_TRUE(Contains(reply, "submitted=3")) << reply;
+  EXPECT_TRUE(Contains(reply, "cache_hits=1")) << reply;
+
+  // Per-graph scope carries the same full field set (minus the
+  // aggregate-only unknown_graph/invalid_argument counters).
+  reply = server.Command("stats default");
+  EXPECT_TRUE(StartsWith(reply, "ok scope=default")) << reply;
+  EXPECT_TRUE(Contains(reply, "stolen=")) << reply;
+  EXPECT_TRUE(Contains(reply, "compute_p99_ms=")) << reply;
+
+  // --json: one line, "ok " + a JSON object with the stage sub-objects.
+  reply = server.Command("stats --json");
+  ASSERT_TRUE(StartsWith(reply, "ok {")) << reply;
+  EXPECT_EQ(reply.back(), '}') << reply;
+  for (const char* needle :
+       {"\"scope\":\"all\"", "\"submitted\":3", "\"stages\":",
+        "\"queue_wait\":", "\"cache\":", "\"compute\":", "\"count\":",
+        "\"mean_ms\":", "\"p99_ms\":", "\"traced_total_us\":"}) {
+    EXPECT_TRUE(Contains(reply, needle)) << "missing " << needle << ": "
+                                         << reply;
+  }
+  reply = server.Command("stats default --json");
+  EXPECT_TRUE(StartsWith(reply, "ok {\"scope\":\"default\"")) << reply;
+  reply = server.Command("stats nosuch --json");
+  EXPECT_TRUE(StartsWith(reply, "err unknown graph")) << reply;
+
+  // metrics: a Prometheus-style block of `name{dims} value` lines closed
+  // by a summary "ok metrics ..." line.
+  reply = server.Command("metrics");
+  std::vector<std::string> lines;
+  while (!StartsWith(reply, "ok ") && !StartsWith(reply, "err")) {
+    lines.push_back(reply);
+    reply = server.ReadLine();
+  }
+  EXPECT_TRUE(StartsWith(reply, "ok metrics graphs=1 lines=")) << reply;
+  EXPECT_TRUE(Contains(reply, "lines=" + std::to_string(lines.size())))
+      << reply << " vs " << lines.size() << " lines read";
+  ASSERT_FALSE(lines.empty());
+
+  bool saw_submitted = false, saw_backend_dim = false, saw_quantile = false,
+       saw_routing = false, saw_stage = false;
+  for (const std::string& line : lines) {
+    // Every exposition line is `name{label="value",...} number`.
+    const size_t brace = line.find('{');
+    const size_t close = line.find("} ");
+    ASSERT_NE(brace, std::string::npos) << line;
+    ASSERT_NE(close, std::string::npos) << line;
+    ASSERT_LT(brace, close) << line;
+    EXPECT_TRUE(Contains(line, "graph=\"default\"")) << line;
+    const std::string value = line.substr(close + 2);
+    ASSERT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "non-numeric metric value: " << line;
+
+    if (StartsWith(line, "hkpr_submitted_total{")) {
+      saw_submitted = true;
+      EXPECT_EQ(value, "3") << line;
+    }
+    if (StartsWith(line, "hkpr_backend_completed_total{")) {
+      saw_backend_dim = true;
+      EXPECT_TRUE(Contains(line, "backend=\"")) << line;
+    }
+    if (Contains(line, "quantile=\"0.99\"")) saw_quantile = true;
+    if (StartsWith(line, "hkpr_routing_events_total{")) {
+      saw_routing = true;
+      EXPECT_EQ(value, "3") << line;  // one event per completed query
+    }
+    if (StartsWith(line, "hkpr_stage_latency_ms{")) {
+      saw_stage = true;
+      EXPECT_TRUE(Contains(line, "stage=\"")) << line;
+    }
+  }
+  EXPECT_TRUE(saw_submitted);
+  EXPECT_TRUE(saw_backend_dim);  // the (graph, backend) dimension rows
+  EXPECT_TRUE(saw_quantile);
+  EXPECT_TRUE(saw_routing);
+  EXPECT_TRUE(saw_stage);
+
+  EXPECT_EQ(server.Quit(), 0);
+}
+
+TEST(ServerProtocolTest, NoTraceFlagDisablesStagesButKeepsServing) {
+  ServerProcess server;
+  ASSERT_TRUE(
+      server.Start({"--nodes=400", "--workers=2", "--seed=19", "--no-trace"}));
+  ASSERT_TRUE(StartsWith(server.ReadLine(), "ok hkpr_server"));
+
+  ASSERT_TRUE(StartsWith(server.Command("query 1"), "ok"));
+  ASSERT_TRUE(StartsWith(server.Command("query 2"), "ok"));
+
+  // Flat counters still flow; the stage columns vanish with tracing off.
+  const std::string reply = server.Command("stats");
+  EXPECT_TRUE(StartsWith(reply, "ok scope=all")) << reply;
+  EXPECT_TRUE(Contains(reply, "submitted=2")) << reply;
+  EXPECT_TRUE(Contains(reply, "latency_count=2")) << reply;
+  EXPECT_FALSE(Contains(reply, "queue_wait_mean_ms=")) << reply;
+  EXPECT_FALSE(Contains(reply, "compute_p99_ms=")) << reply;
+
+  EXPECT_EQ(server.Quit(), 0);
+}
+
 TEST(ServerProtocolTest, GraphsFlagLoadsNamedGraphsAtStartup) {
   const std::string path_a = WriteTempFile("a", "0 1\n1 2\n2 0\n");
   const std::string path_b = WriteTempFile("b", "0 1\n1 2\n2 3\n3 4\n");

@@ -520,6 +520,40 @@ TEST(ServiceStatsTest, HistogramPercentilesAreOrderedAndBucketed) {
   EXPECT_GT(p100, 500.0);  // the outlier dominates the last percentile
 }
 
+TEST(ServiceStatsTest, SummedBucketPercentilesMatchCombinedHistogram) {
+  // The aggregation contract MultiGraphService and the telemetry merge
+  // rely on: summing raw bucket counts from N independent histograms and
+  // running LatencyPercentileMs over the sums yields exactly the
+  // percentiles of one histogram that saw every sample. (Percentile
+  // *values* do not add; bucket counts do.)
+  constexpr int kServices = 3;
+  LatencyHistogram shards[kServices];
+  LatencyHistogram combined;
+  // Distinct latency mixes per shard, spanning several log2 buckets.
+  const double samples[kServices][4] = {
+      {1e-4, 2e-4, 1e-3, 5e-3},   // fast shard
+      {1e-3, 1e-3, 2e-2, 2e-2},   // medium shard
+      {5e-3, 1e-1, 1e-1, 1.0},    // slow shard with an outlier
+  };
+  for (int s = 0; s < kServices; ++s) {
+    for (double v : samples[s]) {
+      shards[s].Record(v);
+      combined.Record(v);
+    }
+  }
+
+  std::array<uint64_t, LatencyHistogram::kBuckets> summed{};
+  for (int s = 0; s < kServices; ++s) {
+    const auto counts = shards[s].BucketCounts();
+    for (size_t b = 0; b < counts.size(); ++b) summed[b] += counts[b];
+  }
+
+  for (double q : {0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(LatencyPercentileMs(summed, q), combined.PercentileMs(q))
+        << "q=" << q;
+  }
+}
+
 TEST(ServiceStatsTest, SnapshotFoldsCounters) {
   ServiceStats stats;
   stats.RecordSubmitted();

@@ -1,0 +1,431 @@
+// Tests for the serving-stack telemetry layer: the lock-free routing
+// event ring (round-trip, wrap/drop accounting, concurrent appenders),
+// the bounded-cardinality per-backend dimension table, the disabled-mode
+// degradation contract, stage tracing through a live AsyncQueryService
+// (every completed query captured, monotone stage offsets, cache
+// outcomes, the routed flag), and the traced MultiGraphService under
+// concurrent hot-swaps (TSan-clean, events survive retirement).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "hkpr/backend.h"
+#include "hkpr/queries.h"
+#include "hkpr/router.h"
+#include "service/async_query_service.h"
+#include "service/graph_store.h"
+#include "service/multi_graph_service.h"
+#include "service/telemetry.h"
+#include "test_util.h"
+
+namespace hkpr {
+namespace {
+
+ApproxParams TestParams(double delta) {
+  ApproxParams p;
+  p.t = 5.0;
+  p.eps_r = 0.5;
+  p.delta = delta;
+  p.p_f = 1e-4;
+  return p;
+}
+
+RoutingEvent MakeEvent(uint64_t index, uint32_t backend_id = 7) {
+  RoutingEvent event;
+  event.query_index = index;
+  event.graph_version = 3;
+  event.seed = static_cast<NodeId>(index % 100);
+  event.seed_degree = 12;
+  event.num_nodes = 1000;
+  event.num_edges = 5000;
+  event.avg_degree = 5.0;
+  event.params = TestParams(1e-4);
+  event.backend_id = backend_id;
+  event.routed = 1;
+  event.cache = static_cast<uint8_t>(CacheOutcome::kMiss);
+  event.plan_us = index;
+  event.dequeue_us = index + 1;
+  event.cache_us = index + 2;
+  event.compute_begin_us = index + 2;
+  event.compute_end_us = index + 10;
+  event.complete_us = index + 11;
+  return event;
+}
+
+/// Asserts the documented monotonicity of one event's stage offsets and
+/// the disjoint-stage identity queue + cache + compute <= complete.
+void ExpectMonotoneStages(const RoutingEvent& e) {
+  ASSERT_LE(e.plan_us, e.dequeue_us);
+  ASSERT_LE(e.dequeue_us, e.cache_us);
+  ASSERT_LE(e.cache_us, e.compute_begin_us);
+  ASSERT_LE(e.compute_begin_us, e.compute_end_us);
+  ASSERT_LE(e.compute_end_us, e.complete_us);
+  const uint64_t stage_sum = (e.dequeue_us - e.plan_us) +
+                             (e.cache_us - e.dequeue_us) +
+                             (e.compute_end_us - e.compute_begin_us);
+  ASSERT_LE(stage_sum, e.complete_us);
+}
+
+// ---------------------------------------------------------------------------
+// RoutingEventLog.
+
+TEST(RoutingEventLogTest, AppendDrainRoundTripPreservesEveryField) {
+  RoutingEventLog log(128);
+  EXPECT_EQ(log.capacity(), 128u);
+  for (uint64_t i = 0; i < 40; ++i) log.Append(MakeEvent(i));
+
+  const std::vector<RoutingEvent> events = log.Drain();
+  ASSERT_EQ(events.size(), 40u);
+  for (uint64_t i = 0; i < events.size(); ++i) {
+    const RoutingEvent& e = events[i];
+    EXPECT_EQ(e.query_index, i);  // append (ticket) order
+    EXPECT_EQ(e.graph_version, 3u);
+    EXPECT_EQ(e.seed, static_cast<NodeId>(i % 100));
+    EXPECT_EQ(e.seed_degree, 12u);
+    EXPECT_EQ(e.num_nodes, 1000u);
+    EXPECT_EQ(e.num_edges, 5000u);
+    EXPECT_DOUBLE_EQ(e.avg_degree, 5.0);
+    EXPECT_DOUBLE_EQ(e.params.t, 5.0);
+    EXPECT_EQ(e.backend_id, 7u);
+    EXPECT_EQ(e.routed, 1u);
+    EXPECT_EQ(e.cache_outcome(), CacheOutcome::kMiss);
+    EXPECT_EQ(e.compute_end_us, i + 10);
+  }
+  EXPECT_EQ(log.appended(), 40u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_TRUE(log.Drain().empty());  // drained means consumed
+
+  // The next batch after a drain picks up where the tickets left off.
+  log.Append(MakeEvent(99));
+  const std::vector<RoutingEvent> next = log.Drain();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].query_index, 99u);
+}
+
+TEST(RoutingEventLogTest, WrapKeepsNewestAndCountsDropped) {
+  RoutingEventLog log(1);  // rounded up to the 64-slot minimum
+  ASSERT_EQ(log.capacity(), 64u);
+  for (uint64_t i = 0; i < 100; ++i) log.Append(MakeEvent(i));
+
+  const std::vector<RoutingEvent> events = log.Drain();
+  // The ring laps an un-drained reader: only the newest `capacity`
+  // events survive, and the overwritten ones are counted, not silent.
+  ASSERT_EQ(events.size(), 64u);
+  for (uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].query_index, 36 + i);
+  }
+  EXPECT_EQ(log.appended(), 100u);
+  EXPECT_EQ(log.dropped(), 36u);
+}
+
+TEST(RoutingEventLogTest, ConcurrentAppendersLoseNothingWithinCapacity) {
+  constexpr uint32_t kThreads = 4;
+  constexpr uint64_t kPerThread = 200;
+  RoutingEventLog log(kThreads * kPerThread);  // nothing may wrap
+
+  std::vector<std::thread> appenders;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    appenders.emplace_back([&log, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        log.Append(MakeEvent(t * kPerThread + i, /*backend_id=*/t));
+      }
+    });
+  }
+  for (std::thread& t : appenders) t.join();
+
+  const std::vector<RoutingEvent> events = log.Drain();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  EXPECT_EQ(log.dropped(), 0u);
+  // Every appended event is present exactly once and untorn (its fields
+  // are self-consistent functions of query_index).
+  std::set<uint64_t> seen;
+  for (const RoutingEvent& e : events) {
+    EXPECT_TRUE(seen.insert(e.query_index).second);
+    EXPECT_EQ(e.backend_id, e.query_index / kPerThread);
+    EXPECT_EQ(e.plan_us, e.query_index);
+    EXPECT_EQ(e.complete_us, e.query_index + 11);
+  }
+  EXPECT_EQ(seen.size(), kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceTelemetry: backend dimension table + disabled degradation.
+
+TEST(ServiceTelemetryTest, BackendDimensionsBoundedWithOverflowSlot) {
+  TelemetryOptions options;
+  options.routing_log_capacity = 0;  // dimension table only
+  ServiceTelemetry telemetry(options);
+
+  // 20 distinct ids: 16 claim slots, 4 fold into the "other" overflow row.
+  for (uint32_t id = 1; id <= 20; ++id) {
+    RoutingEvent event = MakeEvent(id, /*backend_id=*/id);
+    telemetry.Record(event);
+    telemetry.Record(event);  // twice, so per-row completed == 2
+  }
+  const TelemetrySnapshot snap = telemetry.Snapshot();
+  EXPECT_TRUE(snap.enabled);
+  ASSERT_EQ(snap.backends.size(), 17u);  // 16 claimed + overflow
+
+  uint64_t total_completed = 0;
+  const BackendStatsSnapshot* overflow = nullptr;
+  for (const BackendStatsSnapshot& row : snap.backends) {
+    total_completed += row.completed;
+    if (row.backend == "other") {
+      EXPECT_EQ(overflow, nullptr);
+      overflow = &row;
+    } else {
+      EXPECT_EQ(row.completed, 2u);
+      EXPECT_EQ(row.computed, 2u);  // MakeEvent records kMiss
+      EXPECT_EQ(row.latency_count, 2u);
+    }
+  }
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(overflow->completed, 8u);  // 4 overflowed ids x 2 records
+  EXPECT_EQ(total_completed, 40u);     // nothing lost to the bound
+}
+
+TEST(ServiceTelemetryTest, DisabledTelemetryDegradesToFlatStats) {
+  TelemetryOptions options;
+  options.enabled = false;
+  ServiceTelemetry telemetry(options);
+  EXPECT_FALSE(telemetry.enabled());
+
+  ServiceStatsSnapshot snap;
+  telemetry.FillStages(snap);
+  EXPECT_FALSE(snap.stage_tracing);
+  EXPECT_EQ(snap.queue_wait.count, 0u);
+  EXPECT_EQ(snap.traced_total_us, 0u);
+
+  const TelemetrySnapshot t = telemetry.Snapshot();
+  EXPECT_FALSE(t.enabled);
+  EXPECT_TRUE(t.backends.empty());
+  EXPECT_TRUE(telemetry.DrainRoutingEvents().empty());
+}
+
+TEST(ServiceTelemetryTest, MergeFoldsRowsByBackendId) {
+  TelemetryOptions options;
+  options.routing_log_capacity = 0;
+  ServiceTelemetry a(options), b(options);
+  a.Record(MakeEvent(0, 5));
+  a.Record(MakeEvent(1, 5));
+  b.Record(MakeEvent(2, 5));
+  b.Record(MakeEvent(3, 9));
+
+  TelemetrySnapshot into = a.Snapshot();
+  MergeTelemetry(into, b.Snapshot());
+  ASSERT_EQ(into.backends.size(), 2u);
+  EXPECT_EQ(into.backends[0].backend_id, 5u);
+  EXPECT_EQ(into.backends[0].completed, 3u);  // 2 from a + 1 from b
+  EXPECT_EQ(into.backends[1].backend_id, 9u);
+  EXPECT_EQ(into.backends[1].completed, 1u);
+  EXPECT_EQ(into.backends[0].latency_count, 3u);
+  EXPECT_GT(into.backends[0].latency_p99_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stage tracing through a live service.
+
+TEST(TracedServiceTest, EveryCompletedQueryProducesOneMonotoneEvent) {
+  Graph g = PowerlawCluster(400, 3, 0.3, 7);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.cache_capacity = 64;
+  options.backend.name = "tea+";
+  AsyncQueryService service(g, TestParams(1e-5), 77, options);
+  ASSERT_TRUE(service.tracing_enabled());
+
+  // Distinct seeds plus a tail of repeats: misses, then hits/coalesced.
+  std::vector<NodeId> seeds = {1, 5, 9, 22, 60, 120, 350};
+  for (int rep = 0; rep < 3; ++rep) seeds.insert(seeds.end(), {1, 5, 9});
+  std::vector<QueryHandle> handles;
+  for (NodeId seed : seeds) handles.push_back(service.Submit(seed));
+  for (QueryHandle& h : handles) {
+    ASSERT_EQ(h.result.get().status, QueryStatus::kOk);
+  }
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  ASSERT_EQ(stats.completed, seeds.size());
+  EXPECT_TRUE(stats.stage_tracing);
+  // Exactly one routing event per completed query.
+  const std::vector<RoutingEvent> events = service.DrainRoutingEvents();
+  ASSERT_EQ(events.size(), seeds.size());
+
+  const uint32_t tea_plus_id = StableBackendId("tea+");
+  uint64_t misses = 0, served_from_cache = 0;
+  std::set<uint64_t> indices;
+  for (const RoutingEvent& e : events) {
+    ExpectMonotoneStages(e);
+    EXPECT_TRUE(indices.insert(e.query_index).second);
+    EXPECT_EQ(e.backend_id, tea_plus_id);
+    EXPECT_EQ(e.routed, 0u);  // pinned default, not router-chosen
+    EXPECT_EQ(e.graph_version, 0u);
+    EXPECT_EQ(e.num_nodes, g.NumNodes());
+    EXPECT_EQ(e.num_edges, g.NumEdges());
+    EXPECT_EQ(e.seed_degree, g.Degree(e.seed));
+    switch (e.cache_outcome()) {
+      case CacheOutcome::kMiss:
+        ++misses;
+        EXPECT_LT(e.compute_begin_us, e.compute_end_us);
+        break;
+      case CacheOutcome::kHit:
+      case CacheOutcome::kCoalesced:
+        ++served_from_cache;
+        // Zero-width compute: the query never ran an estimator.
+        EXPECT_EQ(e.compute_begin_us, e.compute_end_us);
+        break;
+      case CacheOutcome::kNone:
+        ADD_FAILURE() << "cache enabled, outcome must not be kNone";
+        break;
+    }
+  }
+  EXPECT_EQ(misses, stats.cache_misses);
+  EXPECT_EQ(served_from_cache, stats.cache_hits + stats.coalesced);
+
+  // The aggregate invariant the benches/CI assert, at the source: the
+  // disjoint stage sums never exceed the traced submit->complete total.
+  const uint64_t stage_sum = stats.queue_wait.total_us +
+                             stats.cache_lookup.total_us +
+                             stats.compute.total_us;
+  EXPECT_LE(stage_sum, stats.traced_total_us);
+  EXPECT_EQ(stats.queue_wait.count, seeds.size());
+  EXPECT_EQ(stats.compute.count, stats.cache_misses);
+
+  // Per-backend dimension row: everything landed on tea+.
+  const TelemetrySnapshot telemetry = service.Telemetry();
+  ASSERT_EQ(telemetry.backends.size(), 1u);
+  EXPECT_EQ(telemetry.backends[0].backend, "tea+");
+  EXPECT_EQ(telemetry.backends[0].completed, seeds.size());
+  EXPECT_EQ(telemetry.backends[0].computed, stats.cache_misses);
+}
+
+TEST(TracedServiceTest, RoutedFlagMarksRouterChosenPlans) {
+  Graph g = PowerlawCluster(400, 3, 0.3, 7);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;  // every query computes; outcomes are kNone
+  AsyncQueryService service(g, TestParams(1e-4), 77, options);
+
+  SubmitOptions routed;
+  routed.plan.backend = std::string(kAutoBackend);
+  ASSERT_EQ(service.Submit(3, routed).result.get().status, QueryStatus::kOk);
+  SubmitOptions pinned;
+  pinned.plan.backend = "hk-relax";
+  ASSERT_EQ(service.Submit(4, pinned).result.get().status, QueryStatus::kOk);
+  ASSERT_EQ(service.Submit(5).result.get().status, QueryStatus::kOk);
+
+  const std::vector<RoutingEvent> events = service.DrainRoutingEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // Submission order == query_index order after the drain's sort by
+  // ticket; a 1-worker service also completes in that order.
+  EXPECT_EQ(events[0].routed, 1u);  // explicit "auto"
+  EXPECT_EQ(events[1].routed, 0u);  // pinned hk-relax
+  EXPECT_EQ(events[1].backend_id, StableBackendId("hk-relax"));
+  EXPECT_EQ(events[2].routed, 0u);  // service default ("tea+")
+  EXPECT_EQ(events[2].backend_id, StableBackendId("tea+"));
+  for (const RoutingEvent& e : events) {
+    EXPECT_EQ(e.cache_outcome(), CacheOutcome::kNone);
+    ExpectMonotoneStages(e);
+  }
+}
+
+TEST(TracedServiceTest, DisabledTracingKeepsServingAndFlatStats) {
+  Graph g = PowerlawCluster(200, 3, 0.3, 3);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.telemetry.enabled = false;
+  AsyncQueryService service(g, TestParams(1e-4), 11, options);
+  EXPECT_FALSE(service.tracing_enabled());
+
+  for (NodeId seed : {0u, 1u, 2u, 1u}) {
+    ASSERT_EQ(service.Submit(seed).result.get().status, QueryStatus::kOk);
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.latency_count, 4u);  // the flat histogram still works
+  EXPECT_FALSE(stats.stage_tracing);
+  EXPECT_EQ(stats.queue_wait.count, 0u);
+  EXPECT_TRUE(service.DrainRoutingEvents().empty());
+  EXPECT_FALSE(service.Telemetry().enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Traced MultiGraphService under hot-swaps (run under TSan in CI).
+
+TEST(TracedMultiGraphStressTest, HotSwapsPreserveEventsAndMonotonicity) {
+  constexpr uint32_t kBaseNodes = 120;
+  constexpr uint32_t kPublishes = 6;
+  constexpr uint32_t kClients = 3;
+  constexpr uint32_t kPerClient = 40;
+
+  GraphStore store;
+  MultiGraphOptions options;
+  options.worker_budget = 4;
+  // Capacity covers every query in the test, so nothing is overwritten
+  // and "one event per completed query" is exact even across retirement.
+  options.service.telemetry.routing_log_capacity = 4096;
+  MultiGraphService service(store, TestParams(1e-2), 13, options);
+  const uint64_t v_first =
+      service.Publish("g", PowerlawCluster(kBaseNodes, 3, 0.3, 0));
+
+  std::atomic<uint64_t> completed{0};
+  std::vector<std::thread> clients;
+  for (uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (uint32_t i = 0; i < kPerClient; ++i) {
+        const NodeId seed = static_cast<NodeId>((c * 41 + i) % kBaseNodes);
+        const QueryResult result = service.Submit("g", seed).result.get();
+        ASSERT_EQ(result.status, QueryStatus::kOk);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Publisher races the clients: each Publish retires the live service,
+  // whose telemetry and un-drained events must fold into the graph's
+  // aggregate instead of vanishing.
+  for (uint32_t k = 1; k <= kPublishes; ++k) {
+    service.Publish("g", PowerlawCluster(kBaseNodes + k, 3, 0.3, k));
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_EQ(completed.load(), kClients * kPerClient);
+
+  const std::vector<RoutingEvent> events = service.DrainRoutingEvents("g");
+  const TelemetrySnapshot telemetry = service.TelemetryFor("g");
+  ASSERT_EQ(telemetry.routing_dropped, 0u);
+  ASSERT_EQ(events.size(), completed.load());
+
+  const uint32_t tea_plus_id = StableBackendId("tea+");
+  for (const RoutingEvent& e : events) {
+    ExpectMonotoneStages(e);
+    EXPECT_EQ(e.backend_id, tea_plus_id);
+    // The snapshot version was live at completion time.
+    EXPECT_GE(e.graph_version, v_first);
+    EXPECT_LE(e.graph_version, v_first + kPublishes);
+    EXPECT_GE(e.num_nodes, kBaseNodes);
+    EXPECT_LE(e.num_nodes, kBaseNodes + kPublishes);
+  }
+
+  // The dimension rows aggregate across every retired generation.
+  uint64_t dim_completed = 0;
+  for (const BackendStatsSnapshot& row : telemetry.backends) {
+    dim_completed += row.completed;
+  }
+  EXPECT_EQ(dim_completed, completed.load());
+
+  // Aggregated per-graph stage stats survived the swaps too.
+  const ServiceStatsSnapshot stats = service.StatsFor("g");
+  EXPECT_TRUE(stats.stage_tracing);
+  EXPECT_EQ(stats.queue_wait.count, completed.load());
+  EXPECT_LE(stats.queue_wait.total_us + stats.cache_lookup.total_us +
+                stats.compute.total_us,
+            stats.traced_total_us);
+}
+
+}  // namespace
+}  // namespace hkpr
