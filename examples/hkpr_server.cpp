@@ -4,6 +4,7 @@
 //   $ ./build/example_hkpr_server [--graphs=name=path,...] [--graph=PATH]
 //                                 [--nodes=N] [--workers=W] [--cache=CAP]
 //                                 [--seed=S] [--backend=NAME|auto]
+//                                 [--router=rule|learned] [--hedge=on|off]
 //                                 [--no-trace]
 //
 // Loads one or more named graphs into a GraphStore (--graphs takes a
@@ -27,6 +28,13 @@
 //                           a live config update, no drain or rebuild;
 //                           "auto" routes each query by seed degree, t
 //                           and graph scale
+//   router [<graph>]        routing policy introspection: the policy kind
+//                           and, under --router=learned, one line per
+//                           candidate backend with its (decayed)
+//                           observation count, fitted coefficients and
+//                           predicted cost/p95 at the graph's average
+//                           degree, then a final "ok router ..." line
+//                           with the graph's hedge counters
 //   params <graph> [backend=NAME|auto] [t=V] [eps=V] [delta=V]
 //                           per-graph default-plan overrides (re-applied
 //                           across hot-swaps); with no tokens, shows the
@@ -47,6 +55,14 @@
 // Stage tracing, the per-backend metrics registry and the routing event
 // log are on by default; --no-trace disables all three (stats then
 // reports only the flat counter block — the pre-telemetry shape).
+//
+// --router=learned swaps the rule thresholds for a per-graph online cost
+// model trained from the routing event log (a background trainer drains
+// it every 200ms); undertrained graphs route by the rules, so cold
+// behavior matches --router=rule. --hedge=on additionally fires the
+// runner-up backend when a routed query's compute runs past the model's
+// predicted p95 and serves whichever finishes first — inert under the
+// rule router, which offers no predictions.
 //
 // Responses are single lines starting with "ok" or "err", so the server
 // can sit behind a pipe or a socat socket. Query responses carry
@@ -173,7 +189,7 @@ void PrintStatsLine(const std::string& scope, const ServiceStatsSnapshot& s,
       "ok scope=%s submitted=%llu completed=%llu rejected=%llu "
       "invalid_plans=%llu cancelled=%llu expired=%llu "
       "cache_hits=%llu cache_misses=%llu coalesced=%llu computed=%llu "
-      "stolen=%llu queue=%zu latency_count=%llu",
+      "stolen=%llu hedged=%llu hedge_wins=%llu queue=%zu latency_count=%llu",
       scope.c_str(), static_cast<unsigned long long>(s.submitted),
       static_cast<unsigned long long>(s.completed),
       static_cast<unsigned long long>(s.rejected),
@@ -184,7 +200,9 @@ void PrintStatsLine(const std::string& scope, const ServiceStatsSnapshot& s,
       static_cast<unsigned long long>(s.cache_misses),
       static_cast<unsigned long long>(s.coalesced),
       static_cast<unsigned long long>(s.computed),
-      static_cast<unsigned long long>(s.stolen), s.queue_depth,
+      static_cast<unsigned long long>(s.stolen),
+      static_cast<unsigned long long>(s.hedged),
+      static_cast<unsigned long long>(s.hedge_wins), s.queue_depth,
       static_cast<unsigned long long>(s.latency_count));
   if (service != nullptr) {
     // Service-wide, not attributable to any one graph.
@@ -260,6 +278,8 @@ std::string StatsJson(const std::string& scope, const ServiceStatsSnapshot& s,
   AppendJsonField(out, "coalesced", u64(s.coalesced));
   AppendJsonField(out, "computed", u64(s.computed));
   AppendJsonField(out, "stolen", u64(s.stolen));
+  AppendJsonField(out, "hedged", u64(s.hedged));
+  AppendJsonField(out, "hedge_wins", u64(s.hedge_wins));
   AppendJsonField(out, "queue_depth", u64(s.queue_depth));
   AppendJsonField(out, "latency_count", u64(s.latency_count));
   if (service != nullptr) {
@@ -307,12 +327,30 @@ void PrintMetricLine(const char* name, const std::string& graph,
   }
 }
 
+/// A representative routing query for introspection displays: the
+/// graph's scale features with an average-degree seed and the serving
+/// params — what the cost model predicts for a "typical" query.
+RoutingQuery AverageRoutingQuery(const GraphSnapshot& snapshot,
+                                 const ApproxParams& params) {
+  const GraphScaleFeatures scale = GraphScaleFeatures::Of(*snapshot.graph);
+  RoutingQuery query;
+  query.seed = 0;
+  query.seed_degree = static_cast<uint32_t>(scale.avg_degree + 0.5);
+  query.num_nodes = scale.num_nodes;
+  query.num_edges = scale.num_edges;
+  query.avg_degree = scale.avg_degree;
+  query.params = params;
+  return query;
+}
+
 /// Emits the metrics block for one graph scope: flat per-graph counters
 /// and stage quantiles from the cumulative snapshot, then the
-/// per-(graph, backend) dimensioned rows from the telemetry registry.
+/// per-(graph, backend) dimensioned rows from the telemetry registry and
+/// (under --router=learned) the graph's router-model rows.
 /// Returns the number of sample lines printed.
 size_t PrintMetricsForScope(MultiGraphService& service,
-                            const std::string& scope) {
+                            const std::string& scope,
+                            const ApproxParams& params) {
   size_t lines = 0;
   const ServiceStatsSnapshot s = service.StatsFor(scope);
   const auto flat = [&](const char* name, uint64_t value) {
@@ -330,6 +368,8 @@ size_t PrintMetricsForScope(MultiGraphService& service,
   flat("hkpr_coalesced_total", s.coalesced);
   flat("hkpr_computed_total", s.computed);
   flat("hkpr_stolen_total", s.stolen);
+  flat("hkpr_hedged_total", s.hedged);
+  flat("hkpr_hedge_wins_total", s.hedge_wins);
   flat("hkpr_queue_depth", static_cast<uint64_t>(s.queue_depth));
   const auto quantile = [&](const char* name, const char* q, double value,
                             const char* stage) {
@@ -383,6 +423,30 @@ size_t PrintMetricsForScope(MultiGraphService& service,
     flat("hkpr_routing_events_total", telemetry.routing_appended);
     flat("hkpr_routing_events_dropped_total", telemetry.routing_dropped);
   }
+  // Learned-router model rows: per-candidate observation counts plus, for
+  // trained candidates, the predicted cost at the graph's average degree.
+  const std::shared_ptr<const LearnedRouter> router =
+      service.LearnedRouterFor(scope);
+  const GraphSnapshot snapshot = service.store().Get(scope);
+  if (router != nullptr && snapshot) {
+    const std::vector<BackendPrediction> rows =
+        router->Predict(AverageRoutingQuery(snapshot, params));
+    for (const BackendPrediction& row : rows) {
+      const std::string backend_label = "backend=\"" + row.backend + "\"";
+      PrintMetricLine("hkpr_router_observations", scope, backend_label,
+                      row.observations);
+      PrintMetricLine("hkpr_router_trained", scope, backend_label,
+                      static_cast<uint64_t>(row.trained ? 1 : 0));
+      lines += 2;
+      if (row.trained) {
+        PrintMetricLine("hkpr_router_predicted_cost_ms", scope, backend_label,
+                        row.cost_us / 1000.0);
+        PrintMetricLine("hkpr_router_predicted_p95_ms", scope, backend_label,
+                        row.p95_us / 1000.0);
+        lines += 2;
+      }
+    }
+  }
   return lines;
 }
 
@@ -396,10 +460,14 @@ int main(int argc, char** argv) {
   size_t cache_capacity = 4096;
   uint64_t seed = 42;
   std::string backend = "tea+";
+  std::string router_flag = "rule";
+  std::string hedge_flag = "off";
   bool trace = true;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--no-trace") == 0) trace = false;
+    if (std::strncmp(arg, "--router=", 9) == 0) router_flag = arg + 9;
+    if (std::strncmp(arg, "--hedge=", 8) == 0) hedge_flag = arg + 8;
     if (std::strncmp(arg, "--graphs=", 9) == 0) graphs_flag = arg + 9;
     if (std::strncmp(arg, "--graph=", 8) == 0) graph_path = arg + 8;
     if (std::strncmp(arg, "--nodes=", 8) == 0)
@@ -415,6 +483,14 @@ int main(int argc, char** argv) {
   if (!KnownBackend(backend)) {
     std::fprintf(stderr, "err unknown backend \"%s\" (available: auto,%s)\n",
                  backend.c_str(), AvailableBackends().c_str());
+    return 1;
+  }
+  if (router_flag != "rule" && router_flag != "learned") {
+    std::fprintf(stderr, "err --router expects rule|learned\n");
+    return 1;
+  }
+  if (hedge_flag != "on" && hedge_flag != "off") {
+    std::fprintf(stderr, "err --hedge expects on|off\n");
     return 1;
   }
 
@@ -460,15 +536,22 @@ int main(int argc, char** argv) {
   options.service.cache_capacity = cache_capacity;
   options.service.backend.name = backend;
   options.service.telemetry.enabled = trace;
+  if (router_flag == "learned") {
+    options.router = RouterKind::kLearned;
+    // Background trainer: fresh routing events reach the cost model a
+    // couple hundred milliseconds after they complete.
+    options.train_interval = std::chrono::milliseconds(200);
+  }
+  options.service.hedge.enabled = hedge_flag == "on";
   MultiGraphService service(store, params, seed, options);
 
   {
     const std::vector<GraphInfo> infos = store.List();
     std::printf("ok hkpr_server graphs=%zu(%s) current=%s workers=%u "
-                "cache=%zu backend=%s\n",
+                "cache=%zu backend=%s router=%s hedge=%s\n",
                 infos.size(), JoinNames(infos).c_str(), current.c_str(),
                 service.resolved_worker_budget(), cache_capacity,
-                backend.c_str());
+                backend.c_str(), router_flag.c_str(), hedge_flag.c_str());
     std::fflush(stdout);
   }
 
@@ -705,6 +788,64 @@ int main(int argc, char** argv) {
       } else {
         PrintStatsLine(scope, s, name.empty() ? &service : nullptr);
       }
+    } else if (command == "router") {
+      std::string name;
+      in >> name;
+      if (name.empty()) name = current;
+      if (name.empty() || !store.Contains(name)) {
+        std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
+                    JoinNames(store.List()).c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      // Force the per-graph service into existence so the graph's learned
+      // router exists, and fold any drained-but-unconsumed events so the
+      // display reflects every completed query, not the trainer's last
+      // tick.
+      service.ServiceFor(name);
+      service.TrainRouters();
+      const ServiceStatsSnapshot s = service.StatsFor(name);
+      const std::shared_ptr<const LearnedRouter> router =
+          service.LearnedRouterFor(name);
+      if (router == nullptr) {
+        std::printf("ok router graph=%s policy=rule-based trained=0 "
+                    "hedged=%llu hedge_wins=%llu\n",
+                    name.c_str(), static_cast<unsigned long long>(s.hedged),
+                    static_cast<unsigned long long>(s.hedge_wins));
+        std::fflush(stdout);
+        continue;
+      }
+      const CostModelSnapshot model = router->ModelSnapshot();
+      const GraphSnapshot snapshot = store.Get(name);
+      const std::vector<BackendPrediction> rows =
+          router->Predict(AverageRoutingQuery(snapshot, params));
+      for (const BackendPrediction& row : rows) {
+        const FittedBackendModel* fit =
+            model.fitted->Find(row.backend_id);
+        std::printf("backend=%s trained=%d observations=%.1f",
+                    row.backend.c_str(), row.trained ? 1 : 0,
+                    row.observations);
+        if (fit != nullptr) {
+          std::printf(" sigma=%.3f coef=[%.3f,%.3f,%.3f,%.3f,%.3f]",
+                      fit->sigma, fit->coef[0], fit->coef[1], fit->coef[2],
+                      fit->coef[3], fit->coef[4]);
+        }
+        if (row.trained) {
+          std::printf(" cost_ms=%.3f p95_ms=%.3f", row.cost_us / 1000.0,
+                      row.p95_us / 1000.0);
+        }
+        std::printf("\n");
+      }
+      std::printf("ok router graph=%s policy=%.*s trained=%d "
+                  "events_observed=%llu refits=%llu decays=%llu "
+                  "hedged=%llu hedge_wins=%llu\n",
+                  name.c_str(), static_cast<int>(router->name().size()),
+                  router->name().data(), router->trained() ? 1 : 0,
+                  static_cast<unsigned long long>(model.events_observed),
+                  static_cast<unsigned long long>(model.refits),
+                  static_cast<unsigned long long>(model.decays),
+                  static_cast<unsigned long long>(s.hedged),
+                  static_cast<unsigned long long>(s.hedge_wins));
     } else if (command == "metrics") {
       // Prometheus-style text exposition, one block of
       // `name{label="v",...} value` lines per scope, terminated by a
@@ -713,7 +854,7 @@ int main(int argc, char** argv) {
       size_t lines = 0;
       const std::vector<std::string> scopes = service.StatsScopes();
       for (const std::string& scope : scopes) {
-        lines += PrintMetricsForScope(service, scope);
+        lines += PrintMetricsForScope(service, scope, params);
       }
       std::printf("ok metrics graphs=%zu lines=%zu\n", scopes.size(), lines);
     } else if (command == "invalidate") {
@@ -721,8 +862,8 @@ int main(int argc, char** argv) {
       std::printf("ok caches invalidated\n");
     } else {
       std::printf(
-          "err unknown command \"%s\" (query/topk/graph/backend/params/"
-          "stats/metrics/invalidate/quit)\n",
+          "err unknown command \"%s\" (query/topk/graph/backend/router/"
+          "params/stats/metrics/invalidate/quit)\n",
           command.c_str());
     }
     std::fflush(stdout);

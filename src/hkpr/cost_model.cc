@@ -1,0 +1,345 @@
+#include "hkpr/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "hkpr/backend.h"
+
+namespace hkpr {
+
+namespace {
+
+/// Clamp for the log-space prediction before exponentiating: e^30 us is
+/// ~3e13 us (~1 year), far beyond any real compute — keeps a degenerate
+/// fit from overflowing to inf and poisoning comparisons.
+constexpr double kMaxLogUs = 30.0;
+
+double ExpUs(double log_us) {
+  return std::expm1(std::clamp(log_us, 0.0, kMaxLogUs));
+}
+
+/// SplitMix64 finalizer — the exploration hash. Deterministic in the
+/// decision counter, so tests (and replays) see the same explore
+/// schedule.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Solves (A + lambda I) w = b for a symmetric positive semi-definite
+/// A via Gaussian elimination with partial pivoting. A and b are
+/// destroyed. Dimensions are tiny (kCostFeatureDim = 5), so this is a
+/// few hundred flops per refit.
+void SolveRidge(double a[kCostFeatureDim][kCostFeatureDim],
+                double b[kCostFeatureDim], double lambda,
+                CostFeatures& out) {
+  constexpr size_t n = kCostFeatureDim;
+  for (size_t i = 0; i < n; ++i) a[i][i] += lambda;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a[col][j], a[pivot][j]);
+      std::swap(b[col], b[pivot]);
+    }
+    // The ridge term guarantees a non-zero pivot for any PSD A; guard
+    // anyway so a NaN-poisoned accumulator cannot divide by zero.
+    const double p = a[col][col];
+    if (!(std::abs(p) > 0.0)) {
+      out.fill(0.0);
+      return;
+    }
+    for (size_t row = col + 1; row < n; ++row) {
+      const double f = a[row][col] / p;
+      if (f == 0.0) continue;
+      for (size_t j = col; j < n; ++j) a[row][j] -= f * a[col][j];
+      b[row] -= f * b[col];
+    }
+  }
+  for (size_t col = n; col-- > 0;) {
+    double sum = b[col];
+    for (size_t j = col + 1; j < n; ++j) sum -= a[col][j] * out[j];
+    out[col] = sum / a[col][col];
+  }
+}
+
+}  // namespace
+
+CostFeatures CostFeaturesOf(uint32_t seed_degree, uint64_t num_edges,
+                            const ApproxParams& params) {
+  return {1.0, std::log1p(static_cast<double>(seed_degree)), params.t,
+          std::log1p(static_cast<double>(num_edges)), std::log(params.eps_r)};
+}
+
+CostFeatures CostFeaturesOf(const RoutingQuery& query) {
+  return CostFeaturesOf(query.seed_degree, query.num_edges, query.params);
+}
+
+CostFeatures CostFeaturesOf(const RoutingEvent& event) {
+  return CostFeaturesOf(event.seed_degree, event.num_edges, event.params);
+}
+
+double FittedBackendModel::PredictUs(const CostFeatures& x) const {
+  double log_us = 0.0;
+  for (size_t i = 0; i < kCostFeatureDim; ++i) log_us += coef[i] * x[i];
+  return ExpUs(log_us);
+}
+
+double FittedBackendModel::PredictP95Us(const CostFeatures& x,
+                                        double z) const {
+  double log_us = 0.0;
+  for (size_t i = 0; i < kCostFeatureDim; ++i) log_us += coef[i] * x[i];
+  return ExpUs(log_us + z * sigma);
+}
+
+const FittedBackendModel* FittedCostModel::Find(uint32_t backend_id) const {
+  for (const FittedBackendModel& model : backends) {
+    if (model.backend_id == backend_id) return &model;
+  }
+  return nullptr;
+}
+
+CostModel::CostModel(std::vector<std::string> backends,
+                     const CostModelOptions& options)
+    : options_(options), names_(std::move(backends)) {
+  HKPR_CHECK(!names_.empty()) << "cost model needs candidate backends";
+  ids_.reserve(names_.size());
+  for (const std::string& name : names_) {
+    const BackendInfo* info = EstimatorRegistry::Global().Find(name);
+    HKPR_CHECK(info != nullptr)
+        << "cost-model candidate \"" << name << "\" is not registered "
+        << "(available: " << EstimatorRegistry::Global().JoinedNames() << ")";
+    ids_.push_back(info->stable_id);
+  }
+  accum_.resize(names_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  RefitLocked();
+}
+
+FittedBackendModel CostModel::FitLocked(size_t index) const {
+  const Accumulator& acc = accum_[index];
+  FittedBackendModel model;
+  model.backend = names_[index];
+  model.backend_id = ids_[index];
+  model.observations = acc.count;
+  model.trained = acc.count >= options_.min_observations;
+  if (acc.count <= 0.0) return model;
+  // Normalize by the sample count before solving: conditioning stays
+  // count-independent and ridge_lambda means the same thing at 50 and
+  // 50k observations.
+  double a[kCostFeatureDim][kCostFeatureDim];
+  double b[kCostFeatureDim];
+  for (size_t i = 0; i < kCostFeatureDim; ++i) {
+    for (size_t j = 0; j < kCostFeatureDim; ++j) {
+      a[i][j] = acc.xtx[i][j] / acc.count;
+    }
+    b[i] = acc.xty[i] / acc.count;
+  }
+  SolveRidge(a, b, options_.ridge_lambda, model.coef);
+  // Residual variance from the normal-equation identity
+  // RSS = yty - 2 w.Xty + w.XtX.w, all already accumulated.
+  double wxty = 0.0;
+  double wxtxw = 0.0;
+  for (size_t i = 0; i < kCostFeatureDim; ++i) {
+    wxty += model.coef[i] * acc.xty[i];
+    double row = 0.0;
+    for (size_t j = 0; j < kCostFeatureDim; ++j) {
+      row += acc.xtx[i][j] * model.coef[j];
+    }
+    wxtxw += model.coef[i] * row;
+  }
+  const double rss = std::max(0.0, acc.yty - 2.0 * wxty + wxtxw);
+  const double dof = std::max(1.0, acc.count - kCostFeatureDim);
+  model.sigma = std::sqrt(rss / dof);
+  return model;
+}
+
+void CostModel::RefitLocked() {
+  auto fitted = std::make_shared<FittedCostModel>();
+  fitted->backends.reserve(names_.size());
+  bool all_trained = true;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    fitted->backends.push_back(FitLocked(i));
+    all_trained = all_trained && fitted->backends.back().trained;
+  }
+  fitted->all_trained = all_trained;
+  fitted->ref_nodes = last_nodes_;
+  fitted->ref_edges = last_edges_;
+  fitted_ = std::move(fitted);
+}
+
+void CostModel::Observe(std::span<const RoutingEvent> events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool touched = false;
+  for (const RoutingEvent& event : events) {
+    // Only events that actually invoked an estimator carry a compute
+    // duration; hits and coalesced waits are cache behavior, not cost.
+    const CacheOutcome outcome = event.cache_outcome();
+    if (outcome != CacheOutcome::kMiss && outcome != CacheOutcome::kNone) {
+      continue;
+    }
+    size_t index = names_.size();
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (ids_[i] == event.backend_id) {
+        index = i;
+        break;
+      }
+    }
+    if (index == names_.size()) continue;  // not a candidate
+    const double nodes = static_cast<double>(event.num_nodes);
+    const double edges = static_cast<double>(event.num_edges);
+    if (last_edges_ > 0.0) {
+      // A hot-swap to a differently-shaped graph: decay everything so
+      // the stale fit loses both its weight and its "trained" status,
+      // and the router falls back to the rules while re-fitting here.
+      const double node_ratio =
+          std::max(nodes, last_nodes_) / std::max(1.0, std::min(nodes, last_nodes_));
+      const double edge_ratio =
+          std::max(edges, last_edges_) / std::max(1.0, std::min(edges, last_edges_));
+      if (std::max(node_ratio, edge_ratio) > options_.scale_change_factor) {
+        for (Accumulator& acc : accum_) {
+          for (size_t i = 0; i < kCostFeatureDim; ++i) {
+            for (size_t j = 0; j < kCostFeatureDim; ++j) {
+              acc.xtx[i][j] *= options_.scale_decay;
+            }
+            acc.xty[i] *= options_.scale_decay;
+          }
+          acc.yty *= options_.scale_decay;
+          acc.count *= options_.scale_decay;
+        }
+        ++decays_;
+      }
+    }
+    last_nodes_ = nodes;
+    last_edges_ = edges;
+
+    const CostFeatures x = CostFeaturesOf(event);
+    const uint64_t compute_us =
+        event.compute_end_us - event.compute_begin_us;
+    const double y = std::log1p(static_cast<double>(compute_us));
+    Accumulator& acc = accum_[index];
+    for (size_t i = 0; i < kCostFeatureDim; ++i) {
+      for (size_t j = 0; j < kCostFeatureDim; ++j) {
+        acc.xtx[i][j] += x[i] * x[j];
+      }
+      acc.xty[i] += x[i] * y;
+    }
+    acc.yty += y * y;
+    acc.count += 1.0;
+    ++events_observed_;
+    touched = true;
+  }
+  if (touched) {
+    RefitLocked();
+    ++refits_;
+  }
+}
+
+std::shared_ptr<const FittedCostModel> CostModel::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fitted_;
+}
+
+CostModelSnapshot CostModel::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CostModelSnapshot snap;
+  snap.fitted = fitted_;
+  snap.events_observed = events_observed_;
+  snap.refits = refits_;
+  snap.decays = decays_;
+  return snap;
+}
+
+LearnedRouter::LearnedRouter(const LearnedRouterOptions& options)
+    : options_(options),
+      fallback_(options.fallback),
+      model_(options.candidates, options.model) {
+  HKPR_CHECK(options_.explore_epsilon >= 0.0 &&
+             options_.explore_epsilon < 1.0)
+      << "explore_epsilon must be in [0, 1)";
+}
+
+std::string_view LearnedRouter::Route(const RoutingQuery& query) const {
+  const std::vector<std::string>& candidates = options_.candidates;
+  // Epsilon-greedy exploration first (trained or not): it is what keeps
+  // feeding backends the argmin — or the rules — would starve.
+  if (options_.explore_epsilon > 0.0) {
+    const uint64_t tick = decisions_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t h = Mix64(tick ^ options_.explore_seed);
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 < options_.explore_epsilon) {
+      return candidates[Mix64(h) % candidates.size()];
+    }
+  }
+  const std::shared_ptr<const FittedCostModel> model = model_.Current();
+  if (!model->all_trained) {
+    // Cold start (or post-swap decay): behave exactly like the rule
+    // policy until every candidate has enough samples to compare.
+    return fallback_.Route(query);
+  }
+  const CostFeatures x = CostFeaturesOf(query);
+  size_t best = 0;
+  double best_us = model->backends[0].PredictUs(x);
+  for (size_t i = 1; i < model->backends.size(); ++i) {
+    const double us = model->backends[i].PredictUs(x);
+    if (us < best_us) {
+      best = i;
+      best_us = us;
+    }
+  }
+  return candidates[best];
+}
+
+std::optional<HedgeAdvice> LearnedRouter::Advise(
+    const RoutingQuery& query, uint32_t primary_backend_id) const {
+  const std::shared_ptr<const FittedCostModel> model = model_.Current();
+  if (!model->all_trained || model->backends.size() < 2) return std::nullopt;
+  const FittedBackendModel* primary = model->Find(primary_backend_id);
+  if (primary == nullptr) return std::nullopt;  // pinned off-candidate plan
+  const CostFeatures x = CostFeaturesOf(query);
+  const FittedBackendModel* runner_up = nullptr;
+  double runner_up_us = 0.0;
+  for (const FittedBackendModel& backend : model->backends) {
+    if (backend.backend_id == primary_backend_id) continue;
+    const double us = backend.PredictUs(x);
+    if (runner_up == nullptr || us < runner_up_us) {
+      runner_up = &backend;
+      runner_up_us = us;
+    }
+  }
+  if (runner_up == nullptr) return std::nullopt;
+  HedgeAdvice advice;
+  advice.backend = runner_up->backend;
+  advice.backend_id = runner_up->backend_id;
+  advice.primary_p95_us = primary->PredictP95Us(x, model_.options().p95_z);
+  return advice;
+}
+
+std::vector<BackendPrediction> LearnedRouter::Predict(
+    const RoutingQuery& query) const {
+  const std::shared_ptr<const FittedCostModel> model = model_.Current();
+  const CostFeatures x = CostFeaturesOf(query);
+  std::vector<BackendPrediction> rows;
+  rows.reserve(model->backends.size());
+  for (const FittedBackendModel& backend : model->backends) {
+    BackendPrediction row;
+    row.backend = backend.backend;
+    row.backend_id = backend.backend_id;
+    row.trained = backend.trained;
+    row.observations = backend.observations;
+    if (backend.observations > 0.0) {
+      row.cost_us = backend.PredictUs(x);
+      row.p95_us = backend.PredictP95Us(x, model_.options().p95_z);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,258 @@
+// Online per-backend cost models and the learned routing policy.
+//
+// PR 5's RuleBasedRouter encodes one benchmark graph's measured
+// TEA+/HK-Relax cost crossover as hand-calibrated thresholds; PR 7's
+// RoutingEventLog records, for every completed query, exactly the
+// features a router sees (seed degree, graph scale, effective params)
+// plus the chosen backend and its measured compute time. This header
+// closes the loop: fit a per-(graph, backend) regression *online* from
+// drained RoutingEvents and route each query to the predicted-cheapest
+// backend, so the crossover is learned per graph and re-learned after
+// every hot-swap instead of being frozen into a PR.
+//
+//  - CostModel: one incremental ridge regression per candidate backend,
+//    log-linear in the routing features (log compute_us ~ w . [1,
+//    log1p(seed_degree), t, log1p(num_edges), log(eps_r)]). Observe()
+//    folds drained events into per-backend normal equations and refits;
+//    readers get an immutable FittedCostModel snapshot (one shared_ptr
+//    copy per routing decision, no lock held while predicting). The
+//    residual variance rides along, so the model predicts a p95 compute
+//    time as well as a mean — the hedging trigger.
+//
+//  - LearnedRouter: a RoutingPolicy. Routes to the argmin predicted-cost
+//    candidate once *every* candidate has enough observations; while any
+//    is undertrained it falls back per-decision to RuleBasedRouter
+//    (cold-start safe: a fresh model behaves exactly like "auto" does
+//    today). An epsilon fraction of decisions explore a uniformly random
+//    candidate — deterministically, from a counter hash — so backends
+//    the current winner starves still accumulate samples and a drifted
+//    model can correct itself. Advise() names the runner-up backend and
+//    the chosen backend's predicted p95, which is what AsyncQueryService's
+//    hedged-request path consumes.
+//
+// Scale adaptation: the model tracks the graph scale (n, m) of the
+// events it last saw. When a drained event's scale differs by more than
+// scale_change_factor (a hot-swap to a differently-shaped graph), every
+// backend's accumulators are decayed by scale_decay before the event is
+// folded — observation counts drop below min_observations, routing falls
+// back to the rules, and the model re-fits on the new graph's events.
+// No recalibration PR, no explicit reset call.
+//
+// Thread-safety: Observe() serializes on an internal mutex (it is called
+// from MultiGraphService's background trainer, not the serving path);
+// Route()/Advise()/Predict() take the mutex only to copy the current
+// snapshot pointer. One CostModel/LearnedRouter instance models ONE
+// graph's cost surface — MultiGraphService keeps one per graph name.
+
+#ifndef HKPR_HKPR_COST_MODEL_H_
+#define HKPR_HKPR_COST_MODEL_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hkpr/router.h"
+#include "service/telemetry.h"
+
+namespace hkpr {
+
+/// Regression feature dimension: [1, log1p(seed_degree), t,
+/// log1p(num_edges), log(eps_r)]. The target is log1p(compute_us), so
+/// the model is log-linear: multiplicative cost effects (degree, graph
+/// size) become additive and a flat-cost backend is one intercept.
+inline constexpr size_t kCostFeatureDim = 5;
+
+using CostFeatures = std::array<double, kCostFeatureDim>;
+
+/// The feature map, shared by training (events) and prediction (queries).
+CostFeatures CostFeaturesOf(uint32_t seed_degree, uint64_t num_edges,
+                            const ApproxParams& params);
+CostFeatures CostFeaturesOf(const RoutingQuery& query);
+CostFeatures CostFeaturesOf(const RoutingEvent& event);
+
+struct CostModelOptions {
+  /// A backend predicts (and the router trusts it) only after this many
+  /// (decayed) observations; until *every* candidate reaches it the
+  /// LearnedRouter falls back to the rules.
+  double min_observations = 48;
+  /// Ridge regularizer on the normalized normal equations — keeps the
+  /// solve well-posed when features are collinear in the observed data
+  /// (e.g. every event shares one t).
+  double ridge_lambda = 1e-3;
+  /// A drained event whose graph scale (nodes or edges) differs from the
+  /// last observed scale by more than this factor triggers a decay: the
+  /// graph was hot-swapped to a different shape and the old fit is stale.
+  double scale_change_factor = 2.0;
+  /// Multiplier applied to every backend's accumulators (including the
+  /// observation counts) on a scale change. Small enough to drop counts
+  /// below min_observations, so routing falls back to the rules while
+  /// the model re-fits on the new graph.
+  double scale_decay = 0.1;
+  /// Normal quantile for the p95 prediction: p95_us = exp(mean_log +
+  /// z * sigma) under the log-normal residual assumption.
+  double p95_z = 1.645;
+};
+
+/// One backend's fitted regression, immutable once published.
+struct FittedBackendModel {
+  std::string backend;      ///< registry name
+  uint32_t backend_id = 0;  ///< StableBackendId(backend)
+  double observations = 0.0;  ///< decayed sample count
+  bool trained = false;       ///< observations >= min_observations
+  CostFeatures coef{};        ///< regression weights (log1p-us space)
+  double sigma = 0.0;         ///< residual stddev (log space)
+
+  /// Predicted mean compute time in microseconds.
+  double PredictUs(const CostFeatures& x) const;
+  /// Predicted p95 compute time in microseconds (log-normal tail).
+  double PredictP95Us(const CostFeatures& x, double z) const;
+};
+
+/// An immutable model snapshot: what one routing decision reads.
+struct FittedCostModel {
+  std::vector<FittedBackendModel> backends;  ///< candidate order
+  bool all_trained = false;
+  /// Graph scale of the most recently observed event (0 before any).
+  double ref_nodes = 0.0;
+  double ref_edges = 0.0;
+
+  const FittedBackendModel* Find(uint32_t backend_id) const;
+};
+
+/// Introspection counters alongside the fitted state (the server's
+/// `router` command output).
+struct CostModelSnapshot {
+  std::shared_ptr<const FittedCostModel> fitted;
+  uint64_t events_observed = 0;  ///< compute events folded in, lifetime
+  uint64_t refits = 0;           ///< Observe() batches that refit
+  uint64_t decays = 0;           ///< scale-change decays triggered
+};
+
+/// Per-backend online ridge regression over routing events.
+class CostModel {
+ public:
+  /// `backends` are the candidate registry names (must be registered —
+  /// their stable ids key the event match). Check-fails on empty or
+  /// unregistered candidates: a misconfigured model dies at
+  /// construction, not on the first drained batch.
+  CostModel(std::vector<std::string> backends,
+            const CostModelOptions& options);
+
+  /// Folds drained events into the per-backend accumulators and refits.
+  /// Only events that actually computed (cache outcome miss/none) train;
+  /// hits and coalesced waits carry no compute signal. Events for
+  /// backends outside the candidate set are ignored.
+  void Observe(std::span<const RoutingEvent> events);
+
+  /// The current immutable fit (never null; a fresh model is all
+  /// untrained). One mutex-guarded pointer copy.
+  std::shared_ptr<const FittedCostModel> Current() const;
+
+  /// True when every candidate backend is trained.
+  bool trained() const { return Current()->all_trained; }
+
+  CostModelSnapshot Snapshot() const;
+
+  const CostModelOptions& options() const { return options_; }
+
+ private:
+  /// One backend's normal-equation accumulators (all decayable).
+  struct Accumulator {
+    double xtx[kCostFeatureDim][kCostFeatureDim] = {};
+    double xty[kCostFeatureDim] = {};
+    double yty = 0.0;
+    double count = 0.0;
+  };
+
+  FittedBackendModel FitLocked(size_t index) const;
+  void RefitLocked();
+
+  const CostModelOptions options_;
+  std::vector<std::string> names_;
+  std::vector<uint32_t> ids_;
+
+  mutable std::mutex mu_;
+  std::vector<Accumulator> accum_;       // under mu_
+  double last_nodes_ = 0.0;              // under mu_
+  double last_edges_ = 0.0;              // under mu_
+  uint64_t events_observed_ = 0;         // under mu_
+  uint64_t refits_ = 0;                  // under mu_
+  uint64_t decays_ = 0;                  // under mu_
+  std::shared_ptr<const FittedCostModel> fitted_;  // swapped under mu_
+};
+
+struct LearnedRouterOptions {
+  /// Candidate backends the model arbitrates between. The default trio
+  /// spans the rule router's whole decision surface (its push, walk and
+  /// default backends), so the learned policy can reproduce — or beat —
+  /// any rule decision.
+  std::vector<std::string> candidates = {"tea+", "hk-relax", "monte-carlo"};
+  CostModelOptions model;
+  /// Fraction of routing decisions that pick a uniformly random
+  /// candidate instead of the argmin (deterministic counter-hash, not
+  /// wall-clock randomness). Applies whether or not the model is
+  /// trained: exploration is what feeds the non-winning backends'
+  /// accumulators. 0 disables (deterministic tests).
+  double explore_epsilon = 0.05;
+  /// Mixed into the exploration hash so two routers sharing a workload
+  /// don't explore in lockstep.
+  uint64_t explore_seed = 0;
+  /// The undertrained fallback policy's thresholds.
+  RuleBasedRouterOptions fallback;
+};
+
+/// One backend's prediction row (server introspection).
+struct BackendPrediction {
+  std::string backend;
+  uint32_t backend_id = 0;
+  bool trained = false;
+  double observations = 0.0;
+  double cost_us = 0.0;
+  double p95_us = 0.0;
+};
+
+/// The learned routing policy. Thread-safe; Observe() is the trainer's
+/// entry point, everything else is const.
+class LearnedRouter : public RoutingPolicy {
+ public:
+  explicit LearnedRouter(const LearnedRouterOptions& options = {});
+
+  std::string_view Route(const RoutingQuery& query) const override;
+  std::string_view name() const override { return "learned"; }
+
+  /// Trained + this query's predicted costs say some other candidate is
+  /// the runner-up: hedge advice for the serving layer. Nullopt while
+  /// undertrained, when `primary_backend_id` is not a candidate, or with
+  /// fewer than two candidates — hedging is simply inert then.
+  std::optional<HedgeAdvice> Advise(const RoutingQuery& query,
+                                    uint32_t primary_backend_id) const override;
+
+  /// Feeds drained routing events to the cost model.
+  void Observe(std::span<const RoutingEvent> events) { model_.Observe(events); }
+
+  bool trained() const { return model_.trained(); }
+  CostModelSnapshot ModelSnapshot() const { return model_.Snapshot(); }
+
+  /// Per-candidate predictions for one query (server introspection; rows
+  /// for untrained backends carry zero cost).
+  std::vector<BackendPrediction> Predict(const RoutingQuery& query) const;
+
+  const LearnedRouterOptions& options() const { return options_; }
+
+ private:
+  const LearnedRouterOptions options_;
+  RuleBasedRouter fallback_;
+  CostModel model_;
+  /// Exploration counter: decision i explores iff hash(i, seed) < eps.
+  mutable std::atomic<uint64_t> decisions_{0};
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_HKPR_COST_MODEL_H_

@@ -120,6 +120,22 @@ struct RoutingQuery {
   ApproxParams params;
 };
 
+/// A policy's hedging hint for one routed query: the runner-up backend
+/// to fire if the chosen one runs long, and the chosen backend's
+/// predicted p95 compute time (the trigger threshold). Produced by
+/// RoutingPolicy::Advise; consumed by AsyncQueryService's hedged-request
+/// path.
+struct HedgeAdvice {
+  /// Runner-up registry backend name (never "auto", never the primary).
+  std::string backend;
+  /// StableBackendId(backend).
+  uint32_t backend_id = 0;
+  /// Predicted p95 compute time of the *primary* backend, microseconds.
+  /// The serving layer fires the hedge when the primary's elapsed
+  /// compute exceeds this (subject to its own floor).
+  double primary_p95_us = 0.0;
+};
+
 /// Picks a backend for an "auto" query. Implementations must be
 /// thread-safe and must return names registered in the global
 /// EstimatorRegistry (resolution re-validates and check-fails otherwise —
@@ -133,7 +149,18 @@ class RoutingPolicy {
   /// in the policy, not temporaries).
   virtual std::string_view Route(const RoutingQuery& query) const = 0;
 
-  /// Policy name for logs and stats ("rule-based", ...).
+  /// Hedging advice for a query routed to `primary_backend_id`: which
+  /// backend to fire as a backup and past what elapsed compute. The
+  /// default declines — policies without a cost model (RuleBasedRouter)
+  /// cannot predict a p95, so hedging is inert under them.
+  virtual std::optional<HedgeAdvice> Advise(
+      const RoutingQuery& query, uint32_t primary_backend_id) const {
+    (void)query;
+    (void)primary_backend_id;
+    return std::nullopt;
+  }
+
+  /// Policy name for logs and stats ("rule-based", "learned", ...).
   virtual std::string_view name() const = 0;
 };
 

@@ -133,6 +133,11 @@ struct RoutingEvent {
   uint8_t routed = 0;       ///< 1 when the RoutingPolicy chose the backend
                             ///< ("auto"), 0 for pinned/default plans
   uint8_t cache = 0;        ///< CacheOutcome
+  uint8_t hedged = 0;       ///< 1 when a runner-up hedge was fired for
+                            ///< this query (whichever side won)
+  uint8_t hedge_won = 0;    ///< 1 when the hedge (runner-up) side
+                            ///< produced this completed result; its
+                            ///< backend_id is then the runner-up's
 
   // --- stage timings: offsets from submit, microseconds, monotone
   //     non-decreasing in declaration order ---
