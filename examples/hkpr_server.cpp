@@ -1,10 +1,11 @@
 // hkpr_server: an interactive multi-graph HKPR serving frontend over
-// stdin/stdout.
+// stdin/stdout, optionally also over TCP.
 //
 //   $ ./build/example_hkpr_server [--graphs=name=path,...] [--graph=PATH]
 //                                 [--nodes=N] [--workers=W] [--cache=CAP]
 //                                 [--seed=S] [--backend=NAME|auto]
 //                                 [--router=rule|learned] [--hedge=on|off]
+//                                 [--listen=PORT] [--net-executors=N]
 //                                 [--no-trace]
 //
 // Loads one or more named graphs into a GraphStore (--graphs takes a
@@ -14,7 +15,7 @@
 // line-oriented queries through a MultiGraphService — per-graph async
 // services sharing a worker budget of --workers threads:
 //
-//   query <seed> [backend=NAME|auto] [t=V] [eps=V] [delta=V]
+//   query <seed> [backend=NAME|auto] [t=V] [eps=V] [delta=V] [tenant=ID]
 //                           full HKPR estimate on the current graph;
 //                           trailing key=value tokens override this one
 //                           query's plan (backend=auto routes adaptively)
@@ -40,17 +41,38 @@
 //                           across hot-swaps); with no tokens, shows the
 //                           graph's current overrides; "params <graph>
 //                           clear" restores the template
+//   tenant [<id>]           show / switch the session's tenant (QoS
+//                           accounting identity; sessions start in
+//                           "default")
+//   tenant set <id> [rate=QPS] [burst=N] [quota=N]
+//                   [priority=low|normal|high]
+//                           configure a tenant's token-bucket rate limit,
+//                           in-flight quota and priority class; throttled
+//                           / over-quota / shed queries get distinct
+//                           "err tenant-..." responses
+//   tenant list             one row per tenant: config + admission and
+//                           latency counters
 //   stats [<name>] [--json] aggregate (or one graph's) counters/latency:
 //                           every ServiceStatsSnapshot field plus the
 //                           queue-wait/cache/compute stage breakdown when
 //                           tracing is on; --json emits the same fields
 //                           as one JSON object after the "ok "
 //   metrics                 Prometheus-style text: per-graph counters,
-//                           stage/latency quantiles and per-(graph,
-//                           backend) dimensioned rows, terminated by a
-//                           final "ok metrics graphs=G lines=N" line
+//                           stage/latency quantiles, per-(graph, backend)
+//                           dimensioned rows and per-tenant
+//                           hkpr_tenant_* rows, terminated by a final
+//                           "ok metrics graphs=G lines=N" line
 //   invalidate              drop every graph's cached estimates
-//   quit                    exit
+//   quit                    exit (over TCP: closes that connection)
+//
+// The whole dispatch lives in net/command_processor.h; this binary wires
+// it to stdin/stdout and — with --listen=PORT — to an epoll socket
+// frontend (net/socket_server.h) serving the same protocol to many
+// concurrent pipelined connections. --listen=0 binds an ephemeral port;
+// the banner's listen=PORT field reports the resolved one. Both
+// transports run concurrently and share the store, service and tenant
+// registry; responses for a given command stream are byte-identical
+// across them.
 //
 // Stage tracing, the per-backend metrics registry and the routing event
 // log are on by default; --no-trace disables all three (stats then
@@ -65,7 +87,7 @@
 // rule router, which offers no predictions.
 //
 // Responses are single lines starting with "ok" or "err", so the server
-// can sit behind a pipe or a socat socket. Query responses carry
+// can sit behind a pipe or a plain TCP client. Query responses carry
 // "backend=<name>" — the plan the query actually ran, which is how a
 // routed (auto) query reports the router's choice. Re-`load`ing a name
 // hot-swaps it: in-flight queries finish on the old snapshot, later
@@ -76,7 +98,6 @@
 // silently falls back to another graph.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -85,18 +106,22 @@
 #include <utility>
 #include <vector>
 
+#include "common/parse.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "hkpr/backend.h"
+#include "net/command_processor.h"
+#include "net/socket_server.h"
 #include "service/multi_graph_service.h"
 
 using namespace hkpr;
 
 namespace {
 
-std::string AvailableBackends() {
-  return EstimatorRegistry::Global().JoinedNames();
-}
+constexpr const char* kValidFlags =
+    "--graphs=name=path,... --graph=PATH --nodes=N --workers=W --cache=CAP "
+    "--seed=S --backend=NAME|auto --router=rule|learned --hedge=on|off "
+    "--listen=PORT --net-executors=N --no-trace";
 
 /// Parses "name=path,name=path,..." into pairs; returns false on syntax
 /// errors (missing '=' or empty name/path).
@@ -123,331 +148,30 @@ std::string JoinNames(const std::vector<GraphInfo>& infos) {
   return joined.empty() ? "(none)" : joined;
 }
 
-/// True when `name` is servable as a default/override backend: a registry
-/// name or the routing sentinel.
-bool KnownBackend(const std::string& name) {
-  return name == kAutoBackend || EstimatorRegistry::Global().Contains(name);
+/// Splits "--name=value" and matches against `flag` ("--name="). Returns
+/// the value on a match, nullopt otherwise.
+std::optional<std::string> FlagValue(const char* arg, const char* flag) {
+  const size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0) return std::nullopt;
+  return std::string(arg + len);
 }
 
-/// Parses the trailing key=value plan tokens of a query/params line
-/// (backend=NAME|auto, t=V, eps=V, delta=V) into `plan`. Returns false —
-/// and fills `error` — on an unknown token, a malformed value, or an
-/// unregistered backend name.
-bool ParsePlanTokens(std::istringstream& in, PlanOverrides* plan,
-                     std::string* error) {
-  std::string token;
-  while (in >> token) {
-    const size_t eq = token.find('=');
-    const std::string key = token.substr(0, eq);
-    char* end = nullptr;
-    double value = 0.0;
-    if (eq != std::string::npos && eq + 1 < token.size() && key != "backend") {
-      value = std::strtod(token.c_str() + eq + 1, &end);
-      if (*end != '\0') {
-        *error = "malformed value in \"" + token + "\"";
-        return false;
-      }
-    }
-    if (key == "backend" && eq != std::string::npos && eq + 1 < token.size()) {
-      plan->backend = token.substr(eq + 1);
-      if (!KnownBackend(plan->backend)) {
-        *error = "unknown backend \"" + plan->backend +
-                 "\" (available: auto," + AvailableBackends() + ")";
-        return false;
-      }
-    } else if (key == "t" && end != nullptr) {
-      plan->t = value;
-    } else if (key == "eps" && end != nullptr) {
-      plan->eps_r = value;
-    } else if (key == "delta" && end != nullptr) {
-      plan->delta = value;
-    } else {
-      *error = "unknown token \"" + token +
-               "\" (expected backend=NAME|auto, t=V, eps=V, delta=V)";
-      return false;
-    }
+/// Numeric flag values go through the validated parsers — `--workers=-1`
+/// and `--nodes=abc` are hard errors, never a silent wrap to 4294967295
+/// or 0 the way atoi/atoll parsed them.
+bool NumericFlag(const std::string& value, const char* flag, uint64_t max,
+                 uint64_t* out) {
+  const std::optional<uint64_t> parsed = ParseUint64(value, max);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "err invalid value \"%s\" for %s (expected unsigned "
+                 "integer <= %llu)\n",
+                 value.c_str(), flag,
+                 static_cast<unsigned long long>(max));
+    return false;
   }
+  *out = *parsed;
   return true;
-}
-
-/// Formats one override for the params display ("default" when unset).
-std::string FmtOverride(const std::optional<double>& value) {
-  if (!value.has_value()) return "default";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", *value);
-  return buf;
-}
-
-/// Prints the full-field single-line `stats` reply: every
-/// ServiceStatsSnapshot counter (the operator view must never silently
-/// lose a field — asserted by the protocol test), the stage breakdown
-/// when tracing is on, and the service-wide reject counters for the
-/// aggregate scope (`service` non-null).
-void PrintStatsLine(const std::string& scope, const ServiceStatsSnapshot& s,
-                    const MultiGraphService* service) {
-  std::printf(
-      "ok scope=%s submitted=%llu completed=%llu rejected=%llu "
-      "invalid_plans=%llu cancelled=%llu expired=%llu "
-      "cache_hits=%llu cache_misses=%llu coalesced=%llu computed=%llu "
-      "stolen=%llu hedged=%llu hedge_wins=%llu queue=%zu latency_count=%llu",
-      scope.c_str(), static_cast<unsigned long long>(s.submitted),
-      static_cast<unsigned long long>(s.completed),
-      static_cast<unsigned long long>(s.rejected),
-      static_cast<unsigned long long>(s.invalid_plans),
-      static_cast<unsigned long long>(s.cancelled),
-      static_cast<unsigned long long>(s.expired),
-      static_cast<unsigned long long>(s.cache_hits),
-      static_cast<unsigned long long>(s.cache_misses),
-      static_cast<unsigned long long>(s.coalesced),
-      static_cast<unsigned long long>(s.computed),
-      static_cast<unsigned long long>(s.stolen),
-      static_cast<unsigned long long>(s.hedged),
-      static_cast<unsigned long long>(s.hedge_wins), s.queue_depth,
-      static_cast<unsigned long long>(s.latency_count));
-  if (service != nullptr) {
-    // Service-wide, not attributable to any one graph.
-    std::printf(" unknown_graph=%llu invalid_argument=%llu",
-                static_cast<unsigned long long>(
-                    service->unknown_graph_rejects()),
-                static_cast<unsigned long long>(
-                    service->invalid_argument_rejects()));
-  }
-  std::printf(" p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f", s.latency_p50_ms,
-              s.latency_p95_ms, s.latency_p99_ms);
-  if (s.stage_tracing) {
-    std::printf(
-        " queue_wait_mean_ms=%.3f queue_wait_p50_ms=%.3f "
-        "queue_wait_p99_ms=%.3f cache_mean_ms=%.3f cache_p50_ms=%.3f "
-        "cache_p99_ms=%.3f compute_mean_ms=%.3f compute_p50_ms=%.3f "
-        "compute_p99_ms=%.3f",
-        s.queue_wait.mean_ms(), s.queue_wait.p50_ms, s.queue_wait.p99_ms,
-        s.cache_lookup.mean_ms(), s.cache_lookup.p50_ms,
-        s.cache_lookup.p99_ms, s.compute.mean_ms(), s.compute.p50_ms,
-        s.compute.p99_ms);
-  }
-  std::printf("\n");
-}
-
-void AppendJsonField(std::string& out, const char* key, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, value);
-  if (out.back() != '{') out += ",";
-  out += buf;
-}
-
-void AppendJsonField(std::string& out, const char* key,
-                     unsigned long long value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key, value);
-  if (out.back() != '{') out += ",";
-  out += buf;
-}
-
-void AppendJsonStage(std::string& out, const char* key,
-                     const StageLatencySnapshot& stage) {
-  if (out.back() != '{') out += ",";
-  out += "\"";
-  out += key;
-  out += "\":{";
-  AppendJsonField(out, "count", static_cast<unsigned long long>(stage.count));
-  AppendJsonField(out, "total_us",
-                  static_cast<unsigned long long>(stage.total_us));
-  AppendJsonField(out, "mean_ms", stage.mean_ms());
-  AppendJsonField(out, "p50_ms", stage.p50_ms);
-  AppendJsonField(out, "p95_ms", stage.p95_ms);
-  AppendJsonField(out, "p99_ms", stage.p99_ms);
-  out += "}";
-}
-
-/// The `stats --json` body: one JSON object per line, machine-parseable
-/// twin of PrintStatsLine with the same field set.
-std::string StatsJson(const std::string& scope, const ServiceStatsSnapshot& s,
-                      const MultiGraphService* service) {
-  std::string out = "{\"scope\":\"" + scope + "\"";
-  const auto u64 = [](uint64_t v) {
-    return static_cast<unsigned long long>(v);
-  };
-  AppendJsonField(out, "submitted", u64(s.submitted));
-  AppendJsonField(out, "completed", u64(s.completed));
-  AppendJsonField(out, "rejected", u64(s.rejected));
-  AppendJsonField(out, "invalid_plans", u64(s.invalid_plans));
-  AppendJsonField(out, "cancelled", u64(s.cancelled));
-  AppendJsonField(out, "expired", u64(s.expired));
-  AppendJsonField(out, "cache_hits", u64(s.cache_hits));
-  AppendJsonField(out, "cache_misses", u64(s.cache_misses));
-  AppendJsonField(out, "coalesced", u64(s.coalesced));
-  AppendJsonField(out, "computed", u64(s.computed));
-  AppendJsonField(out, "stolen", u64(s.stolen));
-  AppendJsonField(out, "hedged", u64(s.hedged));
-  AppendJsonField(out, "hedge_wins", u64(s.hedge_wins));
-  AppendJsonField(out, "queue_depth", u64(s.queue_depth));
-  AppendJsonField(out, "latency_count", u64(s.latency_count));
-  if (service != nullptr) {
-    AppendJsonField(out, "unknown_graph", u64(service->unknown_graph_rejects()));
-    AppendJsonField(out, "invalid_argument",
-                    u64(service->invalid_argument_rejects()));
-  }
-  AppendJsonField(out, "p50_ms", s.latency_p50_ms);
-  AppendJsonField(out, "p95_ms", s.latency_p95_ms);
-  AppendJsonField(out, "p99_ms", s.latency_p99_ms);
-  if (s.stage_tracing) {
-    out += ",\"stages\":{";
-    AppendJsonStage(out, "queue_wait", s.queue_wait);
-    AppendJsonStage(out, "cache", s.cache_lookup);
-    AppendJsonStage(out, "compute", s.compute);
-    out += "}";
-    AppendJsonField(out, "traced_total_us", u64(s.traced_total_us));
-  }
-  out += "}";
-  return out;
-}
-
-/// One Prometheus-style sample line: name{graph="...",...} value.
-void PrintMetricLine(const char* name, const std::string& graph,
-                     const std::string& extra_labels, double value) {
-  if (extra_labels.empty()) {
-    std::printf("%s{graph=\"%s\"} %.6g\n", name, graph.c_str(), value);
-  } else {
-    std::printf("%s{graph=\"%s\",%s} %.6g\n", name, graph.c_str(),
-                extra_labels.c_str(), value);
-  }
-}
-
-/// Integer-valued samples (counters, gauges) print exactly — %.6g would
-/// round large counters.
-void PrintMetricLine(const char* name, const std::string& graph,
-                     const std::string& extra_labels, uint64_t value) {
-  if (extra_labels.empty()) {
-    std::printf("%s{graph=\"%s\"} %llu\n", name, graph.c_str(),
-                static_cast<unsigned long long>(value));
-  } else {
-    std::printf("%s{graph=\"%s\",%s} %llu\n", name, graph.c_str(),
-                extra_labels.c_str(),
-                static_cast<unsigned long long>(value));
-  }
-}
-
-/// A representative routing query for introspection displays: the
-/// graph's scale features with an average-degree seed and the serving
-/// params — what the cost model predicts for a "typical" query.
-RoutingQuery AverageRoutingQuery(const GraphSnapshot& snapshot,
-                                 const ApproxParams& params) {
-  const GraphScaleFeatures scale = GraphScaleFeatures::Of(*snapshot.graph);
-  RoutingQuery query;
-  query.seed = 0;
-  query.seed_degree = static_cast<uint32_t>(scale.avg_degree + 0.5);
-  query.num_nodes = scale.num_nodes;
-  query.num_edges = scale.num_edges;
-  query.avg_degree = scale.avg_degree;
-  query.params = params;
-  return query;
-}
-
-/// Emits the metrics block for one graph scope: flat per-graph counters
-/// and stage quantiles from the cumulative snapshot, then the
-/// per-(graph, backend) dimensioned rows from the telemetry registry and
-/// (under --router=learned) the graph's router-model rows.
-/// Returns the number of sample lines printed.
-size_t PrintMetricsForScope(MultiGraphService& service,
-                            const std::string& scope,
-                            const ApproxParams& params) {
-  size_t lines = 0;
-  const ServiceStatsSnapshot s = service.StatsFor(scope);
-  const auto flat = [&](const char* name, uint64_t value) {
-    PrintMetricLine(name, scope, "", value);
-    ++lines;
-  };
-  flat("hkpr_submitted_total", s.submitted);
-  flat("hkpr_completed_total", s.completed);
-  flat("hkpr_rejected_total", s.rejected);
-  flat("hkpr_invalid_plans_total", s.invalid_plans);
-  flat("hkpr_cancelled_total", s.cancelled);
-  flat("hkpr_expired_total", s.expired);
-  flat("hkpr_cache_hits_total", s.cache_hits);
-  flat("hkpr_cache_misses_total", s.cache_misses);
-  flat("hkpr_coalesced_total", s.coalesced);
-  flat("hkpr_computed_total", s.computed);
-  flat("hkpr_stolen_total", s.stolen);
-  flat("hkpr_hedged_total", s.hedged);
-  flat("hkpr_hedge_wins_total", s.hedge_wins);
-  flat("hkpr_queue_depth", static_cast<uint64_t>(s.queue_depth));
-  const auto quantile = [&](const char* name, const char* q, double value,
-                            const char* stage) {
-    std::string labels;
-    if (stage != nullptr) {
-      labels = std::string("stage=\"") + stage + "\",";
-    }
-    labels += std::string("quantile=\"") + q + "\"";
-    PrintMetricLine(name, scope, labels, value);
-    ++lines;
-  };
-  quantile("hkpr_latency_ms", "0.5", s.latency_p50_ms, nullptr);
-  quantile("hkpr_latency_ms", "0.95", s.latency_p95_ms, nullptr);
-  quantile("hkpr_latency_ms", "0.99", s.latency_p99_ms, nullptr);
-  if (s.stage_tracing) {
-    const struct {
-      const char* name;
-      const StageLatencySnapshot* stage;
-    } stages[] = {{"queue_wait", &s.queue_wait},
-                  {"cache", &s.cache_lookup},
-                  {"compute", &s.compute}};
-    for (const auto& [stage_name, stage] : stages) {
-      quantile("hkpr_stage_latency_ms", "0.5", stage->p50_ms, stage_name);
-      quantile("hkpr_stage_latency_ms", "0.99", stage->p99_ms, stage_name);
-      PrintMetricLine("hkpr_stage_latency_mean_ms", scope,
-                      std::string("stage=\"") + stage_name + "\"",
-                      stage->mean_ms());
-      ++lines;
-    }
-  }
-  // The (graph, backend) dimensions: what each resolved backend actually
-  // served on this graph, cumulative across hot-swaps.
-  const TelemetrySnapshot telemetry = service.TelemetryFor(scope);
-  for (const BackendStatsSnapshot& row : telemetry.backends) {
-    const std::string backend_label = "backend=\"" + row.backend + "\"";
-    const auto dim = [&](const char* name, uint64_t value) {
-      PrintMetricLine(name, scope, backend_label, value);
-      ++lines;
-    };
-    dim("hkpr_backend_completed_total", row.completed);
-    dim("hkpr_backend_computed_total", row.computed);
-    dim("hkpr_backend_cache_hits_total", row.cache_hits);
-    dim("hkpr_backend_coalesced_total", row.coalesced);
-    PrintMetricLine("hkpr_backend_latency_ms", scope,
-                    backend_label + ",quantile=\"0.5\"", row.latency_p50_ms);
-    PrintMetricLine("hkpr_backend_latency_ms", scope,
-                    backend_label + ",quantile=\"0.99\"", row.latency_p99_ms);
-    lines += 2;
-  }
-  if (telemetry.enabled) {
-    flat("hkpr_routing_events_total", telemetry.routing_appended);
-    flat("hkpr_routing_events_dropped_total", telemetry.routing_dropped);
-  }
-  // Learned-router model rows: per-candidate observation counts plus, for
-  // trained candidates, the predicted cost at the graph's average degree.
-  const std::shared_ptr<const LearnedRouter> router =
-      service.LearnedRouterFor(scope);
-  const GraphSnapshot snapshot = service.store().Get(scope);
-  if (router != nullptr && snapshot) {
-    const std::vector<BackendPrediction> rows =
-        router->Predict(AverageRoutingQuery(snapshot, params));
-    for (const BackendPrediction& row : rows) {
-      const std::string backend_label = "backend=\"" + row.backend + "\"";
-      PrintMetricLine("hkpr_router_observations", scope, backend_label,
-                      row.observations);
-      PrintMetricLine("hkpr_router_trained", scope, backend_label,
-                      static_cast<uint64_t>(row.trained ? 1 : 0));
-      lines += 2;
-      if (row.trained) {
-        PrintMetricLine("hkpr_router_predicted_cost_ms", scope, backend_label,
-                        row.cost_us / 1000.0);
-        PrintMetricLine("hkpr_router_predicted_p95_ms", scope, backend_label,
-                        row.p95_us / 1000.0);
-        lines += 2;
-      }
-    }
-  }
-  return lines;
 }
 
 }  // namespace
@@ -455,34 +179,67 @@ size_t PrintMetricsForScope(MultiGraphService& service,
 int main(int argc, char** argv) {
   std::string graphs_flag;
   std::string graph_path;
-  uint32_t nodes = 20000;
-  uint32_t workers = 0;
-  size_t cache_capacity = 4096;
+  uint64_t nodes = 20000;
+  uint64_t workers = 0;
+  uint64_t cache_capacity = 4096;
   uint64_t seed = 42;
   std::string backend = "tea+";
   std::string router_flag = "rule";
   std::string hedge_flag = "off";
   bool trace = true;
+  bool listen_set = false;
+  uint64_t listen_port = 0;
+  uint64_t net_executors = 4;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--no-trace") == 0) trace = false;
-    if (std::strncmp(arg, "--router=", 9) == 0) router_flag = arg + 9;
-    if (std::strncmp(arg, "--hedge=", 8) == 0) hedge_flag = arg + 8;
-    if (std::strncmp(arg, "--graphs=", 9) == 0) graphs_flag = arg + 9;
-    if (std::strncmp(arg, "--graph=", 8) == 0) graph_path = arg + 8;
-    if (std::strncmp(arg, "--nodes=", 8) == 0)
-      nodes = static_cast<uint32_t>(std::atoi(arg + 8));
-    if (std::strncmp(arg, "--workers=", 10) == 0)
-      workers = static_cast<uint32_t>(std::atoi(arg + 10));
-    if (std::strncmp(arg, "--cache=", 8) == 0)
-      cache_capacity = static_cast<size_t>(std::atoll(arg + 8));
-    if (std::strncmp(arg, "--seed=", 7) == 0)
-      seed = static_cast<uint64_t>(std::atoll(arg + 7));
-    if (std::strncmp(arg, "--backend=", 10) == 0) backend = arg + 10;
+    std::optional<std::string> v;
+    if (std::strcmp(arg, "--no-trace") == 0) {
+      trace = false;
+    } else if ((v = FlagValue(arg, "--router="))) {
+      router_flag = *v;
+    } else if ((v = FlagValue(arg, "--hedge="))) {
+      hedge_flag = *v;
+    } else if ((v = FlagValue(arg, "--graphs="))) {
+      graphs_flag = *v;
+    } else if ((v = FlagValue(arg, "--graph="))) {
+      graph_path = *v;
+    } else if ((v = FlagValue(arg, "--nodes="))) {
+      if (!NumericFlag(*v, "--nodes", UINT32_MAX, &nodes)) return 1;
+    } else if ((v = FlagValue(arg, "--workers="))) {
+      if (!NumericFlag(*v, "--workers", UINT32_MAX, &workers)) return 1;
+    } else if ((v = FlagValue(arg, "--cache="))) {
+      if (!NumericFlag(*v, "--cache", SIZE_MAX, &cache_capacity)) return 1;
+    } else if ((v = FlagValue(arg, "--seed="))) {
+      if (!NumericFlag(*v, "--seed", UINT64_MAX, &seed)) return 1;
+    } else if ((v = FlagValue(arg, "--backend="))) {
+      backend = *v;
+    } else if ((v = FlagValue(arg, "--listen="))) {
+      if (!NumericFlag(*v, "--listen", 65535, &listen_port)) return 1;
+      listen_set = true;
+    } else if ((v = FlagValue(arg, "--net-executors="))) {
+      if (!NumericFlag(*v, "--net-executors", 256, &net_executors) ||
+          net_executors == 0) {
+        if (net_executors == 0) {
+          std::fprintf(stderr, "err --net-executors must be >= 1\n");
+        }
+        return 1;
+      }
+    } else {
+      // A typo like --worker=8 must never be silently ignored.
+      std::fprintf(stderr, "err unknown flag \"%s\" (valid: %s)\n", arg,
+                   kValidFlags);
+      return 1;
+    }
   }
-  if (!KnownBackend(backend)) {
+  if (nodes == 0) {
+    std::fprintf(stderr, "err --nodes must be >= 1\n");
+    return 1;
+  }
+  if (!(backend == kAutoBackend ||
+        EstimatorRegistry::Global().Contains(backend))) {
     std::fprintf(stderr, "err unknown backend \"%s\" (available: auto,%s)\n",
-                 backend.c_str(), AvailableBackends().c_str());
+                 backend.c_str(),
+                 EstimatorRegistry::Global().JoinedNames().c_str());
     return 1;
   }
   if (router_flag != "rule" && router_flag != "learned") {
@@ -518,7 +275,8 @@ int main(int argc, char** argv) {
     if (current.empty()) current = name;
   }
   if (store.Size() == 0) {
-    store.Publish("default", PowerlawCluster(nodes, 4, 0.3, seed));
+    store.Publish("default", PowerlawCluster(static_cast<uint32_t>(nodes), 4,
+                                             0.3, seed));
     current = "default";
   }
 
@@ -528,12 +286,13 @@ int main(int argc, char** argv) {
   ApproxParams params;
   params.t = 5.0;
   params.eps_r = 0.5;
-  params.delta = 1.0 / static_cast<double>(store.Get(current).graph->NumNodes());
+  params.delta =
+      1.0 / static_cast<double>(store.Get(current).graph->NumNodes());
   params.p_f = 1e-6;
 
   MultiGraphOptions options;
-  options.worker_budget = workers;
-  options.service.cache_capacity = cache_capacity;
+  options.worker_budget = static_cast<uint32_t>(workers);
+  options.service.cache_capacity = static_cast<size_t>(cache_capacity);
   options.service.backend.name = backend;
   options.service.telemetry.enabled = trace;
   if (router_flag == "learned") {
@@ -545,328 +304,53 @@ int main(int argc, char** argv) {
   options.service.hedge.enabled = hedge_flag == "on";
   MultiGraphService service(store, params, seed, options);
 
+  TenantRegistry tenants;
+  CommandProcessor processor(store, service, tenants, params, current);
+
+  // The TCP frontend shares the processor (and so the store/service/
+  // tenants) with the stdin loop below; each connection gets its own
+  // session.
+  std::unique_ptr<SocketServer> socket_server;
+  if (listen_set) {
+    SocketServerOptions net;
+    net.port = static_cast<uint16_t>(listen_port);
+    net.num_executors = static_cast<size_t>(net_executors);
+    socket_server = std::make_unique<SocketServer>(processor, net);
+    if (!socket_server->Start()) {
+      std::fprintf(stderr, "err cannot listen on port %llu: %s\n",
+                   static_cast<unsigned long long>(listen_port),
+                   socket_server->error().c_str());
+      return 1;
+    }
+  }
+
   {
     const std::vector<GraphInfo> infos = store.List();
     std::printf("ok hkpr_server graphs=%zu(%s) current=%s workers=%u "
-                "cache=%zu backend=%s router=%s hedge=%s\n",
+                "cache=%zu backend=%s router=%s hedge=%s",
                 infos.size(), JoinNames(infos).c_str(), current.c_str(),
-                service.resolved_worker_budget(), cache_capacity,
-                backend.c_str(), router_flag.c_str(), hedge_flag.c_str());
+                service.resolved_worker_budget(),
+                static_cast<size_t>(cache_capacity), backend.c_str(),
+                router_flag.c_str(), hedge_flag.c_str());
+    if (socket_server != nullptr) {
+      // The resolved port — with --listen=0 this is how clients learn
+      // the ephemeral port.
+      std::printf(" listen=%u", socket_server->port());
+    }
+    std::printf("\n");
     std::fflush(stdout);
   }
 
+  ClientSession session = processor.NewSession();
   std::string line;
   while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string command;
-    in >> command;
-    if (command.empty()) continue;
-    if (command == "quit" || command == "exit") break;
-
-    if (command == "query" || command == "topk") {
-      const GraphSnapshot snapshot = store.Get(current);
-      if (!snapshot) {
-        std::printf("err unknown graph \"%s\" (graph load/use first)\n",
-                    current.c_str());
-        std::fflush(stdout);
-        continue;
-      }
-      long long seed_node = -1;
-      long long k = 10;
-      // A failed extraction writes 0 (C++11), which is a valid node id —
-      // restore the sentinel so "query" with no/garbage argument errs.
-      if (!(in >> seed_node)) seed_node = -1;
-      if (command == "topk" && !(in >> k)) k = -1;
-      if (seed_node < 0 || seed_node >= snapshot.graph->NumNodes() || k <= 0) {
-        std::printf("err usage: %s <seed in [0,%u)>%s [backend=NAME|auto] "
-                    "[t=V] [eps=V] [delta=V]\n",
-                    command.c_str(), snapshot.graph->NumNodes(),
-                    command == "topk" ? " <k >= 1>" : "");
-        std::fflush(stdout);
-        continue;
-      }
-      SubmitOptions submit;
-      std::string token_error;
-      if (!ParsePlanTokens(in, &submit.plan, &token_error)) {
-        std::printf("err %s\n", token_error.c_str());
-        std::fflush(stdout);
-        continue;
-      }
-      const NodeId node = static_cast<NodeId>(seed_node);
-      QueryHandle handle =
-          command == "query"
-              ? service.Submit(current, node, submit)
-              : service.SubmitTopK(current, node, static_cast<size_t>(k),
-                                   submit);
-      const QueryResult result = handle.result.get();
-      if (result.status != QueryStatus::kOk) {
-        if (result.status == QueryStatus::kUnknownGraph) {
-          std::printf("err unknown graph \"%s\" (dropped concurrently?)\n",
-                      current.c_str());
-        } else {
-          std::printf("err status=%s\n", QueryStatusName(result.status));
-        }
-      } else if (command == "query") {
-        std::printf("ok graph=%s version=%llu seed=%u backend=%s nnz=%zu "
-                    "sum=%.6f cache=%s latency_ms=%.3f\n",
-                    current.c_str(),
-                    static_cast<unsigned long long>(result.graph_version),
-                    node, result.backend.c_str(), result.estimate->nnz(),
-                    result.estimate->Sum(),
-                    result.from_cache ? "hit" : "miss", result.latency_ms);
-      } else {
-        std::printf("ok graph=%s version=%llu seed=%u backend=%s k=%zu "
-                    "cache=%s",
-                    current.c_str(),
-                    static_cast<unsigned long long>(result.graph_version),
-                    node, result.backend.c_str(), result.top_k.size(),
-                    result.from_cache ? "hit" : "miss");
-        for (const ScoredNode& s : result.top_k) {
-          std::printf(" %u:%.6g", s.node, s.score);
-        }
-        std::printf("\n");
-      }
-    } else if (command == "graph") {
-      std::string sub;
-      in >> sub;
-      if (sub == "load") {
-        std::string name, path;
-        in >> name >> path;
-        if (name.empty() || path.empty()) {
-          std::printf("err usage: graph load <name> <path>\n");
-        } else {
-          Result<Graph> loaded = LoadEdgeList(path);
-          if (!loaded.ok()) {
-            std::printf("err cannot load %s: %s\n", path.c_str(),
-                        loaded.status().ToString().c_str());
-          } else {
-            Graph graph = std::move(loaded).value();
-            const uint32_t n = graph.NumNodes();
-            const uint64_t m = graph.NumEdges();
-            const uint64_t version = service.Publish(name, std::move(graph));
-            // Adopt the loaded graph when the current one is gone (e.g.
-            // dropped), so load restores queryability without a `use`.
-            if (current.empty() || !store.Contains(current)) current = name;
-            std::printf("ok graph=%s version=%llu nodes=%u edges=%llu\n",
-                        name.c_str(),
-                        static_cast<unsigned long long>(version), n,
-                        static_cast<unsigned long long>(m));
-          }
-        }
-      } else if (sub == "use") {
-        std::string name;
-        in >> name;
-        if (name.empty()) {
-          std::printf("err usage: graph use <name>\n");
-        } else if (!store.Contains(name)) {
-          // An unknown (e.g. dropped) name is an error, never a silent
-          // fallback to the previous graph.
-          std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
-                      JoinNames(store.List()).c_str());
-        } else {
-          current = name;
-          const GraphSnapshot snapshot = store.Get(name);
-          std::printf("ok graph=%s version=%llu nodes=%u\n", name.c_str(),
-                      static_cast<unsigned long long>(snapshot.version),
-                      snapshot.graph->NumNodes());
-        }
-      } else if (sub == "drop") {
-        std::string name;
-        in >> name;
-        if (name.empty()) {
-          std::printf("err usage: graph drop <name>\n");
-        } else if (!service.Drop(name)) {
-          std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
-                      JoinNames(store.List()).c_str());
-        } else {
-          // `current` intentionally keeps pointing at the dropped name:
-          // later queries err until `graph use` (or a `graph load`, which
-          // adopts its graph when the current one is gone).
-          std::printf("ok dropped=%s\n", name.c_str());
-        }
-      } else if (sub == "list") {
-        const std::vector<GraphInfo> infos = store.List();
-        std::printf("ok graphs=%zu", infos.size());
-        for (const GraphInfo& info : infos) {
-          std::printf(" %s:v%llu:n%u:m%llu%s", info.name.c_str(),
-                      static_cast<unsigned long long>(info.version),
-                      info.nodes, static_cast<unsigned long long>(info.edges),
-                      info.name == current ? ":current" : "");
-        }
-        std::printf("\n");
-      } else {
-        std::printf("err usage: graph load|use|drop|list\n");
-      }
-    } else if (command == "backend") {
-      std::string name;
-      in >> name;
-      if (name.empty()) {
-        std::printf("ok backend=%s available=auto,%s\n",
-                    service.default_backend().c_str(),
-                    AvailableBackends().c_str());
-      } else if (!service.SetDefaultBackend(name)) {
-        std::printf("err unknown backend \"%s\" (available: auto,%s)\n",
-                    name.c_str(), AvailableBackends().c_str());
-      } else {
-        // A live config update: every per-graph service keeps its workers
-        // and queue — in-flight queries finish on the plan they were
-        // submitted with, later ones resolve against the new default, and
-        // plan-keyed caching means no invalidation is needed.
-        std::printf("ok backend=%s graphs=%zu\n", name.c_str(), store.Size());
-      }
-    } else if (command == "params") {
-      std::string name;
-      in >> name;
-      if (name.empty()) {
-        std::printf("err usage: params <graph> [clear] [backend=NAME|auto] "
-                    "[t=V] [eps=V] [delta=V]\n");
-      } else if (!store.Contains(name)) {
-        std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
-                    JoinNames(store.List()).c_str());
-      } else {
-        PlanOverrides overrides;
-        std::string token_error;
-        std::string first;
-        const auto rest = in.tellg();
-        in >> first;
-        const bool clear = first == "clear";
-        const bool show = first.empty();
-        if (!clear && !show) in.seekg(rest);
-        if (!clear && !show && !ParsePlanTokens(in, &overrides, &token_error)) {
-          std::printf("err %s\n", token_error.c_str());
-        } else if (!clear && !show &&
-                   !ServableParams(ApplyParamOverrides(params, overrides))) {
-          std::printf("err params out of range (t in (0,1000], eps in (0,1), "
-                      "delta > 0)\n");
-        } else {
-          if (show) {
-            overrides = service.GraphDefaults(name);
-          } else if (!service.SetGraphDefaults(name, overrides)) {
-            // Raced with a concurrent drop — report like any unknown graph.
-            std::printf("err unknown graph \"%s\" (loaded: %s)\n",
-                        name.c_str(), JoinNames(store.List()).c_str());
-            std::fflush(stdout);
-            continue;
-          }
-          std::printf(
-              "ok graph=%s backend=%s t=%s eps=%s delta=%s\n", name.c_str(),
-              overrides.backend.empty() ? "default"
-                                        : overrides.backend.c_str(),
-              FmtOverride(overrides.t).c_str(),
-              FmtOverride(overrides.eps_r).c_str(),
-              FmtOverride(overrides.delta).c_str());
-        }
-      }
-    } else if (command == "stats") {
-      std::string name;
-      bool json = false;
-      std::string token;
-      while (in >> token) {
-        if (token == "--json") {
-          json = true;
-        } else {
-          name = token;
-        }
-      }
-      const ServiceStatsSnapshot s =
-          name.empty() ? service.AggregateStats() : service.StatsFor(name);
-      // A named scope is valid while the graph is loaded AND after it was
-      // dropped (StatsFor keeps the retired cumulative counters); only a
-      // name that never served anything is an error.
-      if (!name.empty() && !store.Contains(name) && s.submitted == 0 &&
-          s.completed == 0) {
-        std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
-                    JoinNames(store.List()).c_str());
-        std::fflush(stdout);
-        continue;
-      }
-      const std::string scope = name.empty() ? "all" : name;
-      if (json) {
-        std::printf("ok %s\n",
-                    StatsJson(scope, s, name.empty() ? &service : nullptr)
-                        .c_str());
-      } else {
-        PrintStatsLine(scope, s, name.empty() ? &service : nullptr);
-      }
-    } else if (command == "router") {
-      std::string name;
-      in >> name;
-      if (name.empty()) name = current;
-      if (name.empty() || !store.Contains(name)) {
-        std::printf("err unknown graph \"%s\" (loaded: %s)\n", name.c_str(),
-                    JoinNames(store.List()).c_str());
-        std::fflush(stdout);
-        continue;
-      }
-      // Force the per-graph service into existence so the graph's learned
-      // router exists, and fold any drained-but-unconsumed events so the
-      // display reflects every completed query, not the trainer's last
-      // tick.
-      service.ServiceFor(name);
-      service.TrainRouters();
-      const ServiceStatsSnapshot s = service.StatsFor(name);
-      const std::shared_ptr<const LearnedRouter> router =
-          service.LearnedRouterFor(name);
-      if (router == nullptr) {
-        std::printf("ok router graph=%s policy=rule-based trained=0 "
-                    "hedged=%llu hedge_wins=%llu\n",
-                    name.c_str(), static_cast<unsigned long long>(s.hedged),
-                    static_cast<unsigned long long>(s.hedge_wins));
-        std::fflush(stdout);
-        continue;
-      }
-      const CostModelSnapshot model = router->ModelSnapshot();
-      const GraphSnapshot snapshot = store.Get(name);
-      const std::vector<BackendPrediction> rows =
-          router->Predict(AverageRoutingQuery(snapshot, params));
-      for (const BackendPrediction& row : rows) {
-        const FittedBackendModel* fit =
-            model.fitted->Find(row.backend_id);
-        std::printf("backend=%s trained=%d observations=%.1f",
-                    row.backend.c_str(), row.trained ? 1 : 0,
-                    row.observations);
-        if (fit != nullptr) {
-          std::printf(" sigma=%.3f coef=[%.3f,%.3f,%.3f,%.3f,%.3f]",
-                      fit->sigma, fit->coef[0], fit->coef[1], fit->coef[2],
-                      fit->coef[3], fit->coef[4]);
-        }
-        if (row.trained) {
-          std::printf(" cost_ms=%.3f p95_ms=%.3f", row.cost_us / 1000.0,
-                      row.p95_us / 1000.0);
-        }
-        std::printf("\n");
-      }
-      std::printf("ok router graph=%s policy=%.*s trained=%d "
-                  "events_observed=%llu refits=%llu decays=%llu "
-                  "hedged=%llu hedge_wins=%llu\n",
-                  name.c_str(), static_cast<int>(router->name().size()),
-                  router->name().data(), router->trained() ? 1 : 0,
-                  static_cast<unsigned long long>(model.events_observed),
-                  static_cast<unsigned long long>(model.refits),
-                  static_cast<unsigned long long>(model.decays),
-                  static_cast<unsigned long long>(s.hedged),
-                  static_cast<unsigned long long>(s.hedge_wins));
-    } else if (command == "metrics") {
-      // Prometheus-style text exposition, one block of
-      // `name{label="v",...} value` lines per scope, terminated by a
-      // single protocol line ("ok metrics ...") so line-oriented clients
-      // know where the block ends.
-      size_t lines = 0;
-      const std::vector<std::string> scopes = service.StatsScopes();
-      for (const std::string& scope : scopes) {
-        lines += PrintMetricsForScope(service, scope, params);
-      }
-      std::printf("ok metrics graphs=%zu lines=%zu\n", scopes.size(), lines);
-    } else if (command == "invalidate") {
-      service.InvalidateCaches();
-      std::printf("ok caches invalidated\n");
-    } else {
-      std::printf(
-          "err unknown command \"%s\" (query/topk/graph/backend/router/"
-          "params/stats/metrics/invalidate/quit)\n",
-          command.c_str());
+    const CommandResult result = processor.Execute(session, line);
+    if (!result.output.empty()) {
+      std::fwrite(result.output.data(), 1, result.output.size(), stdout);
+      std::fflush(stdout);
     }
-    std::fflush(stdout);
+    if (result.quit) break;
   }
+  if (socket_server != nullptr) socket_server->Stop();
   return 0;
 }

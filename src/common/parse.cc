@@ -1,0 +1,42 @@
+#include "common/parse.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace hkpr {
+
+std::optional<uint64_t> ParseUint64(std::string_view text, uint64_t max) {
+  if (text.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    // Overflow check before the multiply-add: value*10 + digit > max?
+    if (value > max / 10 || (value == max / 10 && digit > max % 10)) {
+      return std::nullopt;
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<uint32_t> ParseUint32(std::string_view text, uint32_t max) {
+  const std::optional<uint64_t> value = ParseUint64(text, max);
+  if (!value.has_value()) return std::nullopt;
+  return static_cast<uint32_t>(*value);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // strtod needs a NUL-terminated buffer; protocol tokens are short, so
+  // the temporary string is cheap and keeps the call out of hot paths.
+  const std::string buf(text);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,37 @@
+// Validated parsing of externally supplied numeric strings.
+//
+// The server's flag and protocol surfaces used to funnel through
+// std::atoi/std::atoll, which have two classic failure modes for
+// network-facing input: garbage parses silently to 0 ("--nodes=abc"), and
+// negative values wrap through unsigned casts ("--workers=-1" became
+// 4294967295 workers). These helpers parse with strtoull/strtod, reject
+// empty strings, trailing junk, signs on unsigned values, and
+// out-of-range magnitudes, and return nullopt instead of a sentinel — the
+// caller decides how to report.
+
+#ifndef HKPR_COMMON_PARSE_H_
+#define HKPR_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hkpr {
+
+/// Parses a base-10 unsigned integer. Rejects empty input, any non-digit
+/// character (including leading '-'/'+', whitespace and trailing junk),
+/// and values above `max`. Never wraps.
+std::optional<uint64_t> ParseUint64(std::string_view text,
+                                    uint64_t max = UINT64_MAX);
+
+/// ParseUint64 restricted to uint32_t range.
+std::optional<uint32_t> ParseUint32(std::string_view text,
+                                    uint32_t max = UINT32_MAX);
+
+/// Parses a finite double. Rejects empty input, trailing junk, and
+/// inf/nan (external callers never mean them).
+std::optional<double> ParseDouble(std::string_view text);
+
+}  // namespace hkpr
+
+#endif  // HKPR_COMMON_PARSE_H_

@@ -1,0 +1,174 @@
+#include "net/tenant.h"
+
+#include <algorithm>
+
+namespace hkpr {
+
+const char* TenantPriorityName(TenantPriority priority) {
+  switch (priority) {
+    case TenantPriority::kLow:
+      return "low";
+    case TenantPriority::kNormal:
+      return "normal";
+    case TenantPriority::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+std::optional<TenantPriority> ParseTenantPriority(std::string_view name) {
+  if (name == "low") return TenantPriority::kLow;
+  if (name == "normal") return TenantPriority::kNormal;
+  if (name == "high") return TenantPriority::kHigh;
+  return std::nullopt;
+}
+
+const char* TenantAdmissionName(TenantAdmission admission) {
+  switch (admission) {
+    case TenantAdmission::kAdmitted:
+      return "admitted";
+    case TenantAdmission::kThrottled:
+      return "throttled";
+    case TenantAdmission::kQuotaExceeded:
+      return "quota-exceeded";
+    case TenantAdmission::kShedLoad:
+      return "shed-load";
+  }
+  return "unknown";
+}
+
+TenantRegistry::TenantState& TenantRegistry::StateFor(
+    std::string_view tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return *it->second;
+  auto inserted = tenants_.emplace(std::string(tenant),
+                                   std::make_unique<TenantState>());
+  return *inserted.first->second;
+}
+
+void TenantRegistry::Configure(std::string_view tenant,
+                               const TenantQosConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = StateFor(tenant);
+  state.config = config;
+  // Restart the bucket full: a tightened limit throttles from the next
+  // burst, never retroactively.
+  state.tokens = config.burst;
+  state.bucket_started = false;
+}
+
+TenantQosConfig TenantRegistry::ConfigFor(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? TenantQosConfig{} : it->second->config;
+}
+
+bool TenantRegistry::Contains(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.find(tenant) != tenants_.end();
+}
+
+TenantAdmission TenantRegistry::Admit(std::string_view tenant,
+                                      size_t queue_depth,
+                                      size_t max_queue_depth,
+                                      Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = StateFor(tenant);
+
+  // Priority shed against the target service's *existing* queue-depth
+  // gate: a class's threshold is a fraction of the same cap the service
+  // itself enforces at max_queue_depth.
+  if (state.config.priority != TenantPriority::kHigh && max_queue_depth > 0) {
+    const double fraction = state.config.priority == TenantPriority::kLow
+                                ? kLowPriorityShedFraction
+                                : kNormalPriorityShedFraction;
+    const double threshold = fraction * static_cast<double>(max_queue_depth);
+    if (static_cast<double>(queue_depth) >= threshold) {
+      ++state.shed;
+      return TenantAdmission::kShedLoad;
+    }
+  }
+
+  if (state.config.max_in_flight > 0 &&
+      state.in_flight >= state.config.max_in_flight) {
+    ++state.quota_rejected;
+    return TenantAdmission::kQuotaExceeded;
+  }
+
+  if (state.config.rate_qps > 0.0) {
+    if (!state.bucket_started) {
+      state.tokens = state.config.burst;
+      state.bucket_started = true;
+    } else {
+      const double elapsed =
+          std::chrono::duration<double>(now - state.last_refill).count();
+      state.tokens = std::min(state.config.burst,
+                              state.tokens + elapsed * state.config.rate_qps);
+    }
+    state.last_refill = now;
+    if (state.tokens < 1.0) {
+      ++state.throttled;
+      return TenantAdmission::kThrottled;
+    }
+    state.tokens -= 1.0;
+  }
+
+  ++state.admitted;
+  ++state.in_flight;
+  return TenantAdmission::kAdmitted;
+}
+
+void TenantRegistry::OnComplete(std::string_view tenant, bool ok,
+                                double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = StateFor(tenant);
+  if (state.in_flight > 0) --state.in_flight;
+  if (ok) {
+    ++state.completed;
+    state.latency.Record(latency_seconds);
+  } else {
+    ++state.failed;
+  }
+}
+
+TenantStatsSnapshot TenantRegistry::SnapshotOf(const std::string& name,
+                                               const TenantState& state) {
+  TenantStatsSnapshot snap;
+  snap.tenant = name;
+  snap.config = state.config;
+  snap.admitted = state.admitted;
+  snap.throttled = state.throttled;
+  snap.quota_rejected = state.quota_rejected;
+  snap.shed = state.shed;
+  snap.completed = state.completed;
+  snap.failed = state.failed;
+  snap.in_flight = state.in_flight;
+  snap.latency_count = state.latency.TotalCount();
+  snap.latency_p50_ms = state.latency.PercentileMs(0.50);
+  snap.latency_p95_ms = state.latency.PercentileMs(0.95);
+  snap.latency_p99_ms = state.latency.PercentileMs(0.99);
+  return snap;
+}
+
+TenantStatsSnapshot TenantRegistry::StatsFor(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantStatsSnapshot snap;
+    snap.tenant = std::string(tenant);
+    return snap;
+  }
+  return SnapshotOf(it->first, *it->second);
+}
+
+std::vector<TenantStatsSnapshot> TenantRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantStatsSnapshot> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) {
+    out.push_back(SnapshotOf(name, *state));
+  }
+  return out;
+}
+
+}  // namespace hkpr

@@ -1,0 +1,177 @@
+// Multi-tenant admission control for the serving frontends.
+//
+// Every protocol session (a socket connection or the stdin loop) is
+// mapped onto a tenant — by the `tenant <id>` handshake or a per-line
+// `tenant=` token — and every query passes this registry's Admit() gate
+// *before* it reaches the query service's own admission control. Three
+// per-tenant policies compose at that boundary:
+//
+//  - Token-bucket rate limit: `rate_qps` tokens per second refill into a
+//    bucket of `burst` capacity; a query spends one token or is rejected
+//    with kThrottled (a distinct protocol error, so a throttled tenant is
+//    never confused with global overload).
+//  - In-flight quota: at most `max_in_flight` of the tenant's queries may
+//    be between Admit() and OnComplete() at once — one tenant opening
+//    many connections cannot occupy every worker.
+//  - Priority class: low/normal-priority tenants are shed while the
+//    target service's queue is under pressure (kShedLoad), high-priority
+//    tenants ride the service's own admission control to the end. The
+//    thresholds map onto the *existing* queue-depth gate: priority
+//    changes when a tenant starts being rejected, never the global cap.
+//
+// The registry also keeps per-tenant serving stats (admitted / throttled
+// / quota / shed / completed counters and a latency histogram) — the rows
+// behind the server's `tenant list` command and the
+// `hkpr_tenant_*{tenant="..."}` metrics exposition.
+//
+// All methods are thread-safe; Admit/OnComplete take one short mutex
+// (serving cost is dominated by the query compute, not this gate).
+
+#ifndef HKPR_NET_TENANT_H_
+#define HKPR_NET_TENANT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/service_stats.h"
+
+namespace hkpr {
+
+/// The tenant every session starts in (unlimited unless reconfigured).
+inline constexpr std::string_view kDefaultTenant = "default";
+
+enum class TenantPriority : uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+/// Printable name ("low", "normal", "high").
+const char* TenantPriorityName(TenantPriority priority);
+/// Reverse of TenantPriorityName; nullopt for unknown names.
+std::optional<TenantPriority> ParseTenantPriority(std::string_view name);
+
+/// One tenant's QoS knobs. The defaults are "unlimited": a tenant that
+/// was never configured is admitted unconditionally.
+struct TenantQosConfig {
+  /// Token-bucket refill rate in queries/second; 0 disables rate
+  /// limiting for the tenant.
+  double rate_qps = 0.0;
+  /// Bucket capacity: the largest burst admitted from a full bucket.
+  double burst = 32.0;
+  /// Cap on the tenant's concurrently in-flight queries; 0 = unlimited.
+  size_t max_in_flight = 0;
+  TenantPriority priority = TenantPriority::kHigh;
+};
+
+/// Outcome of the tenant admission gate.
+enum class TenantAdmission : uint8_t {
+  kAdmitted = 0,
+  kThrottled,      ///< token bucket empty (rate limit)
+  kQuotaExceeded,  ///< too many of the tenant's queries in flight
+  kShedLoad,       ///< queue pressure too high for the tenant's priority
+};
+
+/// Printable name ("admitted", "throttled", ...).
+const char* TenantAdmissionName(TenantAdmission admission);
+
+/// Queue-pressure shed thresholds per priority class, as fractions of the
+/// service's max_queue_depth: a tenant is shed when the target service's
+/// queue is at or above its class threshold. High priority is 1.0 — only
+/// the service's own admission control rejects it.
+inline constexpr double kLowPriorityShedFraction = 0.25;
+inline constexpr double kNormalPriorityShedFraction = 0.75;
+
+/// Point-in-time copy of one tenant's counters.
+struct TenantStatsSnapshot {
+  std::string tenant;
+  TenantQosConfig config;
+  uint64_t admitted = 0;
+  uint64_t throttled = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;  ///< queries that came back kOk
+  uint64_t failed = 0;     ///< admitted but finished non-kOk
+  size_t in_flight = 0;
+  uint64_t latency_count = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
+/// The registry of tenants and their admission state.
+class TenantRegistry {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TenantRegistry() = default;
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Creates or replaces `tenant`'s QoS config. A reconfigured tenant's
+  /// bucket refills to the new burst (full) so tightening a limit never
+  /// instantly rejects, and its counters/in-flight carry over.
+  void Configure(std::string_view tenant, const TenantQosConfig& config);
+
+  /// The tenant's current config (the unlimited default when never
+  /// configured).
+  TenantQosConfig ConfigFor(std::string_view tenant) const;
+
+  /// True when `tenant` has been configured or has served traffic.
+  bool Contains(std::string_view tenant) const;
+
+  /// The admission gate: refills the tenant's bucket at `now`, then
+  /// checks priority shed (against `queue_depth` / `max_queue_depth` of
+  /// the service the query is headed for), the in-flight quota, and the
+  /// rate limit, in that order. kAdmitted takes one token and counts the
+  /// query in flight — the caller MUST pair it with OnComplete().
+  /// Unknown tenants are created with the default (unlimited) config.
+  TenantAdmission Admit(std::string_view tenant, size_t queue_depth,
+                        size_t max_queue_depth, Clock::time_point now);
+  TenantAdmission Admit(std::string_view tenant, size_t queue_depth,
+                        size_t max_queue_depth) {
+    return Admit(tenant, queue_depth, max_queue_depth, Clock::now());
+  }
+
+  /// Settles one admitted query: decrements in-flight and records the
+  /// outcome (`ok` -> completed + latency histogram; else failed).
+  void OnComplete(std::string_view tenant, bool ok, double latency_seconds);
+
+  /// One tenant's counters; a default-constructed snapshot (zero counts,
+  /// default config) for unknown names.
+  TenantStatsSnapshot StatsFor(std::string_view tenant) const;
+
+  /// Every known tenant's counters, sorted by tenant id.
+  std::vector<TenantStatsSnapshot> Snapshot() const;
+
+ private:
+  struct TenantState {
+    TenantQosConfig config;
+    double tokens = 0.0;  ///< current bucket fill
+    Clock::time_point last_refill{};
+    bool bucket_started = false;  ///< first Admit initializes the bucket
+    size_t in_flight = 0;
+    uint64_t admitted = 0;
+    uint64_t throttled = 0;
+    uint64_t quota_rejected = 0;
+    uint64_t shed = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    LatencyHistogram latency;
+  };
+
+  TenantState& StateFor(std::string_view tenant);  // mu_ held
+  static TenantStatsSnapshot SnapshotOf(const std::string& name,
+                                        const TenantState& state);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TenantState>, std::less<>> tenants_;
+};
+
+}  // namespace hkpr
+
+#endif  // HKPR_NET_TENANT_H_

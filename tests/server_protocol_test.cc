@@ -14,9 +14,12 @@
 
 #ifdef HKPR_SERVER_BINARY
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -403,15 +406,21 @@ TEST(ServerProtocolTest, StatsFieldsJsonShapeAndMetricsExposition) {
   ASSERT_FALSE(lines.empty());
 
   bool saw_submitted = false, saw_backend_dim = false, saw_quantile = false,
-       saw_routing = false, saw_stage = false;
+       saw_routing = false, saw_stage = false, saw_tenant = false;
   for (const std::string& line : lines) {
-    // Every exposition line is `name{label="value",...} number`.
+    // Every exposition line is `name{label="value",...} number`. Graph
+    // scopes carry a graph label; the per-tenant rows a tenant label.
     const size_t brace = line.find('{');
     const size_t close = line.find("} ");
     ASSERT_NE(brace, std::string::npos) << line;
     ASSERT_NE(close, std::string::npos) << line;
     ASSERT_LT(brace, close) << line;
-    EXPECT_TRUE(Contains(line, "graph=\"default\"")) << line;
+    if (StartsWith(line, "hkpr_tenant_")) {
+      saw_tenant = true;
+      EXPECT_TRUE(Contains(line, "tenant=\"default\"")) << line;
+    } else {
+      EXPECT_TRUE(Contains(line, "graph=\"default\"")) << line;
+    }
     const std::string value = line.substr(close + 2);
     ASSERT_FALSE(value.empty()) << line;
     char* end = nullptr;
@@ -441,6 +450,7 @@ TEST(ServerProtocolTest, StatsFieldsJsonShapeAndMetricsExposition) {
   EXPECT_TRUE(saw_quantile);
   EXPECT_TRUE(saw_routing);
   EXPECT_TRUE(saw_stage);
+  EXPECT_TRUE(saw_tenant);  // per-tenant rows for the default tenant
 
   EXPECT_EQ(server.Quit(), 0);
 }
@@ -537,6 +547,141 @@ TEST(ServerProtocolTest, GraphsFlagLoadsNamedGraphsAtStartup) {
   ASSERT_TRUE(StartsWith(reply, "ok graph=path")) << reply;
   reply = server.Command("query 4");
   EXPECT_TRUE(StartsWith(reply, "ok graph=path")) << reply;
+
+  EXPECT_EQ(server.Quit(), 0);
+}
+
+/// Runs the server binary with `args`, stdin closed, and returns its exit
+/// code (-1 on signal). For the flag-validation tests: a rejected flag
+/// must exit non-zero before serving anything.
+int RunServerExpectExit(const std::vector<std::string>& extra_args) {
+  const pid_t pid = fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    // No stdin: if the server wrongly accepts the flags it would just
+    // see EOF and exit 0 — which the assertions below catch.
+    const int devnull = open("/dev/null", O_RDWR);
+    dup2(devnull, STDIN_FILENO);
+    dup2(devnull, STDOUT_FILENO);
+    dup2(devnull, STDERR_FILENO);
+    std::vector<std::string> args = {HKPR_SERVER_BINARY};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ServerProtocolTest, NegativeNumericFlagsExitNonZero) {
+  // Regression: --workers=-1 used to wrap through atoi to 4294967295
+  // workers; now any signed value is a startup error.
+  EXPECT_EQ(RunServerExpectExit({"--workers=-1"}), 1);
+  EXPECT_EQ(RunServerExpectExit({"--nodes=-5"}), 1);
+  EXPECT_EQ(RunServerExpectExit({"--cache=-1"}), 1);
+}
+
+TEST(ServerProtocolTest, GarbageNumericFlagsExitNonZero) {
+  // Regression: --nodes=abc used to silently become 0 via atoi.
+  EXPECT_EQ(RunServerExpectExit({"--nodes=abc"}), 1);
+  EXPECT_EQ(RunServerExpectExit({"--nodes=12x", "--workers=2"}), 1);
+  EXPECT_EQ(RunServerExpectExit({"--seed=1.5"}), 1);
+  EXPECT_EQ(RunServerExpectExit({"--nodes=0"}), 1);
+  EXPECT_EQ(RunServerExpectExit({"--listen=99999"}), 1);  // > 65535
+}
+
+TEST(ServerProtocolTest, UnknownFlagsAreRejectedNotIgnored) {
+  // A typo like --worker=8 used to be silently ignored, serving with the
+  // default worker budget instead of erroring.
+  EXPECT_EQ(RunServerExpectExit({"--worker=8"}), 1);
+  EXPECT_EQ(RunServerExpectExit({"--nodes=400", "--bogus"}), 1);
+  // Valid flags still start and exit 0 on stdin EOF.
+  EXPECT_EQ(RunServerExpectExit({"--nodes=400", "--workers=2"}), 0);
+}
+
+/// Loopback client for the --listen frontend.
+class TcpClient {
+ public:
+  explicit TcpClient(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~TcpClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+  bool connected() const { return connected_; }
+  std::string Command(const std::string& line) {
+    const std::string out = line + "\n";
+    if (write(fd_, out.data(), out.size()) !=
+        static_cast<ssize_t>(out.size())) {
+      return "";
+    }
+    while (true) {
+      const size_t newline = buf_.find('\n');
+      if (newline != std::string::npos) {
+        std::string reply = buf_.substr(0, newline);
+        buf_.erase(0, newline + 1);
+        return reply;
+      }
+      char chunk[4096];
+      const ssize_t n = read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+TEST(ServerProtocolTest, ListenFlagServesSameProtocolOverTcp) {
+  ServerProcess server;
+  ASSERT_TRUE(server.Start(
+      {"--nodes=400", "--workers=2", "--seed=19", "--listen=0"}));
+  const std::string banner = server.ReadLine();
+  ASSERT_TRUE(StartsWith(banner, "ok hkpr_server")) << banner;
+  const size_t at = banner.find(" listen=");
+  ASSERT_NE(at, std::string::npos) << banner;
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(banner.c_str() + at + 8, nullptr, 10));
+  ASSERT_GT(port, 0);
+
+  TcpClient tcp(port);
+  ASSERT_TRUE(tcp.connected());
+
+  // stdin and socket answer the same deterministic commands with
+  // identical bytes — the two transports share one dispatcher.
+  for (const std::string& cmd :
+       {std::string("graph list"), std::string("backend"),
+        std::string("tenant"), std::string("query 9999"),
+        std::string("query 1 t="), std::string("nonsense")}) {
+    const std::string via_stdin = server.Command(cmd);
+    const std::string via_tcp = tcp.Command(cmd);
+    EXPECT_EQ(via_stdin, via_tcp) << "transport divergence on: " << cmd;
+  }
+
+  // Tenant state is per session: binding the socket session to a tenant
+  // must not move the stdin session off the default.
+  EXPECT_TRUE(StartsWith(tcp.Command("tenant socket-side"),
+                         "ok tenant=socket-side"));
+  EXPECT_EQ(server.Command("tenant"), "ok tenant=default");
+
+  // Queries over TCP serve like stdin ones (bytes differ only in
+  // latency_ms, so compare the prefix through the backend field).
+  const std::string tcp_query = tcp.Command("query 7");
+  EXPECT_TRUE(StartsWith(tcp_query, "ok graph=default")) << tcp_query;
+  EXPECT_TRUE(Contains(tcp_query, "backend=")) << tcp_query;
 
   EXPECT_EQ(server.Quit(), 0);
 }

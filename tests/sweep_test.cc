@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "clustering/conductance.h"
@@ -205,6 +206,88 @@ TEST(SweepTest, RecoversPlantedCommunity) {
     if (std::find(truth.begin(), truth.end(), v) != truth.end()) ++hits;
   }
   EXPECT_GT(hits * 10, sweep.cluster.size() * 8);  // >80% purity
+}
+
+TEST(SweepTest, MaxVolumeCapNeverTruncatesToEmpty) {
+  // Boundary: the cap is checked with `i > 0`, so the top-scored node is
+  // always inspected even when its degree alone exceeds max_volume — a
+  // cap tighter than any single node must still return a 1-node answer,
+  // not an empty one.
+  Graph g = testing::MakeStar(6);  // center 0 has degree 5
+  SparseVector est;
+  est.Add(0, 1.0);
+  est.Add(1, 0.1);
+  SweepOptions options;
+  options.max_volume = 1;  // below even the leaf degree
+  const SweepResult sweep = SweepCut(g, est);
+  const SweepResult capped = SweepCut(g, est, options);
+  ASSERT_EQ(capped.cluster.size(), 1u);
+  EXPECT_EQ(capped.cluster[0], 0u);
+  EXPECT_EQ(capped.support_size, 2u);
+  // The uncapped sweep is free to pick a larger prefix; the capped one
+  // must never report a better conductance than it.
+  EXPECT_GE(capped.conductance, sweep.conductance);
+}
+
+TEST(SweepTest, MaxVolumeCapStopsAfterFirstNode) {
+  // Cycle: every degree is 2. With max_volume=2 the first node fills the
+  // cap exactly, and the second candidate (volume 2 + 2 > 2, i > 0) must
+  // be cut off — the result is the first prefix alone.
+  Graph g = testing::MakeCycle(8);
+  SparseVector est;
+  est.Add(2, 1.0);
+  est.Add(3, 0.5);
+  est.Add(4, 0.25);
+  SweepOptions options;
+  options.max_volume = 2;
+  const SweepResult sweep = SweepCut(g, est, options);
+  ASSERT_EQ(sweep.cluster.size(), 1u);
+  EXPECT_EQ(sweep.cluster[0], 2u);
+  // cut 2 / vol 2 for a single cycle node.
+  EXPECT_DOUBLE_EQ(sweep.conductance, 1.0);
+}
+
+TEST(SweepTest, AllScoresTiedSweepsInNodeIdOrder) {
+  // Path 0-1-2-3-4-5: interior nodes all have degree 2, so equal values
+  // give equal normalized scores and the order must fall back to the
+  // deterministic node-id tie-break. Prefix {1}: phi = 2/2 = 1;
+  // prefix {1,2}: cut 2, vol 4, total 10 -> phi = 0.5; prefix {1,2,3}:
+  // cut 2, denom min(6, 4) = 4 -> 0.5 (not strictly better). Best is
+  // the node-ordered prefix {1,2}.
+  Graph g = testing::MakePath(6);
+  SparseVector est;
+  est.Add(3, 0.5);  // inserted out of order on purpose
+  est.Add(1, 0.5);
+  est.Add(2, 0.5);
+  const SweepResult sweep = SweepCut(g, est);
+  ASSERT_EQ(sweep.cluster.size(), 2u);
+  EXPECT_EQ(sweep.cluster[0], 1u);
+  EXPECT_EQ(sweep.cluster[1], 2u);
+  EXPECT_DOUBLE_EQ(sweep.conductance, 0.5);
+}
+
+TEST(SweepTest, WholeGraphPrefixHasDefinedConductance) {
+  // When the support covers the whole graph, the last prefix has
+  // total_volume - volume == 0: the denominator convention must yield
+  // phi = 1.0 (never a division by zero / NaN), and that prefix must
+  // not win even though its cut is 0.
+  Graph g = testing::MakeComplete(3);
+  SparseVector est;
+  est.Add(0, 3.0);
+  est.Add(1, 2.0);
+  est.Add(2, 1.0);
+  SweepOptions options;
+  options.keep_profile = true;
+  const SweepResult sweep = SweepCut(g, est, options);
+  ASSERT_EQ(sweep.profile.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep.profile.back(), 1.0);
+  for (const double phi : sweep.profile) {
+    EXPECT_TRUE(std::isfinite(phi));
+  }
+  // In K3 every proper prefix has phi = 1, so the best stays the first
+  // one — the whole-graph prefix (denom == 0) is never selected.
+  EXPECT_LT(sweep.cluster.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep.conductance, 1.0);
 }
 
 }  // namespace

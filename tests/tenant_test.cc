@@ -1,0 +1,201 @@
+// Tests for the tenant QoS registry (net/tenant.h): token-bucket rate
+// limiting with injected time, in-flight quotas, priority-class load
+// shedding against the service queue-depth gate, and the per-tenant
+// stats rows.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/tenant.h"
+
+namespace hkpr {
+namespace {
+
+using Clock = TenantRegistry::Clock;
+
+Clock::time_point At(double seconds) {
+  return Clock::time_point() +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+TEST(TenantRegistryTest, DefaultTenantIsUnlimited) {
+  TenantRegistry reg;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(reg.Admit("default", 0, 1024, At(0.0)),
+              TenantAdmission::kAdmitted);
+  }
+  EXPECT_EQ(reg.StatsFor("default").admitted, 1000u);
+}
+
+TEST(TenantRegistryTest, TokenBucketThrottlesBeyondBurst) {
+  TenantRegistry reg;
+  TenantQosConfig config;
+  config.rate_qps = 2.0;
+  config.burst = 3.0;
+  reg.Configure("t", config);
+  // The full burst is admitted at one instant, then the bucket is dry.
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kThrottled);
+  // 0.5s at 2 qps refills exactly one token.
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.5)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.5)), TenantAdmission::kThrottled);
+  const TenantStatsSnapshot s = reg.StatsFor("t");
+  EXPECT_EQ(s.admitted, 4u);
+  EXPECT_EQ(s.throttled, 2u);
+}
+
+TEST(TenantRegistryTest, RefillNeverExceedsBurst) {
+  TenantRegistry reg;
+  TenantQosConfig config;
+  config.rate_qps = 100.0;
+  config.burst = 2.0;
+  reg.Configure("t", config);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  // An hour idle refills to the burst cap, not 360000 tokens.
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(3600.0)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(3600.0)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(3600.0)),
+            TenantAdmission::kThrottled);
+}
+
+TEST(TenantRegistryTest, InFlightQuotaReleasesOnComplete) {
+  TenantRegistry reg;
+  TenantQosConfig config;
+  config.max_in_flight = 2;
+  reg.Configure("t", config);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)),
+            TenantAdmission::kQuotaExceeded);
+  EXPECT_EQ(reg.StatsFor("t").in_flight, 2u);
+  reg.OnComplete("t", /*ok=*/true, 0.001);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  const TenantStatsSnapshot s = reg.StatsFor("t");
+  EXPECT_EQ(s.quota_rejected, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.in_flight, 2u);
+}
+
+TEST(TenantRegistryTest, PriorityClassesShedAtTheirFractions) {
+  TenantRegistry reg;
+  TenantQosConfig low;
+  low.priority = TenantPriority::kLow;
+  reg.Configure("low", low);
+  TenantQosConfig normal;
+  normal.priority = TenantPriority::kNormal;
+  reg.Configure("normal", normal);
+
+  const size_t max_depth = 100;
+  // Below every threshold: everyone is admitted.
+  EXPECT_EQ(reg.Admit("low", 10, max_depth, At(0.0)),
+            TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("normal", 10, max_depth, At(0.0)),
+            TenantAdmission::kAdmitted);
+  // At 25%: low sheds, normal rides on.
+  EXPECT_EQ(reg.Admit("low", 25, max_depth, At(0.0)),
+            TenantAdmission::kShedLoad);
+  EXPECT_EQ(reg.Admit("normal", 25, max_depth, At(0.0)),
+            TenantAdmission::kAdmitted);
+  // At 75%: normal sheds too; high (default) never does.
+  EXPECT_EQ(reg.Admit("normal", 75, max_depth, At(0.0)),
+            TenantAdmission::kShedLoad);
+  EXPECT_EQ(reg.Admit("high", 99, max_depth, At(0.0)),
+            TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.StatsFor("low").shed, 1u);
+  EXPECT_EQ(reg.StatsFor("normal").shed, 1u);
+}
+
+TEST(TenantRegistryTest, ShedGateDisabledWithoutQueueCap) {
+  TenantRegistry reg;
+  TenantQosConfig low;
+  low.priority = TenantPriority::kLow;
+  reg.Configure("low", low);
+  // max_queue_depth == 0 means the service has no queue gate to scale
+  // from; priority shedding is inert rather than dividing by zero.
+  EXPECT_EQ(reg.Admit("low", 1000, 0, At(0.0)), TenantAdmission::kAdmitted);
+}
+
+TEST(TenantRegistryTest, ConfigureRefillsTheBucket) {
+  TenantRegistry reg;
+  TenantQosConfig config;
+  config.rate_qps = 1.0;
+  config.burst = 1.0;
+  reg.Configure("t", config);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kThrottled);
+  // Reconfiguring restarts the bucket full — tightening a limit never
+  // retroactively rejects the next query.
+  reg.Configure("t", config);
+  EXPECT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+}
+
+TEST(TenantRegistryTest, StatsRecordOutcomesAndLatency) {
+  TenantRegistry reg;
+  ASSERT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  ASSERT_EQ(reg.Admit("t", 0, 1024, At(0.0)), TenantAdmission::kAdmitted);
+  reg.OnComplete("t", /*ok=*/true, 0.010);
+  reg.OnComplete("t", /*ok=*/false, 0.010);
+  const TenantStatsSnapshot s = reg.StatsFor("t");
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(s.latency_count, 1u);  // failures don't pollute the histogram
+  EXPECT_GT(s.latency_p50_ms, 0.0);
+}
+
+TEST(TenantRegistryTest, SnapshotListsTenantsSorted) {
+  TenantRegistry reg;
+  reg.Configure("zeta", TenantQosConfig{});
+  reg.Configure("alpha", TenantQosConfig{});
+  reg.Configure("mid", TenantQosConfig{});
+  const std::vector<TenantStatsSnapshot> rows = reg.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].tenant, "alpha");
+  EXPECT_EQ(rows[1].tenant, "mid");
+  EXPECT_EQ(rows[2].tenant, "zeta");
+}
+
+TEST(TenantRegistryTest, ConcurrentAdmitCompleteIsConsistent) {
+  TenantRegistry reg;
+  TenantQosConfig config;
+  config.max_in_flight = 4;
+  reg.Configure("t", config);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&reg] {
+      for (int j = 0; j < kPerThread; ++j) {
+        if (reg.Admit("t", 0, 1024) == TenantAdmission::kAdmitted) {
+          reg.OnComplete("t", true, 0.0001);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const TenantStatsSnapshot s = reg.StatsFor("t");
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(s.admitted, s.completed);
+  EXPECT_EQ(s.admitted + s.quota_rejected,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(TenantPriorityTest, NamesRoundTrip) {
+  for (const TenantPriority p :
+       {TenantPriority::kLow, TenantPriority::kNormal, TenantPriority::kHigh}) {
+    const auto parsed = ParseTenantPriority(TenantPriorityName(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(ParseTenantPriority("urgent").has_value());
+  EXPECT_FALSE(ParseTenantPriority("").has_value());
+}
+
+}  // namespace
+}  // namespace hkpr
