@@ -1,9 +1,18 @@
 // Micro-benchmarks of the primitives (google-benchmark): push throughput,
 // walk throughput, alias construction/sampling, sweep, conductance, exact
 // power method.
+//
+// --json=PATH writes the per-benchmark results as
+// {"benchmark": "micro_primitives", "rows": [...]} — the same envelope the
+// hand-rolled benches emit — so trajectory tooling can consume every
+// bench's output uniformly. The flag is stripped before google-benchmark
+// sees argv; all native --benchmark_* flags still work.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "clustering/sweep.h"
@@ -127,6 +136,86 @@ void BM_PoissonSample(benchmark::State& state) {
 }
 BENCHMARK(BM_PoissonSample);
 
+// Console output as usual, plus one collected row per non-aggregate run
+// for the --json= envelope.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    int64_t iterations;
+    double real_ns;   // per-iteration wall time
+    double cpu_ns;    // per-iteration cpu time
+    double items_per_sec;  // 0 when the benchmark reports no item counter
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = static_cast<int64_t>(run.iterations);
+      const double iters =
+          run.iterations == 0 ? 1.0 : static_cast<double>(run.iterations);
+      row.real_ns = run.real_accumulated_time / iters * 1e9;
+      row.cpu_ns = run.cpu_accumulated_time / iters * 1e9;
+      const auto it = run.counters.find("items_per_second");
+      row.items_per_sec = it == run.counters.end() ? 0.0 : it->second.value;
+      rows_.push_back(row);
+    }
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+void WriteMicroJson(const std::string& path,
+                    const std::vector<JsonRowReporter::Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"micro_primitives\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRowReporter::Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"real_ns\": %.2f, \"cpu_ns\": %.2f, "
+                 "\"items_per_sec\": %.1f}%s\n",
+                 r.name.c_str(), static_cast<long long>(r.iterations),
+                 r.real_ns, r.cpu_ns, r.items_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out --json= before google-benchmark validates the flags it owns.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  JsonRowReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) WriteMicroJson(json_path, reporter.rows());
+  return 0;
+}

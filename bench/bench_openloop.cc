@@ -23,7 +23,10 @@
 // intended times. The sweep first calibrates capacity with a short
 // closed-loop burst, then offers fixed fractions of it (0.25/0.5/0.75/
 // 1.0 by default), so the emitted curve shows the latency knee as
-// offered load approaches capacity.
+// offered load approaches capacity. Each rate point runs an untimed
+// closed-loop warmup over its own seed stream first, so every row
+// measures steady-state serving — not the first-touch computes that
+// would otherwise land entirely on the sweep's first row.
 //
 // Flags: --json=PATH writes BENCH_openloop.json-style output
 // ({"rows": [{offered_qps, achieved_qps, p50_ms, p95_ms, p99_ms, ...}]});
@@ -193,6 +196,29 @@ RateRow RunRate(uint16_t port, const OpenLoopConfig& config,
         schedules[c].push_back(at);
         seeds[c].push_back(seed_dist(rng));
       }
+    }
+  }
+
+  // Untimed warmup: compute every seed of this pass once, closed-loop,
+  // before the clock starts. Each rate row replays the same seed stream
+  // (the schedule rng is reseeded per row), so without this the sweep's
+  // first row alone paid the first-touch computes the later rows served
+  // from cache — its p50 measured cold-start pollution (~30x the second
+  // row's), not queueing at the offered rate.
+  {
+    const int fd = ConnectTo(port);
+    if (fd >= 0) {
+      LineReader reader(fd);
+      std::string line;
+      for (size_t c = 0; c < conns; ++c) {
+        for (const uint32_t seed : seeds[c]) {
+          char buf[64];
+          const int len = std::snprintf(buf, sizeof(buf), "query %u\n", seed);
+          if (write(fd, buf, static_cast<size_t>(len)) != len) break;
+          if (!reader.Next(&line)) break;
+        }
+      }
+      close(fd);
     }
   }
 

@@ -84,40 +84,6 @@ double StageMeanMs(const StageLatencySnapshot& stage) {
          static_cast<double>(stage.count) / 1000.0;
 }
 
-/// Loads (mmap) or generates+saves one preset graph. The cache file is the
-/// v2 binary CSR snapshot, so a cache hit exercises the production mmap
-/// loader; a generated graph is saved back so the next run (and the CI
-/// cache) reuses it.
-Graph PrepareGraph(const std::string& size_name, const std::string& cache_dir,
-                   uint64_t seed) {
-  const std::string cache_path =
-      cache_dir.empty() ? ""
-                        : cache_dir + "/scaling-" + size_name + "-v2.bin";
-  if (!cache_path.empty()) {
-    auto mapped = MapBinary(cache_path);
-    if (mapped.ok()) {
-      std::printf("  %s: mmap'd cached snapshot %s\n", size_name.c_str(),
-                  cache_path.c_str());
-      return std::move(mapped).value();
-    }
-  }
-  WallTimer timer;
-  Dataset dataset = MakeScaledGraph(size_name, seed);
-  std::printf("  %s: generated in %.1fs\n", size_name.c_str(),
-              timer.ElapsedSeconds());
-  if (!cache_path.empty()) {
-    const Status saved = SaveBinary(dataset.graph, cache_path);
-    if (saved.ok()) {
-      std::printf("  %s: snapshot cached to %s\n", size_name.c_str(),
-                  cache_path.c_str());
-    } else {
-      std::fprintf(stderr, "  %s: cache write failed: %s\n", size_name.c_str(),
-                   saved.ToString().c_str());
-    }
-  }
-  return std::move(dataset.graph);
-}
-
 /// Executor path: the whole seed list through BatchQueryEngine with
 /// `threads` threads (queries sharded across per-thread executors).
 double RunExecutorPath(const Graph& graph, const ApproxParams& params,
@@ -266,7 +232,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"graph", "edges", "path", "threads", "q/s", "speedup",
                       "stolen", "p99 ms"});
   for (const std::string& size_name : sizes) {
-    Graph loaded = PrepareGraph(size_name, cache_dir, config.rng_seed);
+    Graph loaded = PrepareScaledGraph(size_name, cache_dir, config.rng_seed);
     std::string layout = "standard";
     Graph graph = std::move(loaded);
     if (relabel) {

@@ -40,7 +40,10 @@
 // datasets; --graph-scale=NAME (small/medium/large, see bench_common.h)
 // adds an R-MAT scaling preset to the backend sweep, so the JSON carries
 // large-graph rows (per-row "graph" field) next to the historical
-// small-graph ones; --hedge appends a hedged-vs-unhedged tail-latency
+// small-graph ones; --walk-kernel=scalar|interleaved and --walk-width=N
+// select the random-walk kernel for every backend in the sweep (default
+// interleaved — A/B the two to isolate the walk-phase speedup end to
+// end); --hedge appends a hedged-vs-unhedged tail-latency
 // comparison (cache disabled so every query computes, served by the
 // pre-trained learned router; phases "hedged"/"unhedged", hedged/
 // hedge_wins counters per row) — kept out of the default smoke run
@@ -77,6 +80,10 @@ using namespace hkpr;
 using namespace hkpr::bench;
 
 namespace {
+
+// Walk-kernel selection (--walk-kernel= / --walk-width=), applied to every
+// service constructed by the sweep so an A/B across kernels is one flag.
+WalkKernelOptions g_walk_kernel;
 
 struct ServiceRow {
   std::string backend;
@@ -281,6 +288,7 @@ std::shared_ptr<LearnedRouter> TrainRouterOffline(
     ServiceOptions opts;
     opts.backend.name = backend;
     opts.backend.context.tea_plus.c = 1.0;
+    opts.backend.context.walk_kernel = g_walk_kernel;
     opts.cache_capacity = 0;
     opts.max_queue_depth = 1u << 20;
     opts.num_workers = 2;
@@ -341,6 +349,7 @@ void RunHedgeSweep(const BenchConfig& config, uint32_t num_queries, bool smoke,
     ServiceOptions opts;
     opts.backend.name = std::string(kAutoBackend);
     opts.backend.context.tea_plus.c = 1.0;
+    opts.backend.context.walk_kernel = g_walk_kernel;
     opts.cache_capacity = 0;
     opts.max_queue_depth = 1u << 20;
     opts.num_workers = 2;
@@ -462,6 +471,7 @@ int RunMultiGraphSweep(const BenchConfig& config, const std::string& json_path,
     options.worker_budget = threads;
     options.service.backend.name = backend;
     options.service.backend.context.tea_plus.c = 1.0;
+    options.service.backend.context.walk_kernel = g_walk_kernel;
     options.service.cache_capacity = 8192;
     options.service.max_queue_depth = 1u << 20;
     MultiGraphService service(store, params, config.rng_seed, options);
@@ -538,6 +548,7 @@ int RunTraceOverheadGuard(const BenchConfig& config, uint32_t num_queries) {
     ServiceOptions opts;
     opts.backend.name = "tea+";
     opts.backend.context.tea_plus.c = 1.0;
+    opts.backend.context.walk_kernel = g_walk_kernel;
     opts.cache_capacity = 8192;
     opts.max_queue_depth = 1u << 20;
     opts.num_workers = threads;
@@ -600,6 +611,23 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--graph-scale=", 14) == 0) {
       graph_scale = argv[i] + 14;
+    }
+    if (std::strncmp(argv[i], "--walk-kernel=", 14) == 0) {
+      if (!ParseWalkKernelType(argv[i] + 14, &g_walk_kernel.type)) {
+        std::fprintf(stderr,
+                     "--walk-kernel expects scalar|interleaved, got \"%s\"\n",
+                     argv[i] + 14);
+        return 1;
+      }
+    }
+    if (std::strncmp(argv[i], "--walk-width=", 13) == 0) {
+      const int width = std::atoi(argv[i] + 13);
+      if (width < 1 || width > static_cast<int>(kMaxWalkKernelWidth)) {
+        std::fprintf(stderr, "--walk-width must be in [1, %u], got \"%s\"\n",
+                     kMaxWalkKernelWidth, argv[i] + 13);
+        return 1;
+      }
+      g_walk_kernel.width = static_cast<uint32_t>(width);
     }
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--trace-overhead") == 0) trace_overhead = true;
@@ -676,6 +704,7 @@ int main(int argc, char** argv) {
     params.p_f = 1e-6;
     ServiceOptions options;
     options.backend.context.tea_plus.c = 1.0;
+    options.backend.context.walk_kernel = g_walk_kernel;
     options.cache_capacity = 8192;
     options.max_queue_depth = 1u << 20;  // closed loop: no admission pressure
 

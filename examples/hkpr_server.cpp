@@ -5,6 +5,8 @@
 //                                 [--nodes=N] [--workers=W] [--cache=CAP]
 //                                 [--seed=S] [--backend=NAME|auto]
 //                                 [--router=rule|learned] [--hedge=on|off]
+//                                 [--walk-kernel=scalar|interleaved]
+//                                 [--walk-width=N]
 //                                 [--listen=PORT] [--net-executors=N]
 //                                 [--no-trace]
 //
@@ -110,6 +112,7 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "hkpr/backend.h"
+#include "hkpr/walk_kernel.h"
 #include "net/command_processor.h"
 #include "net/socket_server.h"
 #include "service/multi_graph_service.h"
@@ -121,6 +124,7 @@ namespace {
 constexpr const char* kValidFlags =
     "--graphs=name=path,... --graph=PATH --nodes=N --workers=W --cache=CAP "
     "--seed=S --backend=NAME|auto --router=rule|learned --hedge=on|off "
+    "--walk-kernel=scalar|interleaved --walk-width=N "
     "--listen=PORT --net-executors=N --no-trace";
 
 /// Parses "name=path,name=path,..." into pairs; returns false on syntax
@@ -186,6 +190,7 @@ int main(int argc, char** argv) {
   std::string backend = "tea+";
   std::string router_flag = "rule";
   std::string hedge_flag = "off";
+  WalkKernelOptions walk_kernel;
   bool trace = true;
   bool listen_set = false;
   uint64_t listen_port = 0;
@@ -213,6 +218,21 @@ int main(int argc, char** argv) {
       if (!NumericFlag(*v, "--seed", UINT64_MAX, &seed)) return 1;
     } else if ((v = FlagValue(arg, "--backend="))) {
       backend = *v;
+    } else if ((v = FlagValue(arg, "--walk-kernel="))) {
+      if (!ParseWalkKernelType(*v, &walk_kernel.type)) {
+        std::fprintf(stderr, "err --walk-kernel expects scalar|interleaved\n");
+        return 1;
+      }
+    } else if ((v = FlagValue(arg, "--walk-width="))) {
+      uint64_t width = 0;
+      if (!NumericFlag(*v, "--walk-width", kMaxWalkKernelWidth, &width) ||
+          width == 0) {
+        if (width == 0) {
+          std::fprintf(stderr, "err --walk-width must be >= 1\n");
+        }
+        return 1;
+      }
+      walk_kernel.width = static_cast<uint32_t>(width);
     } else if ((v = FlagValue(arg, "--listen="))) {
       if (!NumericFlag(*v, "--listen", 65535, &listen_port)) return 1;
       listen_set = true;
@@ -294,6 +314,7 @@ int main(int argc, char** argv) {
   options.worker_budget = static_cast<uint32_t>(workers);
   options.service.cache_capacity = static_cast<size_t>(cache_capacity);
   options.service.backend.name = backend;
+  options.service.backend.context.walk_kernel = walk_kernel;
   options.service.telemetry.enabled = trace;
   if (router_flag == "learned") {
     options.router = RouterKind::kLearned;
@@ -327,11 +348,14 @@ int main(int argc, char** argv) {
   {
     const std::vector<GraphInfo> infos = store.List();
     std::printf("ok hkpr_server graphs=%zu(%s) current=%s workers=%u "
-                "cache=%zu backend=%s router=%s hedge=%s",
+                "cache=%zu backend=%s router=%s hedge=%s "
+                "walk-kernel=%s walk-width=%u",
                 infos.size(), JoinNames(infos).c_str(), current.c_str(),
                 service.resolved_worker_budget(),
                 static_cast<size_t>(cache_capacity), backend.c_str(),
-                router_flag.c_str(), hedge_flag.c_str());
+                router_flag.c_str(), hedge_flag.c_str(),
+                std::string(WalkKernelTypeName(walk_kernel.type)).c_str(),
+                walk_kernel.width);
     if (socket_server != nullptr) {
       // The resolved port — with --listen=0 this is how clients learn
       // the ephemeral port.

@@ -31,10 +31,40 @@ class AliasSampler {
   /// largest support size has been seen.
   void Build(const std::vector<double>& weights);
 
-  /// Draws an index with probability weights[i] / sum(weights).
-  uint32_t Sample(Rng& rng) const {
-    const uint32_t column = static_cast<uint32_t>(rng.UniformInt(prob_.size()));
-    return rng.UniformDouble() < prob_[column] ? column : alias_[column];
+  /// Draws an index with probability weights[i] / sum(weights). Templated on
+  /// the generator so both the sequential `Rng` and the walk kernel's
+  /// `CounterRng` streams can drive it; the draw order (UniformInt, then
+  /// UniformDouble) is part of the sampler's deterministic contract.
+  template <typename RngT>
+  uint32_t Sample(RngT& rng) const {
+    return ResolveSample(PrepareSample(rng));
+  }
+
+  /// Two-phase sampling for interleaved/batched use: PrepareSample consumes
+  /// exactly the draws Sample would (same order, same stream) and prefetches
+  /// the chosen column's table entries; ResolveSample — issued a batch round
+  /// later, once the prefetch has landed — finishes the alias indirection.
+  /// ResolveSample(PrepareSample(rng)) == Sample(rng) draw for draw.
+  struct PendingSample {
+    uint32_t column;
+    double accept;
+  };
+
+  template <typename RngT>
+  PendingSample PrepareSample(RngT& rng) const {
+    PendingSample pending;
+    pending.column = static_cast<uint32_t>(rng.UniformInt(prob_.size()));
+    pending.accept = rng.UniformDouble();
+#if defined(__GNUC__)
+    __builtin_prefetch(&prob_[pending.column], 0, 1);
+    __builtin_prefetch(&alias_[pending.column], 0, 1);
+#endif
+    return pending;
+  }
+
+  uint32_t ResolveSample(const PendingSample& pending) const {
+    return pending.accept < prob_[pending.column] ? pending.column
+                                                  : alias_[pending.column];
   }
 
   size_t size() const { return prob_.size(); }

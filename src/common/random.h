@@ -14,12 +14,16 @@
 
 namespace hkpr {
 
-/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
-inline uint64_t SplitMix64(uint64_t& state) {
-  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+/// SplitMix64 finalizer: a bijective 64-bit mix with full avalanche.
+inline uint64_t Mix64(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  return Mix64(state += 0x9E3779B97F4A7C15ULL);
 }
 
 /// xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, 2^256-1 period.
@@ -79,6 +83,68 @@ class Rng {
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
   uint64_t s_[4];
+};
+
+/// Counter-based PRNG: draw d of stream s under seed k is the pure function
+/// Mix64(key(k, s) + d * golden-gamma) — the SplitMix64 sequence started at a
+/// per-stream key. No draw depends on any other draw, so an engine that
+/// assigns one stream per random walk gets results that are bit-identical
+/// under any interleaving, sharding or thread count: the walk kernel
+/// (hkpr/walk_kernel.h) is built on exactly this property. Statistically the
+/// output is the SplitMix64 generator's, which passes BigCrush.
+///
+/// Mirrors the `Rng` surface (UniformDouble/UniformInt/Bernoulli and the
+/// UniformRandomBitGenerator concept) so samplers templated on the generator
+/// accept either.
+class CounterRng {
+ public:
+  using result_type = uint64_t;
+
+  CounterRng() = default;
+
+  /// Stream `stream` of the family identified by `seed`.
+  CounterRng(uint64_t seed, uint64_t stream) { ResetStream(seed, stream); }
+
+  /// Re-points this generator at draw 0 of (seed, stream).
+  void ResetStream(uint64_t seed, uint64_t stream) {
+    // Two dependent mixes decorrelate (seed, stream) pairs that differ in
+    // low bits — the common case, streams being consecutive walk indices.
+    key_ = Mix64(seed + Mix64(stream * 0x9E3779B97F4A7C15ULL + 1));
+    counter_ = 0;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64 random bits.
+  uint64_t Next() {
+    counter_ += 0x9E3779B97F4A7C15ULL;
+    return Mix64(key_ + counter_);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound); Lemire multiply-shift as in Rng.
+  uint64_t UniformInt(uint64_t bound) {
+    HKPR_DCHECK(bound > 0);
+    __extension__ using Uint128 = unsigned __int128;
+    const Uint128 product = static_cast<Uint128>(Next()) * bound;
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t key_ = 0;
+  uint64_t counter_ = 0;
 };
 
 }  // namespace hkpr

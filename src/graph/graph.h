@@ -122,10 +122,36 @@ class Graph {
   bool HasEdge(NodeId u, NodeId v) const;
 
   /// A uniformly random neighbor of v. v must have positive degree.
-  NodeId RandomNeighbor(NodeId v, Rng& rng) const {
+  /// Templated on the generator (Rng or CounterRng, common/random.h).
+  template <typename RngT>
+  NodeId RandomNeighbor(NodeId v, RngT& rng) const {
     const uint32_t d = Degree(v);
     HKPR_DCHECK(d > 0);
     return adjacency_[row_starts_[v] + rng.UniformInt(d)];
+  }
+
+  /// Cheap prefetch hint: pulls v's offsets/row-start words toward cache so
+  /// a Degree()/RowStart() issued a few dozen cycles later does not stall on
+  /// DRAM. No-op outside GCC/Clang. The interleaved walk kernel issues one
+  /// of these per in-flight walk per round; on graphs larger than LLC this
+  /// is what turns the walk phase from latency-bound to bandwidth-bound.
+  void PrefetchNode(NodeId v) const {
+    HKPR_DCHECK(v < NumNodes());
+#if defined(__GNUC__)
+    __builtin_prefetch(&offsets_[v], 0, 1);
+    if (degree_ordered()) __builtin_prefetch(&row_starts_[v], 0, 1);
+#endif
+  }
+
+  /// Prefetch hint for the cache line holding v's i-th neighbor (i.e. the
+  /// adjacency word RandomNeighbor would read for index i). Requires v's
+  /// row start to be resident — pair with an earlier PrefetchNode(v).
+  void PrefetchNeighbors(NodeId v, uint32_t i = 0) const {
+    HKPR_DCHECK(v < NumNodes());
+    HKPR_DCHECK(i < Degree(v) || Degree(v) == 0);
+#if defined(__GNUC__)
+    __builtin_prefetch(&adjacency_[row_starts_[v] + i], 0, 1);
+#endif
   }
 
   /// Sum of degrees over a set of nodes.

@@ -91,8 +91,10 @@ void RegisterBuiltins(EstimatorRegistry* registry) {
       .randomized = true,
       .factory = [](const Graph& graph, const ApproxParams& params,
                     uint64_t seed, const BackendContext& ctx) {
+        TeaPlusOptions options = ctx.tea_plus;
+        options.walk_kernel = ctx.walk_kernel;
         return std::unique_ptr<WorkspaceEstimator>(new TeaPlusEstimator(
-            graph, params, seed, ctx.tea_plus, ctx.pf_prime));
+            graph, params, seed, options, ctx.pf_prime));
       }});
 
   registry->Register(BackendInfo{
@@ -101,8 +103,10 @@ void RegisterBuiltins(EstimatorRegistry* registry) {
       .randomized = true,
       .factory = [](const Graph& graph, const ApproxParams& params,
                     uint64_t seed, const BackendContext& ctx) {
+        TeaOptions options = ctx.tea;
+        options.walk_kernel = ctx.walk_kernel;
         return std::unique_ptr<WorkspaceEstimator>(
-            new TeaEstimator(graph, params, seed, ctx.tea, ctx.pf_prime));
+            new TeaEstimator(graph, params, seed, options, ctx.pf_prime));
       }});
 
   registry->Register(BackendInfo{
@@ -112,8 +116,8 @@ void RegisterBuiltins(EstimatorRegistry* registry) {
       .randomized = true,
       .factory = [](const Graph& graph, const ApproxParams& params,
                     uint64_t seed, const BackendContext& ctx) {
-        return std::unique_ptr<WorkspaceEstimator>(
-            new MonteCarloEstimator(graph, params, seed, ctx.pf_prime));
+        return std::unique_ptr<WorkspaceEstimator>(new MonteCarloEstimator(
+            graph, params, seed, ctx.pf_prime, ctx.walk_kernel));
       }});
 
   registry->Register(BackendInfo{
@@ -165,9 +169,11 @@ void RegisterBuiltins(EstimatorRegistry* registry) {
       .randomized = true,
       .factory = [](const Graph& graph, const ApproxParams& params,
                     uint64_t seed, const BackendContext& ctx) {
+        TeaPlusOptions options = ctx.tea_plus;
+        options.walk_kernel = ctx.walk_kernel;
         return std::unique_ptr<WorkspaceEstimator>(
             new ParallelTeaPlusEstimator(graph, params, seed,
-                                         ctx.parallel_threads, ctx.tea_plus,
+                                         ctx.parallel_threads, options,
                                          ctx.pool, ctx.pf_prime));
       }});
 
@@ -181,7 +187,7 @@ void RegisterBuiltins(EstimatorRegistry* registry) {
         return std::unique_ptr<WorkspaceEstimator>(
             new ParallelMonteCarloEstimator(graph, params, seed,
                                             ctx.parallel_threads, ctx.pool,
-                                            ctx.pf_prime));
+                                            ctx.pf_prime, ctx.walk_kernel));
       }});
 }
 

@@ -45,6 +45,11 @@ struct BackendContext {
   TeaPlusOptions tea_plus;
   /// TEA tuning (backend "tea").
   TeaOptions tea;
+  /// Walk-phase kernel for every randomized walk backend (tea+, tea,
+  /// monte-carlo and their parallel variants); the factories copy this over
+  /// the per-algorithm options' walk_kernel field so one frontend flag
+  /// steers all of them.
+  WalkKernelOptions walk_kernel;
   /// HK-Relax absolute error eps_a; <= 0 derives eps_r * delta from the
   /// ApproxParams, the absolute target TEA+'s early-exit test certifies, so
   /// the deterministic baseline answers to comparable accuracy.

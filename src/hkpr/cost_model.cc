@@ -20,15 +20,10 @@ double ExpUs(double log_us) {
   return std::expm1(std::clamp(log_us, 0.0, kMaxLogUs));
 }
 
-/// SplitMix64 finalizer — the exploration hash. Deterministic in the
-/// decision counter, so tests (and replays) see the same explore
-/// schedule.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+/// The exploration hash: one SplitMix64 step (common/random.h).
+/// Deterministic in the decision counter, so tests (and replays) see the
+/// same explore schedule.
+uint64_t ExploreHash(uint64_t x) { return Mix64(x + 0x9e3779b97f4a7c15ULL); }
 
 /// Solves (A + lambda I) w = b for a symmetric positive semi-definite
 /// A via Gaussian elimination with partial pivoting. A and b are
@@ -272,9 +267,9 @@ std::string_view LearnedRouter::Route(const RoutingQuery& query) const {
   // feeding backends the argmin — or the rules — would starve.
   if (options_.explore_epsilon > 0.0) {
     const uint64_t tick = decisions_.fetch_add(1, std::memory_order_relaxed);
-    const uint64_t h = Mix64(tick ^ options_.explore_seed);
+    const uint64_t h = ExploreHash(tick ^ options_.explore_seed);
     if (static_cast<double>(h >> 11) * 0x1.0p-53 < options_.explore_epsilon) {
-      return candidates[Mix64(h) % candidates.size()];
+      return candidates[ExploreHash(h) % candidates.size()];
     }
   }
   const std::shared_ptr<const FittedCostModel> model = model_.Current();

@@ -9,6 +9,7 @@
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
+#include "hkpr/walk_kernel.h"
 #include "hkpr/workspace.h"
 
 namespace hkpr {
@@ -23,7 +24,9 @@ class MonteCarloEstimator : public HkprEstimator, public WorkspaceEstimator {
   /// it here — pass it so callers building many estimators over one graph
   /// scan it once (cf. TeaPlusEstimator).
   MonteCarloEstimator(const Graph& graph, const ApproxParams& params,
-                      uint64_t seed, double pf_prime = -1.0);
+                      uint64_t seed, double pf_prime = -1.0,
+                      const WalkKernelOptions& walk_kernel =
+                          WalkKernelOptions());
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
@@ -35,9 +38,14 @@ class MonteCarloEstimator : public HkprEstimator, public WorkspaceEstimator {
   const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
                                    EstimatorStats* stats = nullptr) override;
 
-  /// Re-seeds the walk RNG; queries after a Reseed(s) replay the same
+  /// Re-seeds the walk randomness (the scalar Rng and the interleaved
+  /// kernel's stream derivation); queries after a Reseed(s) replay the same
   /// randomness as a freshly constructed estimator with seed `s`.
-  void Reseed(uint64_t seed) override { rng_.Reseed(seed); }
+  void Reseed(uint64_t seed) override {
+    rng_.Reseed(seed);
+    seed_ = seed;
+    epoch_ = 0;
+  }
 
   std::string_view name() const override { return "Monte-Carlo"; }
 
@@ -48,8 +56,11 @@ class MonteCarloEstimator : public HkprEstimator, public WorkspaceEstimator {
   const Graph& graph_;
   ApproxParams params_;
   HeatKernel kernel_;
+  WalkKernelOptions walk_kernel_;
   uint64_t num_walks_;
-  Rng rng_;
+  Rng rng_;            // scalar walk path
+  uint64_t seed_;      // stream-family seed for the interleaved kernel
+  uint64_t epoch_ = 0;  // advances per query so repeated queries differ
 };
 
 }  // namespace hkpr

@@ -11,7 +11,12 @@ namespace hkpr {
 TeaEstimator::TeaEstimator(const Graph& graph, const ApproxParams& params,
                            uint64_t seed, const TeaOptions& options,
                            double pf_prime)
-    : graph_(graph), params_(params), kernel_(params.t), rng_(seed) {
+    : graph_(graph),
+      params_(params),
+      options_(options),
+      kernel_(params.t),
+      rng_(seed),
+      seed_(seed) {
   if (pf_prime < 0.0) pf_prime = ComputePfPrime(graph, params.p_f);
   omega_ = OmegaTea(params, pf_prime);
   HKPR_CHECK(options.r_max_scale > 0.0);
@@ -26,6 +31,7 @@ const SparseVector& TeaEstimator::EstimateInto(NodeId seed, QueryWorkspace& ws,
                                                EstimatorStats* stats) {
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
+  const uint64_t epoch = epoch_++;
 
   // Phase 1: deterministic traversal.
   const PushCounters push = HkPushInto(graph_, kernel_, seed, r_max_, ws);
@@ -43,10 +49,23 @@ const SparseVector& TeaEstimator::EstimateInto(NodeId seed, QueryWorkspace& ws,
                   ws.starts.capacity() * sizeof(ws.starts[0]) +
                   ws.weights.capacity() * sizeof(double);
     const double increment = alpha / static_cast<double>(num_walks);
-    for (uint64_t i = 0; i < num_walks; ++i) {
-      const auto [u, k] = ws.starts[ws.alias.Sample(rng_)];
-      const NodeId end = KRandomWalk(graph_, kernel_, u, k, rng_, &steps);
-      rho.Add(end, increment);
+    if (options_.walk_kernel.type == WalkKernelType::kScalar) {
+      for (uint64_t i = 0; i < num_walks; ++i) {
+        const auto [u, k] = ws.starts[ws.alias.Sample(rng_)];
+        const NodeId end = KRandomWalk(graph_, kernel_, u, k, rng_, &steps);
+        rho.Add(end, increment);
+      }
+    } else {
+      ws.walk_ends.resize(num_walks);
+      const WalkStartSet start_set{&ws.alias, ws.starts.data(), 0};
+      steps = RunInterleavedWalks(graph_, kernel_, start_set,
+                                  WalkStreamSeed(seed_, epoch), 0, num_walks,
+                                  ws.walk_ends.data(),
+                                  EffectiveWalkWidth(graph_, options_.walk_kernel));
+      for (uint64_t i = 0; i < num_walks; ++i) {
+        rho.Add(ws.walk_ends[i], increment);
+      }
+      alias_bytes += ws.walk_ends.capacity() * sizeof(NodeId);
     }
   }
 

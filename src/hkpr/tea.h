@@ -9,6 +9,7 @@
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
+#include "hkpr/walk_kernel.h"
 #include "hkpr/workspace.h"
 
 namespace hkpr {
@@ -19,6 +20,9 @@ struct TeaOptions {
   /// sets r_max = O(1/(omega t)) and tunes the constant per dataset to
   /// balance push and walk cost (Section 7.3). 1.0 is a solid default.
   double r_max_scale = 1.0;
+  /// Walk-phase implementation (hkpr/walk_kernel.h): the interleaved kernel
+  /// by default, the legacy scalar loop for A/B comparison.
+  WalkKernelOptions walk_kernel;
 };
 
 /// Two-phase heat kernel approximation, first-cut version.
@@ -46,9 +50,14 @@ class TeaEstimator : public HkprEstimator, public WorkspaceEstimator {
   const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
                                    EstimatorStats* stats = nullptr) override;
 
-  /// Re-seeds the walk-phase RNG; queries after a Reseed(s) replay the same
+  /// Re-seeds the walk-phase randomness (the scalar Rng and the interleaved
+  /// kernel's stream derivation); queries after a Reseed(s) replay the same
   /// randomness as a freshly constructed estimator with seed `s`.
-  void Reseed(uint64_t seed) override { rng_.Reseed(seed); }
+  void Reseed(uint64_t seed) override {
+    rng_.Reseed(seed);
+    seed_ = seed;
+    epoch_ = 0;
+  }
 
   std::string_view name() const override { return "TEA"; }
 
@@ -60,10 +69,13 @@ class TeaEstimator : public HkprEstimator, public WorkspaceEstimator {
  private:
   const Graph& graph_;
   ApproxParams params_;
+  TeaOptions options_;
   HeatKernel kernel_;
   double omega_;
   double r_max_;
-  Rng rng_;
+  Rng rng_;            // scalar walk path
+  uint64_t seed_;      // stream-family seed for the interleaved kernel
+  uint64_t epoch_ = 0;  // advances per query so repeated queries differ
 };
 
 }  // namespace hkpr

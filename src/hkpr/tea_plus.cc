@@ -36,7 +36,8 @@ TeaPlusEstimator::TeaPlusEstimator(const Graph& graph,
       params_(params),
       options_(options),
       kernel_(params.t),
-      rng_(seed) {
+      rng_(seed),
+      seed_(seed) {
   if (pf_prime < 0.0) pf_prime = ComputePfPrime(graph, params.p_f);
   omega_ = OmegaTeaPlus(params, pf_prime);
   push_budget_ = static_cast<uint64_t>(std::ceil(omega_ * params.t / 2.0));
@@ -54,6 +55,7 @@ const SparseVector& TeaPlusEstimator::EstimateInto(NodeId seed,
   HKPR_CHECK(seed < graph_.NumNodes());
   if (stats != nullptr) stats->Reset();
   const double eps_delta = params_.eps_r * params_.delta;
+  const uint64_t epoch = epoch_++;
 
   // Phase 1: budgeted push.
   HkPushPlusOptions push_options;
@@ -105,10 +107,23 @@ const SparseVector& TeaPlusEstimator::EstimateInto(NodeId seed,
                   ws.starts.capacity() * sizeof(ws.starts[0]) +
                   ws.weights.capacity() * sizeof(double);
     const double increment = alpha / static_cast<double>(num_walks);
-    for (uint64_t i = 0; i < num_walks; ++i) {
-      const auto [u, k] = ws.starts[ws.alias.Sample(rng_)];
-      const NodeId end = KRandomWalk(graph_, kernel_, u, k, rng_, &steps);
-      rho.Add(end, increment);
+    if (options_.walk_kernel.type == WalkKernelType::kScalar) {
+      for (uint64_t i = 0; i < num_walks; ++i) {
+        const auto [u, k] = ws.starts[ws.alias.Sample(rng_)];
+        const NodeId end = KRandomWalk(graph_, kernel_, u, k, rng_, &steps);
+        rho.Add(end, increment);
+      }
+    } else {
+      ws.walk_ends.resize(num_walks);
+      const WalkStartSet start_set{&ws.alias, ws.starts.data(), 0};
+      steps = RunInterleavedWalks(graph_, kernel_, start_set,
+                                  WalkStreamSeed(seed_, epoch), 0, num_walks,
+                                  ws.walk_ends.data(),
+                                  EffectiveWalkWidth(graph_, options_.walk_kernel));
+      for (uint64_t i = 0; i < num_walks; ++i) {
+        rho.Add(ws.walk_ends[i], increment);
+      }
+      alias_bytes += ws.walk_ends.capacity() * sizeof(NodeId);
     }
   }
 

@@ -10,6 +10,7 @@
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
 #include "hkpr/residue.h"
+#include "hkpr/walk_kernel.h"
 #include "hkpr/workspace.h"
 
 namespace hkpr {
@@ -36,6 +37,9 @@ struct TeaPlusOptions {
   /// ablation benchmark.
   bool enable_early_exit = true;
   BetaMode beta_mode = BetaMode::kProportionalToHopSum;
+  /// Walk-phase implementation (hkpr/walk_kernel.h): the interleaved kernel
+  /// by default, the legacy scalar loop for A/B comparison.
+  WalkKernelOptions walk_kernel;
 };
 
 /// The paper's flagship algorithm. Same guarantee as TEA (Theorem 3) with
@@ -65,9 +69,14 @@ class TeaPlusEstimator : public HkprEstimator, public WorkspaceEstimator {
   const SparseVector& EstimateInto(NodeId seed, QueryWorkspace& ws,
                                    EstimatorStats* stats = nullptr) override;
 
-  /// Re-seeds the walk-phase RNG; queries after a Reseed(s) replay the same
+  /// Re-seeds the walk-phase randomness (the scalar Rng and the interleaved
+  /// kernel's stream derivation); queries after a Reseed(s) replay the same
   /// randomness as a freshly constructed estimator with seed `s`.
-  void Reseed(uint64_t seed) override { rng_.Reseed(seed); }
+  void Reseed(uint64_t seed) override {
+    rng_.Reseed(seed);
+    seed_ = seed;
+    epoch_ = 0;
+  }
 
   std::string_view name() const override { return "TEA+"; }
 
@@ -83,7 +92,9 @@ class TeaPlusEstimator : public HkprEstimator, public WorkspaceEstimator {
   double omega_;
   uint32_t hop_cap_;
   uint64_t push_budget_;
-  Rng rng_;
+  Rng rng_;            // scalar walk path
+  uint64_t seed_;      // stream-family seed for the interleaved kernel
+  uint64_t epoch_ = 0;  // advances per query so repeated queries differ
 };
 
 /// Algorithm 5 Lines 8-11, shared by the sequential and parallel TEA+:

@@ -61,6 +61,13 @@ class QueryWorkspace {
   /// per query that reaches the walk phase.
   AliasSampler alias;
 
+  /// Per-walk end nodes, written by the interleaved walk kernel (one entry
+  /// per walk, indexed by walk number) and accumulated into `result` in
+  /// index order afterwards — which is what makes the accumulated estimate
+  /// independent of interleave width and thread partition. Capacity is
+  /// retained across queries.
+  std::vector<NodeId> walk_ends;
+
   /// Clears the single-query state. Capacities are retained.
   void PrepareQuery(uint32_t max_hop) {
     result.Clear();

@@ -11,10 +11,12 @@ namespace hkpr {
 
 ParallelMonteCarloEstimator::ParallelMonteCarloEstimator(
     const Graph& graph, const ApproxParams& params, uint64_t seed,
-    uint32_t num_threads, ThreadPool* pool, double pf_prime)
+    uint32_t num_threads, ThreadPool* pool, double pf_prime,
+    const WalkKernelOptions& walk_kernel)
     : graph_(graph),
       params_(params),
       kernel_(params.t),
+      walk_kernel_(walk_kernel),
       base_seed_(seed),
       num_threads_(num_threads == 0 ? HardwareThreads() : num_threads),
       pool_(pool) {
@@ -35,33 +37,62 @@ const SparseVector& ParallelMonteCarloEstimator::EstimateInto(
   const uint64_t epoch = epoch_++;
 
   ws.result.Clear();
-  std::vector<WalkScratch>& locals = ws.ThreadScratch(num_threads_);
-  const auto shard = [&](uint32_t tid, uint64_t begin, uint64_t end) {
-    uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
-    mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
-    Rng rng(mix);
-    WalkScratch& state = locals[tid];
-    for (uint64_t i = begin; i < end; ++i) {
-      const NodeId v = KRandomWalk(graph_, kernel_, seed, 0, rng, &state.steps);
-      state.counts.Add(v, 1.0);
-    }
-  };
-  if (pool_ != nullptr) {
-    pool_->ChunksLimit(num_walks_, num_threads_, shard);
-  } else {
-    ParallelChunks(num_walks_, num_threads_, shard);
-  }
-
   SparseVector& rho = ws.result;
   const double weight = 1.0 / static_cast<double>(num_walks_);
   uint64_t steps = 0;
   size_t peak = 0;
-  for (const WalkScratch& state : locals) {
-    for (const auto& e : state.counts.entries()) {
-      rho.Add(e.key, e.value * weight);
+  std::vector<WalkScratch>& locals = ws.ThreadScratch(num_threads_);
+  if (walk_kernel_.type == WalkKernelType::kScalar) {
+    // Legacy path: per-thread sequential Rng streams and per-thread counts
+    // merged after the barrier. Deterministic for a fixed
+    // (seed, num_threads) but not across thread counts.
+    const auto shard = [&](uint32_t tid, uint64_t begin, uint64_t end) {
+      uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
+      mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
+      Rng rng(mix);
+      WalkScratch& state = locals[tid];
+      for (uint64_t i = begin; i < end; ++i) {
+        const NodeId v =
+            KRandomWalk(graph_, kernel_, seed, 0, rng, &state.steps);
+        state.counts.Add(v, 1.0);
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->ChunksLimit(num_walks_, num_threads_, shard);
+    } else {
+      ParallelChunks(num_walks_, num_threads_, shard);
     }
-    steps += state.steps;
-    peak += state.counts.MemoryBytes();
+    for (const WalkScratch& state : locals) {
+      for (const auto& e : state.counts.entries()) {
+        rho.Add(e.key, e.value * weight);
+      }
+      steps += state.steps;
+      peak += state.counts.MemoryBytes();
+    }
+  } else {
+    // Interleaved kernel: shards write disjoint ranges of the shared end
+    // buffer; the index-order merge makes the result bit-identical to the
+    // sequential estimator, for any thread count or chunking.
+    ws.walk_ends.resize(num_walks_);
+    const uint64_t stream_seed = WalkStreamSeed(base_seed_, epoch);
+    WalkStartSet start_set;
+    start_set.fixed_node = seed;
+    const auto shard = [&](uint32_t tid, uint64_t begin, uint64_t end) {
+      locals[tid].steps = RunInterleavedWalks(
+          graph_, kernel_, start_set, stream_seed, begin, end - begin,
+          ws.walk_ends.data() + begin,
+          EffectiveWalkWidth(graph_, walk_kernel_));
+    };
+    if (pool_ != nullptr) {
+      pool_->ChunksLimit(num_walks_, num_threads_, shard);
+    } else {
+      ParallelChunks(num_walks_, num_threads_, shard);
+    }
+    for (uint64_t i = 0; i < num_walks_; ++i) {
+      rho.Add(ws.walk_ends[i], weight);
+    }
+    for (const WalkScratch& state : locals) steps += state.steps;
+    peak += ws.walk_ends.capacity() * sizeof(NodeId);
   }
   if (stats != nullptr) {
     stats->num_walks = num_walks_;

@@ -8,6 +8,7 @@
 #include "hkpr/estimator.h"
 #include "hkpr/heat_kernel.h"
 #include "hkpr/params.h"
+#include "hkpr/walk_kernel.h"
 #include "hkpr/workspace.h"
 #include "parallel/thread_pool.h"
 
@@ -33,7 +34,9 @@ class ParallelMonteCarloEstimator : public HkprEstimator,
   ParallelMonteCarloEstimator(const Graph& graph, const ApproxParams& params,
                               uint64_t seed, uint32_t num_threads = 0,
                               ThreadPool* pool = nullptr,
-                              double pf_prime = -1.0);
+                              double pf_prime = -1.0,
+                              const WalkKernelOptions& walk_kernel =
+                                  WalkKernelOptions());
 
   SparseVector Estimate(NodeId seed, EstimatorStats* stats) override;
   using HkprEstimator::Estimate;
@@ -60,6 +63,7 @@ class ParallelMonteCarloEstimator : public HkprEstimator,
   const Graph& graph_;
   ApproxParams params_;
   HeatKernel kernel_;
+  WalkKernelOptions walk_kernel_;
   uint64_t num_walks_;
   uint64_t base_seed_;
   uint32_t num_threads_;

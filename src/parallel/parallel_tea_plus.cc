@@ -6,6 +6,7 @@
 #include "common/random.h"
 #include "hkpr/push.h"
 #include "hkpr/random_walk.h"
+#include "hkpr/walk_kernel.h"
 #include "parallel/parallel_for.h"
 
 namespace hkpr {
@@ -84,32 +85,60 @@ const SparseVector& ParallelTeaPlusEstimator::EstimateInto(
                   ws.starts.capacity() * sizeof(ws.starts[0]) +
                   ws.weights.capacity() * sizeof(double);
 
-    std::vector<WalkScratch>& locals = ws.ThreadScratch(num_threads_);
-    const auto shard = [&](uint32_t tid, uint64_t begin, uint64_t end) {
-      uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
-      mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
-      Rng rng(mix);
-      WalkScratch& state = locals[tid];
-      for (uint64_t i = begin; i < end; ++i) {
-        const auto [u, k] = ws.starts[ws.alias.Sample(rng)];
-        const NodeId end_node =
-            KRandomWalk(graph_, kernel_, u, k, rng, &state.steps);
-        state.counts.Add(end_node, 1.0);
-      }
-    };
-    if (pool_ != nullptr) {
-      pool_->ChunksLimit(num_walks, num_threads_, shard);
-    } else {
-      ParallelChunks(num_walks, num_threads_, shard);
-    }
-
     const double increment = alpha / static_cast<double>(num_walks);
-    for (const WalkScratch& state : locals) {
-      for (const auto& e : state.counts.entries()) {
-        rho.Add(e.key, e.value * increment);
+    std::vector<WalkScratch>& locals = ws.ThreadScratch(num_threads_);
+    if (options_.walk_kernel.type == WalkKernelType::kScalar) {
+      // Legacy path: per-thread sequential Rng streams and per-thread
+      // end-point counts merged after the barrier. Deterministic for a
+      // fixed (seed, num_threads) but not across thread counts.
+      const auto shard = [&](uint32_t tid, uint64_t begin, uint64_t end) {
+        uint64_t mix = base_seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL);
+        mix ^= (static_cast<uint64_t>(tid) + 1) * 0xD1B54A32D192ED03ULL;
+        Rng rng(mix);
+        WalkScratch& state = locals[tid];
+        for (uint64_t i = begin; i < end; ++i) {
+          const auto [u, k] = ws.starts[ws.alias.Sample(rng)];
+          const NodeId end_node =
+              KRandomWalk(graph_, kernel_, u, k, rng, &state.steps);
+          state.counts.Add(end_node, 1.0);
+        }
+      };
+      if (pool_ != nullptr) {
+        pool_->ChunksLimit(num_walks, num_threads_, shard);
+      } else {
+        ParallelChunks(num_walks, num_threads_, shard);
       }
-      steps += state.steps;
-      alias_bytes += state.counts.MemoryBytes();
+      for (const WalkScratch& state : locals) {
+        for (const auto& e : state.counts.entries()) {
+          rho.Add(e.key, e.value * increment);
+        }
+        steps += state.steps;
+        alias_bytes += state.counts.MemoryBytes();
+      }
+    } else {
+      // Interleaved kernel: walk i's end node is a pure function of its
+      // index, so shards write disjoint ranges of the shared end buffer and
+      // the index-order merge makes the result bit-identical to the
+      // sequential estimator, for any thread count or chunking.
+      ws.walk_ends.resize(num_walks);
+      const uint64_t stream_seed = WalkStreamSeed(base_seed_, epoch);
+      const WalkStartSet start_set{&ws.alias, ws.starts.data(), 0};
+      const auto shard = [&](uint32_t tid, uint64_t begin, uint64_t end) {
+        locals[tid].steps = RunInterleavedWalks(
+            graph_, kernel_, start_set, stream_seed, begin, end - begin,
+            ws.walk_ends.data() + begin,
+            EffectiveWalkWidth(graph_, options_.walk_kernel));
+      };
+      if (pool_ != nullptr) {
+        pool_->ChunksLimit(num_walks, num_threads_, shard);
+      } else {
+        ParallelChunks(num_walks, num_threads_, shard);
+      }
+      for (uint64_t i = 0; i < num_walks; ++i) {
+        rho.Add(ws.walk_ends[i], increment);
+      }
+      for (const WalkScratch& state : locals) steps += state.steps;
+      alias_bytes += ws.walk_ends.capacity() * sizeof(NodeId);
     }
   }
 
